@@ -1,0 +1,55 @@
+"""A4 — The Amdahl analysis behind Figure 6's plateau (paper §4.3).
+
+For each server count, measure the workers' I/O share of busy time and
+compute the Amdahl bound on any further I/O speedup.  The paper's
+argument: once I/O is ~10 % of execution, even infinitely fast I/O
+cannot buy more than ~1.1x — so the curve must flatten.
+
+Also reproduces the §4.3 quote: "the time spent on I/O operations was
+measured to be around 11 % of the total execution time on one worker
+node when running the original mpiBLAST [at 2 workers]".
+"""
+
+import pytest
+from conftest import save_report
+
+from repro.core import ExperimentConfig, Variant, run_experiment
+from repro.core.metrics import amdahl_speedup_limit
+from repro.core.report import format_table
+
+SERVERS = (1, 2, 4, 8, 16)
+SCALE = 1 / 4
+
+
+def _run():
+    rows = []
+    for s in SERVERS:
+        cfg = ExperimentConfig(variant=Variant.PVFS, n_workers=2,
+                               n_servers=s).scaled(SCALE)
+        res = run_experiment(cfg)
+        rows.append((s, res.execution_time, res.io_fraction))
+    orig = run_experiment(ExperimentConfig(
+        variant=Variant.ORIGINAL, n_workers=2).scaled(SCALE))
+    return rows, orig.io_fraction
+
+
+def test_ablation_amdahl_io_share(once):
+    rows, orig_io = once(_run)
+    table_rows = [[s, round(t, 1), round(100 * f, 1),
+                   round(amdahl_speedup_limit(f), 3)]
+                  for s, t, f in rows]
+    save_report("ablation_amdahl", format_table(
+        "A4: I/O share and Amdahl bound (PVFS, 2 workers, 1/4 scale)\n"
+        f"original-BLAST I/O share at 2 workers: {100 * orig_io:.1f}% "
+        "(paper: ~11%)",
+        ["servers", "exec (s)", "I/O share %", "max I/O speedup"],
+        table_rows, col_width=16))
+
+    shares = {s: f for s, _t, f in rows}
+    # I/O share shrinks as servers are added...
+    assert shares[4] < shares[1]
+    # ...and is small once >= 4 servers (hence the Figure 6 plateau).
+    assert shares[4] < 0.12
+    assert amdahl_speedup_limit(shares[4]) < 1.15
+    # The paper's §4.3 measurement: ~11% I/O for original at 2 workers.
+    assert 0.04 < orig_io < 0.15

@@ -1,0 +1,59 @@
+"""A1 — Ablation: CEFT-PVFS read optimisations (paper §4.4/§4.5 and the
+authors' companion paper [6]).
+
+Two switches are isolated:
+
+* **doubled parallelism** — reading half the data from each replica
+  group.  Without it a 4+4 CEFT deployment reads from only 4 disks and
+  should trail PVFS-8 clearly; with it, CEFT-8-disks ≈ PVFS-8-disks
+  (paper: "Doubling the degree of parallelism boosts the read
+  performance to approach that of PVFS").
+* **hot-spot skipping** — under a stressed disk, skipping is the
+  difference between a ~2x and a PVFS-like ~20x degradation.
+"""
+
+import pytest
+from conftest import save_report
+
+from repro.core import ExperimentConfig, Placement, Variant, run_experiment
+from repro.core.report import format_table
+
+SCALE = 1 / 4
+
+
+def _run():
+    def ceft(**kw):
+        cfg = ExperimentConfig(variant=Variant.CEFT_PVFS, n_workers=4,
+                               n_servers=8, placement=Placement.DEDICATED,
+                               time_limit=1e7, **kw).scaled(SCALE)
+        return run_experiment(cfg).execution_time
+
+    pvfs = run_experiment(ExperimentConfig(
+        variant=Variant.PVFS, n_workers=4, n_servers=8,
+        placement=Placement.DEDICATED).scaled(SCALE)).execution_time
+
+    return {
+        "pvfs (8 servers)": pvfs,
+        "ceft double=on": ceft(),
+        "ceft double=off": ceft(ceft_double_parallelism=False),
+        "ceft stressed skip=on": ceft(n_stressed_disks=1),
+        "ceft stressed skip=off": ceft(n_stressed_disks=1,
+                                       ceft_skip_hot=False),
+    }
+
+
+def test_ablation_ceft_read_optimisations(once):
+    t = once(_run)
+    rows = [[k, round(v, 1)] for k, v in t.items()]
+    save_report("ablation_ceft_reads", format_table(
+        "A1: CEFT read optimisations (4 workers, 4+4 servers, 1/4 scale)",
+        ["configuration", "exec time (s)"], rows, col_width=24))
+
+    # Doubled parallelism brings CEFT within a whisker of PVFS...
+    assert t["ceft double=on"] <= 1.08 * t["pvfs (8 servers)"]
+    # ...and beats the single-group configuration.
+    assert t["ceft double=on"] < t["ceft double=off"]
+    # Skipping the hot spot is the dominant effect under stress.
+    assert t["ceft stressed skip=on"] < 0.5 * t["ceft stressed skip=off"]
+    # With skipping, the stressed run stays within ~3.5x of clean.
+    assert t["ceft stressed skip=on"] < 3.5 * t["ceft double=on"]

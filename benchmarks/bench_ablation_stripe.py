@@ -1,0 +1,42 @@
+"""A2 — Ablation: stripe size.
+
+The paper fixes the stripe size at 64 KB (Section 3) without exploring
+it.  This ablation sweeps it: very small stripes multiply per-request
+costs and break disk sequentiality; very large stripes reduce the
+number of servers a typical read can engage.  The sweep justifies
+64 KB as a sane middle ground on this hardware.
+"""
+
+import pytest
+from conftest import save_report
+
+from repro.core import ExperimentConfig, Variant, run_experiment
+from repro.core.report import format_table
+
+KiB = 1 << 10
+STRIPES = (4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB, 1024 * KiB)
+SCALE = 1 / 4  # the sweep is about relative shape; 1/4 scale suffices
+
+
+def _run():
+    out = {}
+    for stripe in STRIPES:
+        cfg = ExperimentConfig(variant=Variant.PVFS, n_workers=4,
+                               n_servers=4, stripe_size=stripe).scaled(SCALE)
+        out[stripe] = run_experiment(cfg).execution_time
+    return out
+
+
+def test_ablation_stripe_size(once):
+    times = once(_run)
+    rows = [[f"{s // KiB} KiB", round(t, 1)] for s, t in times.items()]
+    save_report("ablation_stripe", format_table(
+        "A2: stripe-size ablation (PVFS, 4 workers x 4 servers, 1/4 scale)",
+        ["stripe", "exec time (s)"], rows))
+
+    t = times
+    # Tiny stripes are clearly worse than the paper's 64 KiB.
+    assert t[4 * KiB] > t[64 * KiB]
+    # 64 KiB is within a few percent of the best setting in the sweep.
+    best = min(t.values())
+    assert t[64 * KiB] <= 1.05 * best

@@ -1,0 +1,69 @@
+"""A3 — Ablation: CEFT-PVFS write-duplexing protocols (the authors'
+companion paper [7]).
+
+BLAST is read-dominated, so the paper never exercises writes at scale;
+this ablation uses a write-heavy workload to compare the four duplexing
+protocols: asynchronous variants acknowledge before the mirror copy is
+durable and so finish faster, client-push protocols pay the client's
+NIC twice, server-push protocols pay an extra server-to-server hop.
+"""
+
+import pytest
+from conftest import save_report
+
+from repro.cluster import Cluster
+from repro.cluster.params import MB
+from repro.core.report import format_table
+from repro.fs.ceft import CEFT, WriteProtocol
+
+TOTAL = 200 * MB
+CHUNK = 8 * MB
+
+
+def _write_time(protocol):
+    c = Cluster(n_nodes=9)
+    nodes = list(c)
+    fs = CEFT(nodes[0], nodes[1:5], nodes[5:9], protocol=protocol,
+              monitor_load=False)
+    client = fs.client(nodes[0])
+
+    def proc():
+        yield from client.create("out")
+        off = 0
+        while off < TOTAL:
+            yield from client.write("out", off, CHUNK)
+            off += CHUNK
+        return c.sim.now
+
+    p = c.sim.process(proc())
+    c.sim.run_until_complete(p)
+    ack_time = p.value
+    c.sim.run()  # let asynchronous mirroring drain
+    durable_time = c.sim.now
+    mirrored = sum(s.node.disk.bytes_written for s in fs.mirror)
+    return ack_time, durable_time, mirrored
+
+
+def _run():
+    return {proto: _write_time(proto) for proto in WriteProtocol}
+
+
+def test_ablation_write_protocols(once):
+    results = once(_run)
+    rows = [[proto.value, round(ack, 2), round(dur, 2),
+             round(TOTAL / ack / MB, 1)]
+            for proto, (ack, dur, _m) in results.items()]
+    save_report("ablation_write_protocols", format_table(
+        "A3: write duplexing protocols (200 MB to CEFT 4+4)",
+        ["protocol", "ack time (s)", "durable (s)", "MB/s (ack)"],
+        rows, col_width=16))
+
+    acks = {p: a for p, (a, _d, _m) in results.items()}
+    # Async protocols acknowledge no later than their sync counterparts.
+    assert acks[WriteProtocol.CLIENT_ASYNC] <= acks[WriteProtocol.CLIENT_SYNC]
+    assert acks[WriteProtocol.SERVER_ASYNC] <= acks[WriteProtocol.SERVER_SYNC]
+    # Server-sync pays the extra forwarding hop: slowest ack.
+    assert acks[WriteProtocol.SERVER_SYNC] == max(acks.values())
+    # Every protocol eventually stores a full mirror copy.
+    for proto, (_a, _d, mirrored) in results.items():
+        assert mirrored >= TOTAL, proto

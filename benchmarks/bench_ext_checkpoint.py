@@ -1,0 +1,91 @@
+"""E9 — Extension: the write-only mirror image (ref [24]).
+
+The paper's related work (Ross et al., "A case study in application
+I/O on Linux clusters") studied FLASH's checkpoint phases — bursty,
+large, write-only.  BLAST never exercises the write paths at scale;
+this bench does, comparing a FLASH-shaped checkpoint workload on:
+
+* NFS (one server: the baseline everybody had),
+* PVFS (RAID-0: all spindles absorb the burst),
+* CEFT-PVFS under each write-duplexing protocol (the fault-tolerance
+  tax on writes, quantified).
+"""
+
+import pytest
+from conftest import save_report
+
+from repro.cluster import Cluster
+from repro.cluster.params import MB
+from repro.core.report import format_table
+from repro.fs.ceft import CEFT, WriteProtocol
+from repro.fs.nfs import NFS
+from repro.fs.pvfs import PVFS
+from repro.parallel.ioadapters import ParallelIO, WorkerIO
+from repro.workloads.checkpoint import CheckpointSpec, run_checkpoint_workload
+
+SPEC = CheckpointSpec(n_processes=8, bytes_per_process=64 * MB,
+                      compute_between=30.0, n_checkpoints=3)
+
+
+class _NFSAdapter(WorkerIO):
+    """Minimal WorkerIO over an NFS client."""
+
+    scheme = "nfs"
+
+    def __init__(self, client):
+        self.client = client
+
+    def read(self, path, offset, size):
+        yield from self.client.read(path, offset, size)
+
+    def write(self, path, offset, size):
+        yield from self.client.write(path, offset, size)
+
+    def ensure_file(self, path, size):
+        self.client.fs.populate(path, size)
+
+
+def _run_on(label):
+    cluster = Cluster(n_nodes=17)
+    nodes = list(cluster)
+    compute_nodes = nodes[9:17]
+    if label == "nfs":
+        fs = NFS(nodes[0])
+        ios = [_NFSAdapter(fs.client(n)) for n in compute_nodes]
+    elif label == "pvfs":
+        fs = PVFS(nodes[0], nodes[1:9])
+        ios = [ParallelIO(fs.client(n)) for n in compute_nodes]
+    else:
+        proto = WriteProtocol(label)
+        fs = CEFT(nodes[0], nodes[1:5], nodes[5:9], protocol=proto,
+                  monitor_load=False)
+        ios = [ParallelIO(fs.client(n)) for n in compute_nodes]
+    return run_checkpoint_workload(compute_nodes, ios, SPEC)
+
+
+def _run():
+    labels = ["nfs", "pvfs"] + [p.value for p in WriteProtocol]
+    return {label: _run_on(label) for label in labels}
+
+
+def test_ext_checkpoint_workload(once):
+    results = once(_run)
+    rows = [[label, round(r["makespan"], 1),
+             round(100 * r["write_fraction"], 1),
+             round(r["aggregate_write_mb_s"], 1)]
+            for label, r in results.items()]
+    save_report("ext_checkpoint", format_table(
+        "E9: FLASH-style checkpoints (8 procs x 64 MB x 3, 8 data nodes)",
+        ["backend", "makespan (s)", "write share %", "agg write MB/s"],
+        rows, col_width=16))
+
+    agg = {label: r["aggregate_write_mb_s"] for label, r in results.items()}
+    # One NFS server cannot absorb an 8-process burst; striping can.
+    assert agg["pvfs"] > 3 * agg["nfs"]
+    # Mirroring costs writes: every CEFT protocol is slower than PVFS.
+    for proto in WriteProtocol:
+        assert agg[proto.value] < agg["pvfs"]
+    # Asynchronous duplexing recovers much of the loss at ack time.
+    assert agg["server-async"] > agg["server-sync"]
+    # Client-push protocols halve the client NIC's effective bandwidth.
+    assert agg["client-sync"] < 0.75 * agg["pvfs"]

@@ -1,0 +1,110 @@
+"""E3 — Extension: the paper's Section 6 future work.
+
+"Clearly, the load conditions of the memory, network and CPU can also
+influence the I/O performance.  We will further study the impact of
+contention of these resources in related ongoing work."
+
+This bench runs that study on the simulated cluster: the Figure 9
+setup (8 workers over 8 PVFS data servers) with one node contended on
+each resource axis — disk (the paper's case), CPU, network, and
+memory — both for over-PVFS and over-CEFT-PVFS.
+"""
+
+import pytest
+from conftest import save_report
+
+from repro.cluster import (
+    Cluster,
+    cpu_stressor,
+    disk_stressor,
+    memory_stressor,
+    network_stressor,
+)
+from repro.core import ExperimentConfig, Variant, run_experiment
+from repro.core.report import format_table
+
+SCALE = 1 / 8
+
+
+def _run_with(variant, stress_kind):
+    """Build the experiment by hand so arbitrary stressors can be
+    attached to one data-server node."""
+    from repro.core.calibration import default_cost_model
+    from repro.fs.ceft import CEFT
+    from repro.fs.pvfs import PVFS
+    from repro.parallel.ioadapters import ParallelIO
+    from repro.parallel.iomodel import FragmentSpec
+    from repro.parallel.mpiblast import run_parallel_blast
+    from repro.workloads.synthdb import NT_DATABASE_SPEC
+
+    db = NT_DATABASE_SPEC.scaled(SCALE)
+    cluster = Cluster(n_nodes=9)
+    nodes = list(cluster)
+    if variant is Variant.PVFS:
+        fs = PVFS(nodes[0], nodes[1:9])
+    else:
+        fs = CEFT(nodes[0], nodes[1:5], nodes[5:9], load_period=5.0)
+    ios = [ParallelIO(fs.client(n)) for n in nodes[1:9]]
+    victim = nodes[1]
+
+    if stress_kind == "disk":
+        cluster.sim.process(disk_stressor(victim))
+    elif stress_kind == "cpu":
+        cluster.sim.process(cpu_stressor(victim, tasks=4))
+    elif stress_kind == "network":
+        # A bulk stream through the victim's NIC both ways.
+        cluster.sim.process(network_stressor(victim, nodes[0]))
+        cluster.sim.process(network_stressor(nodes[0], victim))
+    elif stress_kind == "memory":
+        memory_stressor(victim, fraction=0.95)
+    elif stress_kind != "none":
+        raise ValueError(stress_kind)
+
+    byte_sizes = db.fragment_bytes(8)
+    res_sizes = db.fragment_residues(8)
+    fragments = [FragmentSpec(i, byte_sizes[i], res_sizes[i]) for i in range(8)]
+    job = run_parallel_blast(nodes[0], nodes[1:9], ios, fragments,
+                             default_cost_model(), time_limit=1e7)
+    if hasattr(fs, "stop_monitoring"):
+        fs.stop_monitoring()
+    return job.makespan
+
+
+def _run():
+    out = {}
+    for variant in (Variant.PVFS, Variant.CEFT_PVFS):
+        for kind in ("none", "disk", "cpu", "network", "memory"):
+            out[(variant, kind)] = _run_with(variant, kind)
+    return out
+
+
+def test_ext_resource_contention(once):
+    results = once(_run)
+    rows = []
+    for kind in ("none", "disk", "cpu", "network", "memory"):
+        p = results[(Variant.PVFS, kind)]
+        c = results[(Variant.CEFT_PVFS, kind)]
+        p0 = results[(Variant.PVFS, "none")]
+        c0 = results[(Variant.CEFT_PVFS, "none")]
+        rows.append([kind, round(p, 1), round(p / p0, 2),
+                     round(c, 1), round(c / c0, 2)])
+    save_report("ext_contention", format_table(
+        "E3: one contended data-server node, 8 workers (1/8 scale)",
+        ["contention", "pvfs (s)", "factor", "ceft (s)", "factor"], rows))
+
+    p0 = results[(Variant.PVFS, "none")]
+    c0 = results[(Variant.CEFT_PVFS, "none")]
+    # Disk contention hurts PVFS by far the most (the paper's result);
+    # CEFT routes around it.
+    assert results[(Variant.PVFS, "disk")] > 5 * p0
+    assert results[(Variant.CEFT_PVFS, "disk")] < 4 * c0
+    # CPU contention: in the colocated placement the victim is also a
+    # *worker*, so its search compute (not the iod) slows ~2x and the
+    # makespan follows the straggler.
+    assert 1.3 * p0 < results[(Variant.PVFS, "cpu")] < 3 * p0
+    # Network contention slows the victim's flows but far less than
+    # disk starvation.
+    assert (results[(Variant.PVFS, "network")]
+            < results[(Variant.PVFS, "disk")])
+    # Memory pressure forces server cache misses: mild slowdown.
+    assert results[(Variant.PVFS, "memory")] < 1.6 * p0

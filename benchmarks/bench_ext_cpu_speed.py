@@ -1,0 +1,86 @@
+"""E7 — Extension: the paper's motivating claim, tested forward.
+
+Introduction: "the performance of storage subsystems has increasingly
+lagged behind the performance of computation and communication
+subsystems."  Section 4.3 predicts that once I/O is no longer a small
+share, "the performance gain due to the increase of the number of data
+servers will be much more significant".
+
+This bench sweeps the blastn scan rate (a stand-in for CPU generations:
+the 2003 Athlon's 2.2 MB/s up to a 32x faster core) with the *same*
+2003 disks, and measures two things per generation:
+
+* the I/O share of execution for the original scheme (grows from ~8 %
+  toward dominance);
+* the benefit of widening PVFS from 8 to 16 data servers at 8 workers —
+  negligible in 2003 (the Figure 6 plateau), decisive once CPUs outrun
+  the disks.  This is the server-scaling sensitivity the paper said
+  would appear, driven by CPU speed rather than database size (compare
+  bench_ext_dbsize.py, where the share is size-invariant).
+"""
+
+import dataclasses
+
+import pytest
+from conftest import save_report
+
+from repro.core import ExperimentConfig, Variant, run_experiment
+from repro.core.calibration import default_cost_model
+from repro.core.report import format_table
+
+MB = 1_000_000
+SPEEDUPS = (1, 4, 16, 32)
+SCALE = 1 / 8
+
+
+def _faster_cpu(mult):
+    """Every CPU cost scales with the generation multiplier."""
+    base = default_cost_model()
+    return dataclasses.replace(
+        base,
+        scan_rate=base.scan_rate * mult,
+        setup_cpu=base.setup_cpu / mult,
+        result_cpu=base.result_cpu / mult,
+        merge_cpu=base.merge_cpu / mult,
+    )
+
+
+def _run():
+    rows = {}
+    for mult in SPEEDUPS:
+        cost = _faster_cpu(mult)
+
+        def run(variant, servers):
+            return run_experiment(ExperimentConfig(
+                variant=variant, n_workers=8, n_servers=servers,
+                cost=cost).scaled(SCALE))
+
+        orig = run(Variant.ORIGINAL, 8)
+        pvfs8 = run(Variant.PVFS, 8)
+        pvfs16 = run(Variant.PVFS, 16)
+        rows[mult] = (orig.execution_time, pvfs8.execution_time,
+                      pvfs16.execution_time, orig.io_fraction)
+    return rows
+
+
+def test_ext_cpu_speed_trend(once):
+    rows = once(_run)
+    table = [[f"{m}x", round(o, 1), round(p8, 1), round(p16, 1),
+              round(p8 / p16, 2), round(100 * f, 1)]
+             for m, (o, p8, p16, f) in rows.items()]
+    save_report("ext_cpu_speed", format_table(
+        "E7: CPU generations vs 2003 disks (8 workers, 1/8-scale nt)\n"
+        "server-scaling gain = PVFS-8-servers / PVFS-16-servers",
+        ["CPU speed", "original (s)", "pvfs-8 (s)", "pvfs-16 (s)",
+         "8->16 gain", "orig I/O %"], table, col_width=13))
+
+    shares = [f for (_o, _p8, _p16, f) in rows.values()]
+    gains = [p8 / p16 for (_o, p8, p16, _f) in rows.values()]
+    # The original's I/O share grows monotonically with CPU speed...
+    assert all(b > a for a, b in zip(shares, shares[1:]))
+    assert shares[0] < 0.12 and shares[-1] > 0.3
+    # ...and widening the server pool goes from pointless (the paper's
+    # Figure 6 plateau) to clearly worthwhile.
+    assert gains[0] < 1.05
+    assert gains[-1] > 1.25
+    assert gains[-1] > gains[0]

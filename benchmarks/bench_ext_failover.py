@@ -1,0 +1,138 @@
+"""E2 — Extension: availability under a data-server crash.
+
+The paper motivates CEFT-PVFS with PVFS's lack of fault tolerance
+("the failure of any single cluster node renders the entire file
+system service unavailable") but never measures a crash.  This bench
+injects one mid-run: a data server dies 30 simulated seconds into an
+8-worker search.
+
+* over PVFS: the job dies with an I/O error;
+* over CEFT-PVFS: clients fail over to the mirror group and the job
+  completes, paying only the failover + lost-parallelism cost;
+* a subsequent resync restores the failed server from its mirror.
+"""
+
+import pytest
+from conftest import save_report
+
+from repro.cluster import Cluster
+from repro.core import ExperimentConfig, Variant, run_experiment
+from repro.core.report import format_table
+from repro.fs.ceft import PRIMARY
+from repro.fs.interface import FSError
+from repro.parallel.master import JobAborted
+from repro.parallel.ioadapters import ParallelIO
+from repro.parallel.iomodel import FragmentSpec
+from repro.parallel.mpiblast import run_parallel_blast
+from repro.core.calibration import default_cost_model
+
+SCALE = 1 / 4
+CRASH_AT = 30.0
+
+
+def _job(variant_fs_builder):
+    """Run an 8-worker job with a server crash at CRASH_AT seconds."""
+    from repro.workloads.synthdb import NT_DATABASE_SPEC
+
+    db = NT_DATABASE_SPEC.scaled(SCALE)
+    cluster = Cluster(n_nodes=9)
+    nodes = list(cluster)
+    fs, crash = variant_fs_builder(nodes)
+    ios = [ParallelIO(fs.client(n)) for n in nodes[1:9]]
+    byte_sizes = db.fragment_bytes(8)
+    res_sizes = db.fragment_residues(8)
+    fragments = [FragmentSpec(i, byte_sizes[i], res_sizes[i])
+                 for i in range(8)]
+
+    def crasher():
+        yield cluster.sim.timeout(CRASH_AT)
+        crash()
+
+    cluster.sim.process(crasher())
+    job = run_parallel_blast(nodes[0], nodes[1:9], ios, fragments,
+                             default_cost_model(), time_limit=1e7)
+    if hasattr(fs, "stop_monitoring"):
+        fs.stop_monitoring()
+    return job
+
+
+def _run():
+    from repro.fs.ceft import CEFT
+    from repro.fs.pvfs import PVFS
+
+    out = {}
+
+    def pvfs_builder(nodes):
+        fs = PVFS(nodes[0], nodes[1:9])
+        return fs, fs.servers[3].fail
+
+    def ceft_builder(nodes):
+        fs = CEFT(nodes[0], nodes[1:5], nodes[5:9], load_period=5.0)
+        return fs, fs.primary[3].fail
+
+    try:
+        job = _job(pvfs_builder)
+        out["pvfs"] = ("completed", job.makespan)
+    except JobAborted as exc:
+        out["pvfs"] = ("ABORTED: " + exc.cause[:36], float("nan"))
+
+    job = _job(ceft_builder)
+    out["ceft"] = ("completed", job.makespan)
+
+    # Clean CEFT baseline for the overhead comparison.
+    def ceft_nocrash(nodes):
+        fs = CEFT(nodes[0], nodes[1:5], nodes[5:9], load_period=5.0)
+        return fs, (lambda: None)
+
+    out["ceft-clean"] = ("completed", _job(ceft_nocrash).makespan)
+    return out
+
+
+def test_ext_failover_availability(once):
+    results = once(_run)
+    rows = [[name, status, round(t, 1) if t == t else "-"]
+            for name, (status, t) in results.items()]
+    save_report("ext_failover", format_table(
+        "E2: data-server crash 30 s into an 8-worker search (1/4 scale)",
+        ["scheme", "outcome", "makespan (s)"], rows, col_width=22))
+
+    assert results["pvfs"][0].startswith("ABORTED")
+    assert results["ceft"][0] == "completed"
+    # Failover cost is bounded: within 2x of the clean run.
+    assert results["ceft"][1] < 2.0 * results["ceft-clean"][1]
+
+
+def test_ext_resync_bandwidth(once):
+    """RAID-10 rebuild: resync streams the failed server's share from
+    its mirror at roughly the disk-write rate."""
+    from repro.cluster.params import MB
+    from repro.fs.ceft import CEFT
+    from repro.workloads.synthdb import NT_DATABASE_SPEC
+
+    def run():
+        db = NT_DATABASE_SPEC.scaled(1 / 20)
+        cluster = Cluster(n_nodes=9)
+        nodes = list(cluster)
+        fs = CEFT(nodes[0], nodes[1:5], nodes[5:9], monitor_load=False)
+        for i, nbytes in enumerate(db.fragment_bytes(8)):
+            fs.populate(f"nt.{i:03d}.nsq", nbytes)
+        fs.primary[0].fail()
+        fs.mark_failed(PRIMARY, 0)
+
+        def proc():
+            t0 = cluster.sim.now
+            nbytes = yield cluster.sim.process(fs.resync(PRIMARY, 0))
+            return nbytes, cluster.sim.now - t0
+
+        p = cluster.sim.process(proc())
+        cluster.sim.run_until_complete(p)
+        return p.value
+
+    nbytes, elapsed = once(run)
+    rate = nbytes / elapsed / MB
+    save_report("ext_resync", (
+        f"E2b: resync of one failed server: {nbytes / MB:.0f} MB "
+        f"in {elapsed:.1f} s = {rate:.1f} MB/s "
+        f"(disk write limit: 32 MB/s)"))
+    assert nbytes > 0
+    assert 10 < rate <= 32.5

@@ -1,0 +1,61 @@
+"""E6 — Extension: metadata-server scalability.
+
+Both PVFS and CEFT-PVFS route every open through one metadata server
+(paper Figure 2 places it with the master).  BLAST's workload — a few
+opens per fragment — never stresses it, but metadata-heavy workloads
+(many small files) hit the single-MDS wall that later systems (PVFS2,
+Lustre DNE) spent years removing.  This bench measures open throughput
+vs client count and the impact of co-locating a busy master on the MDS
+node.
+"""
+
+import pytest
+from conftest import save_report
+
+from repro.cluster import Cluster, cpu_stressor
+from repro.core.report import format_table
+from repro.fs.pvfs import PVFS
+
+OPENS_PER_CLIENT = 200
+
+
+def _open_throughput(n_clients, stress_mds=False):
+    c = Cluster(n_nodes=n_clients + 3)
+    nodes = list(c)
+    fs = PVFS(nodes[0], nodes[1:3])
+    for i in range(OPENS_PER_CLIENT):
+        fs.populate(f"f{i}", 1024)
+    if stress_mds:
+        c.sim.process(cpu_stressor(nodes[0], tasks=8))
+
+    def opener(node):
+        client = fs.client(node)
+        for i in range(OPENS_PER_CLIENT):
+            yield from client.open(f"f{i}")
+
+    procs = [c.sim.process(opener(nodes[3 + i])) for i in range(n_clients)]
+    c.sim.run_until_complete(*procs)
+    total_opens = n_clients * OPENS_PER_CLIENT
+    return total_opens / c.sim.now
+
+
+def _run():
+    sweep = {n: _open_throughput(n) for n in (1, 2, 4, 8, 16)}
+    stressed = _open_throughput(8, stress_mds=True)
+    return sweep, stressed
+
+
+def test_ext_metadata_scalability(once):
+    sweep, stressed = once(_run)
+    rows = [[n, round(tp, 0)] for n, tp in sweep.items()]
+    rows.append(["8 (MDS node CPU-stressed)", round(stressed, 0)])
+    save_report("ext_metadata", format_table(
+        "E6: metadata-open throughput vs clients (single MDS)",
+        ["clients", "opens/s"], rows, col_width=26))
+
+    # Throughput rises with clients while the MDS has headroom...
+    assert sweep[4] > 1.5 * sweep[1]
+    # ...but saturates: 16 clients gain little over 8.
+    assert sweep[16] < 1.5 * sweep[8]
+    # A CPU-stressed MDS node loses open throughput.
+    assert stressed < 0.9 * sweep[8]

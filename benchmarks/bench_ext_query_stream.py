@@ -1,0 +1,94 @@
+"""E8 — Extension: the BLAST service view (query streams).
+
+The paper measures one query at a time; a real deployment answers a
+stream.  This bench drives Poisson query arrivals through the 8-worker
+cluster at increasing load and reports mean/95th-percentile latency for
+the original and over-PVFS schemes.
+
+Two effects compose:
+
+* warm caches make every query after the first far cheaper (E5), so
+  the sustainable arrival rate is set by the *warm* service time;
+* as the arrival rate approaches that service rate, queueing delay
+  takes over — the knee every server operator knows.
+"""
+
+import numpy as np
+import pytest
+from conftest import save_report
+
+from repro.cluster import Cluster
+from repro.core.calibration import default_cost_model
+from repro.core.report import format_table
+from repro.fs.localfs import LocalFS
+from repro.fs.pvfs import PVFS
+from repro.parallel import (
+    FragmentSpec,
+    LocalIO,
+    ParallelIO,
+    run_query_stream,
+)
+from repro.workloads.synthdb import NT_DATABASE_SPEC
+
+SCALE = 1 / 10
+N_QUERIES = 12
+
+
+def _stream(variant, utilisation, seed=0):
+    """Run a Poisson stream at the given target utilisation."""
+    db = NT_DATABASE_SPEC.scaled(SCALE)
+    cluster = Cluster(n_nodes=9)
+    nodes = list(cluster)
+    workers = nodes[1:9]
+    if variant == "original":
+        ios = [LocalIO(LocalFS(n), n) for n in workers]
+    else:
+        fs = PVFS(nodes[0], workers)
+        ios = [ParallelIO(fs.client(n)) for n in workers]
+    byte_sizes = db.fragment_bytes(8)
+    res_sizes = db.fragment_residues(8)
+    fragments = [FragmentSpec(i, byte_sizes[i], res_sizes[i])
+                 for i in range(8)]
+    cost = default_cost_model()
+
+    # Estimate the warm service time with a two-query probe, then set
+    # the Poisson rate to the requested utilisation of it.
+    probe = run_query_stream(nodes[0], workers, ios, fragments, cost,
+                             [0.0, 0.0])
+    warm_service = probe[1]["service"]
+
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(warm_service / utilisation, size=N_QUERIES)
+    arrivals = cluster.sim.now + np.cumsum(gaps)
+    stream = run_query_stream(nodes[0], workers, ios, fragments, cost,
+                              list(arrivals))
+    latencies = [q["latency"] for q in stream]
+    return (warm_service, float(np.mean(latencies)),
+            float(np.percentile(latencies, 95)))
+
+
+def _run():
+    out = {}
+    for variant in ("original", "pvfs"):
+        for util in (0.5, 0.9):
+            out[(variant, util)] = _stream(variant, util)
+    return out
+
+
+def test_ext_query_stream(once):
+    results = once(_run)
+    rows = [[v, f"{u:.0%}", round(w, 1), round(mean, 1), round(p95, 1)]
+            for (v, u), (w, mean, p95) in results.items()]
+    save_report("ext_query_stream", format_table(
+        "E8: Poisson query stream, 8 workers (1/10-scale nt)",
+        ["scheme", "load", "warm svc (s)", "mean lat (s)", "p95 lat (s)"],
+        rows, col_width=14))
+
+    for variant in ("original", "pvfs"):
+        w50, m50, p50 = results[(variant, 0.5)]
+        w90, m90, p90 = results[(variant, 0.9)]
+        # Latency at 50% load stays near the service time...
+        assert m50 < 3 * w50
+        # ...and queueing blows it up near saturation.
+        assert m90 > m50
+        assert p90 > p50

@@ -1,0 +1,56 @@
+"""E1 — Extension: database vs query segmentation (paper §2.2).
+
+The paper asserts that query segmentation "becomes less attractive due
+to large I/O overhead" as databases grow.  This bench quantifies the
+claim: execution time of both approaches at several database scales
+(8 workers over 8 PVFS servers), plus the replication (copy) cost the
+original local-disk scheme would pay.
+"""
+
+import pytest
+from conftest import save_report
+
+from repro.core import (
+    ExperimentConfig,
+    Parallelization,
+    Variant,
+    run_experiment,
+)
+from repro.core.report import format_series
+
+SCALES = (1 / 50, 1 / 10, 1 / 2, 1.0)
+
+
+def _run():
+    series = {"database-seg": [], "query-seg": [], "query-seg copy (orig)": []}
+    for scale in SCALES:
+        for par, key in ((Parallelization.DATABASE_SEGMENTATION, "database-seg"),
+                         (Parallelization.QUERY_SEGMENTATION, "query-seg")):
+            cfg = ExperimentConfig(variant=Variant.PVFS, n_workers=8,
+                                   n_servers=8, parallelization=par
+                                   ).scaled(scale)
+            series[key].append(run_experiment(cfg).execution_time)
+        orig = ExperimentConfig(
+            variant=Variant.ORIGINAL, n_workers=8,
+            parallelization=Parallelization.QUERY_SEGMENTATION).scaled(scale)
+        series["query-seg copy (orig)"].append(run_experiment(orig).copy_time)
+    return series
+
+
+def test_ext_query_vs_database_segmentation(once):
+    series = once(_run)
+    save_report("ext_queryseg", format_series(
+        "E1: database vs query segmentation, exec time (s), 8 workers",
+        "db scale", [f"{s:g}" for s in SCALES],
+        {k: [round(v, 1) for v in vs] for k, vs in series.items()}))
+
+    dseg = series["database-seg"]
+    qseg = series["query-seg"]
+    # Query segmentation always loses with this (long-database) workload...
+    for d, q in zip(dseg, qseg):
+        assert q > d
+    # ...and its relative penalty does not shrink as the database grows.
+    assert qseg[-1] / dseg[-1] >= 0.9 * (qseg[0] / dseg[0])
+    # Its replication cost alone grows linearly with database size.
+    copies = series["query-seg copy (orig)"]
+    assert copies[-1] > 40 * copies[0]

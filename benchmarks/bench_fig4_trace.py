@@ -1,0 +1,28 @@
+"""F4 — Figure 4: the application-level I/O trace of the original
+parallel BLAST with 8 workers searching 8 nt fragments.
+
+Paper statistics: 144 operations, 89 % reads, read sizes 13 B – 220 MB,
+16 writes of 50–778 B with mean ≈ 690 B.
+"""
+
+from conftest import save_report
+
+from repro.core.figures import figure4
+
+MB = 1_000_000
+
+
+def test_fig4_io_trace(once):
+    result = once(figure4)
+    stats = result.data["stats"]
+    save_report("fig4_trace", result.render()
+                + "\n\nRaw trace:\n" + result.data["tracer"].dump())
+
+    assert stats.operations == 144
+    assert round(100 * stats.read_fraction) == 89
+    assert stats.reads.min_bytes == 13
+    assert 210 * MB < stats.reads.max_bytes < 230 * MB
+    assert stats.writes.count == 16
+    assert 50 <= stats.writes.min_bytes
+    assert stats.writes.max_bytes <= 778
+    assert 500 <= stats.writes.mean_bytes <= 778

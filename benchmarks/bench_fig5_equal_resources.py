@@ -1,0 +1,32 @@
+"""F5 — Figure 5: original vs mpiBLAST-over-PVFS with equal resources.
+
+Workers and data servers share the same nodes (1, 2, 4, 8 of them plus
+the master/metadata node).  Paper shape: PVFS loses at one node (TCP
+stack + metadata overhead), wins from two nodes on, with the margin
+shrinking as compute dominates.
+"""
+
+from conftest import save_report
+
+from repro.core.figures import figure5
+
+WORKERS = (1, 2, 4, 8)
+
+
+def test_fig5_equal_resources(once):
+    result = once(figure5)
+    save_report("fig5_equal_resources", result.render())
+
+    orig = result.data["original"]
+    pvfs = result.data["over PVFS"]
+    # PVFS worse at 1 worker...
+    assert pvfs[0] > orig[0]
+    # ...better at 2+ workers...
+    for i in (1, 2, 3):
+        assert pvfs[i] < orig[i], f"workers={WORKERS[i]}"
+    # ...and the absolute gain shrinks with scale (Amdahl).
+    gains = [orig[i] - pvfs[i] for i in (1, 2, 3)]
+    assert gains[2] < gains[0]
+    # Sanity: both scale down with workers.
+    assert orig[3] < orig[0] / 4
+    assert pvfs[3] < pvfs[0] / 4

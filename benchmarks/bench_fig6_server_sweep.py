@@ -1,0 +1,42 @@
+"""F6 — Figure 6: execution time vs number of PVFS data servers.
+
+Workers ∈ {1,2,4,8} × servers ∈ {1,2,4,6,8,12,16}, with the original
+BLAST as the per-worker-count baseline.  Paper shape: one-server PVFS
+loses to the original everywhere; two servers win for small worker
+groups; four servers win everywhere; further servers add nothing
+(Amdahl — I/O is a small share of execution once compute dominates),
+with no significant gain (or slight deterioration) from 12 to 16.
+"""
+
+from conftest import save_report
+
+from repro.core.figures import figure6
+
+WORKERS = (1, 2, 4, 8)
+SERVERS = (1, 2, 4, 6, 8, 12, 16)
+
+
+def test_fig6_server_sweep(once):
+    result = once(figure6)
+    save_report("fig6_server_sweep", result.render())
+    sweep = result.data["sweep"]
+    baselines = result.data["baselines"]
+
+    for w in WORKERS:
+        times = dict(zip(SERVERS, sweep[w]))
+        base = baselines[w]
+        # One server always loses to the original.
+        assert times[1] > base, f"w={w}"
+        # Four servers beat (or at worst match) the original everywhere.
+        assert times[4] <= base * 1.01, f"w={w}"
+        # Monotone improvement up to 4 servers.
+        assert times[2] < times[1]
+        assert times[4] < times[2]
+        # Plateau: gain beyond 4 servers is marginal compared to 1->4.
+        assert times[4] - times[16] < 0.25 * (times[1] - times[4]), f"w={w}"
+        # No significant change from 12 to 16 (paper: "no significant
+        # gain or even slight deterioration").
+        assert abs(times[12] - times[16]) < 0.05 * times[12], f"w={w}"
+    # Two servers beat the original for small worker groups (1, 2, 4).
+    for w in (1, 2, 4):
+        assert dict(zip(SERVERS, sweep[w]))[2] < baselines[w] * 1.01, f"w={w}"

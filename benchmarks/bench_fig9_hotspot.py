@@ -1,0 +1,37 @@
+"""F9 — Figure 9: one data-server disk stressed by the Figure 8
+program, 8 workers and 8 data servers.
+
+Paper result: the original parallel BLAST degrades by a factor of ~10
+(its stressed worker's local reads starve), over-PVFS by ~21 (every
+worker's stripes cross the hot disk, at finer request granularity), and
+over-CEFT-PVFS only by ~2 (clients skip the hot spot and read from its
+mirror).
+"""
+
+from conftest import save_report
+
+from repro.core.experiment import Variant
+from repro.core.figures import figure9
+
+#: Accepted reproduction bands for the degradation factors.
+BANDS = {
+    Variant.ORIGINAL: (6.0, 14.0),
+    Variant.PVFS: (14.0, 30.0),
+    Variant.CEFT_PVFS: (1.3, 3.5),
+}
+
+
+def test_fig9_hotspot_degradation(once):
+    result = once(figure9)
+    save_report("fig9_hotspot", result.render())
+
+    factors = {v: f for v, (_b, _s, f) in result.data.items()}
+    # Ordering: CEFT << original < PVFS.
+    assert factors[Variant.CEFT_PVFS] < factors[Variant.ORIGINAL]
+    assert factors[Variant.ORIGINAL] < factors[Variant.PVFS]
+    # Factors inside the reproduction bands.
+    for variant, (lo, hi) in BANDS.items():
+        assert lo <= factors[variant] <= hi, (variant, factors[variant])
+    # PVFS suffers roughly twice the original factor (paper: 21 vs 10).
+    ratio = factors[Variant.PVFS] / factors[Variant.ORIGINAL]
+    assert 1.4 <= ratio <= 2.8

@@ -1,0 +1,19 @@
+"""T1 — Section 4.1 platform microbenchmarks.
+
+The paper quotes Bonnie and Netperf numbers for PrairieFire: disk write
+32 MB/s, disk read 26 MB/s, TCP over Myrinet ~112 MB/s.  This bench
+runs the equivalent streaming microbenchmarks *inside the simulator*
+and checks the calibration: the simulated hardware must reproduce the
+testbed figures it was calibrated to.
+"""
+
+from conftest import save_report
+
+from repro.core.figures import table1
+
+
+def test_table1_platform_microbenchmarks(once):
+    result = once(table1)
+    save_report("table1_micro", result.render())
+    for name, (measured, paper) in result.data.items():
+        assert 0.9 * paper <= measured <= 1.02 * paper, name

@@ -1,0 +1,39 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper.  The
+rendered rows/series are written to ``benchmarks/results/<name>.txt``
+(and echoed to stdout, visible with ``pytest -s``) so EXPERIMENTS.md
+can quote them; the pytest-benchmark timing wraps the simulation run
+itself.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_report(name: str, text: str) -> None:
+    """Write a figure/table rendering to the results directory."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic discrete-event simulations — there
+    is no run-to-run variance worth averaging, and full-scale runs take
+    seconds, so one round is both sufficient and honest.
+    """
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Advanced engine features: alignments, filtering, query segmentation.
+
+A mini-pipeline over a synthetic database:
+
+1. run blastn and print NCBI-style pairwise alignments;
+2. show DUST low-complexity filtering suppressing a junk hit;
+3. split the query WU-BLAST-style (query segmentation) and verify the
+   merged results agree with the whole-query search.
+
+Run:  python examples/advanced_search.py
+"""
+
+import numpy as np
+
+from repro.blast import SequenceDB, SearchParams, blastn
+from repro.blast.queryseg import search_segmented
+from repro.blast.render import render_results
+
+RNG = np.random.default_rng(77)
+
+
+def rand_dna(n):
+    return "".join(RNG.choice(list("ACGT"), n))
+
+
+def main():
+    target = rand_dna(500)
+    db = SequenceDB.from_fasta_text(
+        f">gene1 the real target\n{target}\n"
+        f">junk microsatellite\n{'CA' * 200}\n"
+        f">bg unrelated\n{rand_dna(450)}\n")
+
+    # A query: a chunk of the target with a small deletion, plus a
+    # low-complexity CA-repeat tail picked up from cloning vector.
+    q = target[80:280]
+    query = q[:90] + q[95:] + "CACACACACACACACACACACACA"
+
+    print("=" * 66)
+    print("1. Alignments (note the 5-base deletion)")
+    print("=" * 66)
+    results = blastn(query, db)
+    print(render_results(query, db, results, max_hits=2))
+
+    print("=" * 66)
+    print("2. DUST filtering")
+    print("=" * 66)
+    raw = blastn(query, db)
+    filt = blastn(query, db, params=SearchParams(
+        word_size=11, gapped_trigger=18, filter_low_complexity=True))
+    print(f"without filter: {[h.description.split()[0] for h in raw.hits]}")
+    print(f"with DUST     : {[h.description.split()[0] for h in filt.hits]}")
+    print("(the CA-repeat 'junk' hit disappears; the real gene stays)\n")
+
+    print("=" * 66)
+    print("3. Query segmentation (the paper's Section 2.2 alternative)")
+    print("=" * 66)
+    whole = blastn(query, db)
+    seg = search_segmented(blastn, query, db, n_segments=3, overlap=40)
+    wb, sb = whole.best(), seg.best()
+    print(f"whole-query best hit : score={wb.score} E={wb.evalue:.2e}")
+    print(f"3-segment merged best: score={sb.score} E={sb.evalue:.2e}")
+    print("Same subject, same region — but in the parallel setting each")
+    print("worker would have needed the ENTIRE database, which is why")
+    print("the paper (and mpiBLAST) segment the database instead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""What-if capacity planning with the simulated cluster.
+
+The calibrated simulator is useful beyond reproducing the paper: swap
+hardware parameters and re-ask its questions.  Three 2003-plausible
+upgrades for a BLAST cluster, evaluated against the stock PrairieFire
+node on the Figure 9 scenario (8 workers over 8 PVFS servers, one
+stressed disk):
+
+* SCSI disks (50 MB/s, 5 ms seeks) instead of IDE;
+* doubling RAM to 4 GB;
+* gigabit Ethernet (90 MB/s, 150 us) instead of Myrinet.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import dataclasses
+
+from repro.cluster.params import (
+    DiskParams,
+    GB,
+    MB,
+    MemoryParams,
+    NetworkParams,
+    NodeParams,
+    prairiefire_params,
+)
+from repro.core import ExperimentConfig, Variant, run_experiment
+
+SCALE = 1 / 10
+
+
+def measure(label, params, stressed):
+    cfg = ExperimentConfig(variant=Variant.PVFS, n_workers=8, n_servers=8,
+                           node_params=params,
+                           n_stressed_disks=1 if stressed else 0,
+                           time_limit=1e7).scaled(SCALE)
+    return run_experiment(cfg).execution_time
+
+
+def main():
+    stock = prairiefire_params()
+    scenarios = {
+        "stock PrairieFire": stock,
+        "SCSI disks (50 MB/s)": dataclasses.replace(
+            stock, disk=dataclasses.replace(
+                stock.disk, read_bandwidth=50 * MB, write_bandwidth=55 * MB,
+                seek_time=5e-3)),
+        "4 GB RAM": dataclasses.replace(
+            stock, memory=dataclasses.replace(stock.memory, ram=4 * GB)),
+        "GigE instead of Myrinet": dataclasses.replace(
+            stock, network=dataclasses.replace(
+                stock.network, bandwidth=90 * MB, latency=150e-6)),
+    }
+
+    print("PVFS, 8 workers x 8 servers, 1/10-scale nt")
+    print(f"{'configuration':>26s} {'clean (s)':>10s} {'stressed (s)':>13s} "
+          f"{'slowdown':>9s}")
+    base_clean = None
+    for label, params in scenarios.items():
+        clean = measure(label, params, stressed=False)
+        hot = measure(label, params, stressed=True)
+        if base_clean is None:
+            base_clean = clean
+        print(f"{label:>26s} {clean:10.1f} {hot:13.1f} {hot / clean:8.1f}x")
+
+    print("\nReadings:")
+    print(" * Faster disks help the clean case a little (I/O is already a")
+    print("   small share) but shrink the hot-spot disaster substantially —")
+    print("   the stressor's write batches drain faster and seeks are")
+    print("   cheaper, so starved reads are admitted more often.")
+    print(" * More RAM does nothing for a single cold query (see the")
+    print("   warm-cache bench for where it pays).")
+    print(" * The slower network barely matters: 8 striped IDE disks can't")
+    print("   saturate even gigabit Ethernet for one client.")
+
+
+if __name__ == "__main__":
+    main()

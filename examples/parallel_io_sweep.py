@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Scenario: sizing the I/O subsystem for a BLAST cluster.
+
+A lab is building an 8-node Linux cluster for sequence search and asks:
+how many PVFS data servers are worth deploying, and does the answer
+change with the worker count?  This sweep reproduces the reasoning of
+the paper's Figure 6 and Section 4.3 (Amdahl analysis) at 1/10 scale.
+
+Run:  python examples/parallel_io_sweep.py
+"""
+
+from repro.core import ExperimentConfig, Variant, run_experiment
+from repro.core.metrics import amdahl_speedup_limit
+from repro.core.report import format_series
+
+SCALE = 1 / 10
+WORKERS = (1, 2, 4, 8)
+SERVERS = (1, 2, 4, 8, 16)
+
+
+def main():
+    series = {}
+    io_shares = {}
+    for w in WORKERS:
+        times = []
+        for s in SERVERS:
+            cfg = ExperimentConfig(variant=Variant.PVFS, n_workers=w,
+                                   n_servers=s).scaled(SCALE)
+            res = run_experiment(cfg)
+            times.append(round(res.execution_time, 1))
+            if s == max(SERVERS):
+                io_shares[w] = res.io_fraction
+        series[f"{w} workers"] = times
+
+    print(format_series(
+        "Execution time (s) vs PVFS data servers (1/10-scale nt)",
+        "servers", list(SERVERS), series))
+
+    print("\nWhy the plateau? Amdahl's Law on the I/O share:")
+    for w in WORKERS:
+        f = io_shares[w]
+        print(f"  {w} workers: I/O is {100 * f:4.1f}% of execution -> "
+              f"best possible overall speedup from faster I/O is "
+              f"{amdahl_speedup_limit(f):.2f}x")
+    print("\nConclusion (matches the paper): ~4 servers capture nearly all")
+    print("the benefit; beyond that the search computation dominates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""PSI-BLAST: finding remote homologs a plain blastp can barely see.
+
+A protein family shares a conserved motif skeleton; one "twilight zone"
+relative keeps only the motif columns.  Plain blastp ranks it weakly —
+after one PSI-BLAST iteration the family profile lights it up.
+
+Run:  python examples/protein_families.py
+"""
+
+import numpy as np
+
+from repro.blast import SequenceDB
+from repro.blast.psiblast import psiblast
+
+RNG = np.random.default_rng(2003)
+AAs = "ARNDCQEGHILKMFPSTWYV"
+
+
+def rand_prot(n):
+    return "".join(RNG.choice(list(AAs), n))
+
+
+def main():
+    L = 220
+    ancestor = rand_prot(L)
+    conserved = RNG.random(L) < 0.4   # the motif skeleton
+
+    def member(keep_variable):
+        out = []
+        for i, aa in enumerate(ancestor):
+            if conserved[i] or RNG.random() < keep_variable:
+                out.append(aa)
+            else:
+                out.append(RNG.choice([a for a in AAs if a != aa]))
+        return "".join(out)
+
+    db = SequenceDB("aa", name="family")
+    for i in range(7):
+        db.add(f"member{i} close family member", member(0.5))
+    db.add("twilight remote homolog (motif only)", member(0.03))
+    for i in range(40):
+        db.add(f"decoy{i} unrelated protein", rand_prot(L))
+
+    result = psiblast(ancestor, db, iterations=4, inclusion_evalue=1e-3)
+
+    print(f"{'iteration':>10s} {'hits':>6s} {'twilight-zone E-value':>24s}")
+    for i, res in enumerate(result.iterations, 1):
+        tw = [h for h in res.hits if h.description.startswith("twilight")]
+        e = f"{tw[0].best_evalue:.2e}" if tw else "not found"
+        print(f"{i:>10d} {len(res.hits):>6d} {e:>24s}")
+    print(f"\nconverged: {result.converged} "
+          f"(profile built from {result.pssm.n_sequences} sequences)")
+    print("\nThe E-value of the remote homolog improves by tens of orders")
+    print("of magnitude once the position-specific profile replaces the")
+    print("generic BLOSUM62 matrix (Altschul et al. 1997, the paper's")
+    print("reference [9]).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+Uses the programmatic API (`repro.core.figures`); pass a scale factor
+to trade fidelity for time (1.0 = the paper's full 2.7 GB nt, a couple
+of minutes of wall time; the default 0.1 takes seconds).
+
+Run:  python examples/reproduce_paper.py [scale]
+"""
+
+import sys
+import time
+
+from repro.core.figures import FIGURES
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    print(f"Regenerating all artefacts at scale {scale:g} "
+          f"({2.7 * scale:.2f} GB nt model)\n")
+    for fig_id, fn in FIGURES.items():
+        t0 = time.time()
+        result = fn(scale=scale)
+        print(result.render())
+        print(f"[{fig_id} regenerated in {time.time() - t0:.1f}s wall]\n")
+    print("Full-scale runs with paper-vs-measured assertions live in")
+    print("benchmarks/ (pytest benchmarks/ --benchmark-only).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Domain scenario: the five BLAST programs on a small genome analysis.
+
+A synthetic "genome" contains a protein-coding gene on its minus
+strand.  We locate it with each of the five classic programs
+(Section 2.1 of the paper), demonstrating nucleotide, protein, and
+translated searches through one API.
+
+Run:  python examples/sequence_analysis.py
+"""
+
+import numpy as np
+
+from repro.blast import (
+    SequenceDB,
+    blastn,
+    blastp,
+    blastx,
+    tblastn,
+    tblastx,
+    encode_dna,
+    reverse_complement,
+)
+from repro.blast.alphabet import decode_dna
+
+RNG = np.random.default_rng(2003)
+
+# A codon per amino acid (simplified reverse translation).
+CODON = {aa: c for aa, c in zip(
+    "KNTRSIMQHPLEDAGV*YCWF",
+    ["AAA", "AAC", "ACA", "AGA", "AGC", "ATA", "ATG", "CAA", "CAC", "CCA",
+     "CTA", "GAA", "GAC", "GCA", "GGA", "GTA", "TAA", "TAC", "TGC", "TGG",
+     "TTC"])}
+
+
+def random_dna(n):
+    return "".join(RNG.choice(list("ACGT"), n))
+
+
+def random_protein(n):
+    return "".join(RNG.choice(list("ARNDCQEGHILKMFPSTWYV"), n))
+
+
+def main():
+    # ----------------------------------------------------------- setup
+    protein = "M" + random_protein(180)
+    gene = "".join(CODON[a] for a in protein) + "TAA"
+    gene_rc = decode_dna(reverse_complement(encode_dna(gene)))
+    genome = random_dna(2500) + gene_rc + random_dna(1800)
+
+    nt_db = SequenceDB("nt", name="genome")
+    nt_db.add("chr1 synthetic chromosome with hidden gene", genome)
+    for i in range(3):
+        nt_db.add(f"chr{i + 2} background", random_dna(3000))
+
+    aa_db = SequenceDB("aa", name="proteins")
+    aa_db.add("prot1 the known protein family member", protein)
+    for i in range(3):
+        aa_db.add(f"decoy{i} unrelated protein", random_protein(180))
+
+    def show(tag, results):
+        best = results.best()
+        if best is None:
+            print(f"{tag:8s}: no hits")
+            return
+        hit = results.hits[0]
+        print(f"{tag:8s}: {hit.description[:44]:46s} "
+              f"E={best.evalue:9.2e} identity={100 * best.identity:5.1f}% "
+              f"frame/strand={best.strand:+d}")
+
+    # 1. blastn: nucleotide fragment of the gene vs the genome database.
+    show("blastn", blastn(gene[120:420], nt_db))
+
+    # 2. blastp: the protein vs the protein database.
+    show("blastp", blastp(protein[20:120], aa_db))
+
+    # 3. blastx: a genomic (minus-strand!) region vs the protein database
+    #    — finds the protein via six-frame translation of the query.
+    region = genome[2500:2500 + len(gene_rc)]
+    show("blastx", blastx(region, aa_db))
+
+    # 4. tblastn: the protein vs the genome — finds the gene's location
+    #    even though the database is raw DNA.
+    show("tblastn", tblastn(protein[10:110], nt_db))
+
+    # 5. tblastx: translated vs translated (most sensitive, most costly).
+    show("tblastx", tblastx(gene[60:360], nt_db))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim so ``pip install -e .`` works offline (no `wheel` package is
+available in this environment, so the legacy setup.py-develop editable
+path is used instead of PEP 517)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""repro — reproduction of *A Case Study of Parallel I/O for Biological
+Sequence Search on Linux Clusters* (Zhu, Jiang, Qin, Swanson; IEEE
+CLUSTER 2003).
+
+The package provides:
+
+* :mod:`repro.blast` — a real BLAST-family sequence-search engine
+  (blastn/blastp/blastx/tblastn/tblastx) usable as a plain library.
+* :mod:`repro.sim`, :mod:`repro.cluster`, :mod:`repro.fs` — a calibrated
+  discrete-event simulation of the paper's Linux cluster, PVFS, and
+  CEFT-PVFS parallel file systems.
+* :mod:`repro.parallel` — the mpiBLAST-style master/worker parallel
+  BLAST with the paper's three I/O variants (local-copy, over-PVFS,
+  over-CEFT-PVFS).
+* :mod:`repro.core` — the experiment layer that regenerates every table
+  and figure of the paper's evaluation section.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "blast",
+    "cluster",
+    "core",
+    "fs",
+    "parallel",
+    "sim",
+    "trace",
+    "workloads",
+]

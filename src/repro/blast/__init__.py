@@ -1,0 +1,110 @@
+"""A real BLAST-family sequence-search engine.
+
+This subpackage is *not* simulated: it parses FASTA, formats databases,
+builds word indexes, seeds, extends (ungapped X-drop and banded gapped),
+and scores alignments with Karlin–Altschul statistics — the same
+pipeline structure as NCBI BLAST (Altschul et al. 1990, 1997).  All five
+classic programs are provided: blastn, blastp, blastx, tblastn, tblastx.
+
+Quick example::
+
+    from repro.blast import SequenceDB, blastn
+
+    db = SequenceDB.from_fasta_text(\"\"\"
+    >seq1
+    ACGTACGTACGTACGTACGTACGTACGT
+    \"\"\")
+    results = blastn("ACGTACGTACGTACGT", db)
+    print(results.best().evalue)
+"""
+
+from repro.blast.alphabet import (
+    DNA,
+    PROTEIN,
+    decode_dna,
+    decode_protein,
+    encode_dna,
+    encode_protein,
+    reverse_complement,
+)
+from repro.blast.fasta import FastaRecord, parse_fasta, write_fasta
+from repro.blast.score import (
+    BLOSUM62,
+    NucleotideScore,
+    ProteinScore,
+    ScoringScheme,
+)
+from repro.blast.stats import KarlinAltschul, karlin_altschul_params
+from repro.blast.seqdb import SequenceDB, format_db, segment_db
+from repro.blast.search import Hit, HSP, SearchParams, SearchResults, search
+from repro.blast.programs import blastall, blastn, blastp, blastx, tblastn, tblastx
+from repro.blast.psiblast import PSSM, PsiBlastResult, build_pssm, psiblast
+from repro.blast.queryseg import search_segmented, segment_query
+from repro.blast.render import render_hsp, render_results
+from repro.blast.filter import dust_mask, seg_mask
+from repro.blast.greedy import GreedyExtension, greedy_extend, megablast
+from repro.blast.lazydb import LazySequenceDB
+from repro.blast.sw import SWAlignment, smith_waterman, smith_waterman_score
+from repro.blast.xdrop import xdrop_gapped_extend
+from repro.blast.translate import translate, six_frames
+from repro.blast.volumes import (load_volumes, search_volumes,
+                                 split_volumes, write_volumes)
+from repro.blast.xmlout import to_xml
+
+__all__ = [
+    "BLOSUM62",
+    "PSSM",
+    "PsiBlastResult",
+    "blastall",
+    "build_pssm",
+    "dust_mask",
+    "psiblast",
+    "render_hsp",
+    "render_results",
+    "GreedyExtension",
+    "LazySequenceDB",
+    "SWAlignment",
+    "greedy_extend",
+    "megablast",
+    "load_volumes",
+    "search_segmented",
+    "search_volumes",
+    "seg_mask",
+    "segment_query",
+    "smith_waterman",
+    "smith_waterman_score",
+    "split_volumes",
+    "to_xml",
+    "xdrop_gapped_extend",
+    "write_volumes",
+    "DNA",
+    "FastaRecord",
+    "HSP",
+    "Hit",
+    "KarlinAltschul",
+    "NucleotideScore",
+    "PROTEIN",
+    "ProteinScore",
+    "ScoringScheme",
+    "SearchParams",
+    "SearchResults",
+    "SequenceDB",
+    "blastn",
+    "blastp",
+    "blastx",
+    "decode_dna",
+    "decode_protein",
+    "encode_dna",
+    "encode_protein",
+    "format_db",
+    "karlin_altschul_params",
+    "parse_fasta",
+    "reverse_complement",
+    "search",
+    "segment_db",
+    "six_frames",
+    "tblastn",
+    "tblastx",
+    "translate",
+    "write_fasta",
+]

@@ -1,0 +1,89 @@
+"""Ungapped X-drop extension along a diagonal.
+
+From a seed word the alignment is extended left and right; extension in
+a direction stops when the running score falls more than X below the
+best score seen in that direction (Altschul et al. 1990).  Both
+directions are fully vectorised: the per-position substitution scores
+along the diagonal are cumulative-summed and the X-drop cut-off is found
+with a running maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.blast.score import ScoringScheme
+
+
+@dataclass
+class UngappedHSP:
+    """An ungapped high-scoring segment pair."""
+
+    q_start: int
+    s_start: int
+    length: int
+    score: int
+
+    @property
+    def q_end(self) -> int:
+        """Exclusive query end."""
+        return self.q_start + self.length
+
+    @property
+    def s_end(self) -> int:
+        return self.s_start + self.length
+
+
+def _best_prefix(scores: np.ndarray, xdrop: int) -> Tuple[int, int]:
+    """Given per-position scores walking away from an anchor, return
+    (number of positions taken, their total score) under X-drop."""
+    if len(scores) == 0:
+        return 0, 0
+    cum = np.cumsum(scores)
+    runmax = np.maximum.accumulate(np.maximum(cum, 0))
+    dropped = runmax - cum > xdrop
+    if dropped.any():
+        stop = int(np.argmax(dropped))  # first True
+    else:
+        stop = len(scores)
+    if stop == 0:
+        return 0, 0
+    best = int(np.argmax(cum[:stop]))
+    if cum[best] <= 0:
+        return 0, 0
+    return best + 1, int(cum[best])
+
+
+def ungapped_extend(query: np.ndarray, subject: np.ndarray,
+                    qpos: int, spos: int, scheme: ScoringScheme,
+                    xdrop: int = 20, word_size: int = 0) -> UngappedHSP:
+    """Extend a seed at (qpos, spos) in both directions.
+
+    ``word_size`` only anchors the naming: extension runs from the seed
+    *position* outward in both directions, so the seed word itself is
+    covered by the right extension.
+    """
+    # Right extension: positions qpos.., spos.. (inclusive of the seed).
+    n_right = min(len(query) - qpos, len(subject) - spos)
+    right_scores = scheme.pair_scores(query[qpos:qpos + n_right],
+                                      subject[spos:spos + n_right])
+    right_len, right_score = _best_prefix(right_scores, xdrop)
+
+    # Left extension: positions qpos-1.., spos-1.. moving backwards.
+    n_left = min(qpos, spos)
+    if n_left:
+        left_scores = scheme.pair_scores(query[qpos - n_left:qpos][::-1],
+                                         subject[spos - n_left:spos][::-1])
+        left_len, left_score = _best_prefix(left_scores, xdrop)
+    else:
+        left_len, left_score = 0, 0
+
+    return UngappedHSP(
+        q_start=qpos - left_len,
+        s_start=spos - left_len,
+        length=left_len + right_len,
+        score=left_score + right_score,
+    )

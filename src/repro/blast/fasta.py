@@ -1,0 +1,78 @@
+"""Minimal, strict FASTA I/O."""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, TextIO, Union
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA entry."""
+
+    #: Full description line (without the leading ``>``).
+    description: str
+    #: The sequence, uppercased, whitespace stripped.
+    sequence: str
+
+    @property
+    def id(self) -> str:
+        """First whitespace-delimited token of the description."""
+        return self.description.split()[0] if self.description else ""
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+def parse_fasta(source: Union[str, TextIO]) -> List[FastaRecord]:
+    """Parse FASTA text (a string or a file-like object).
+
+    Raises ``ValueError`` on malformed input (data before the first
+    header, empty sequences).
+    """
+    if isinstance(source, str):
+        source = io.StringIO(source)
+    records: List[FastaRecord] = []
+    desc: str | None = None
+    chunks: List[str] = []
+
+    def flush():
+        if desc is None:
+            return
+        seq = "".join(chunks)
+        if not seq:
+            raise ValueError(f"empty sequence for {desc!r}")
+        records.append(FastaRecord(desc, seq))
+
+    for lineno, line in enumerate(source, 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            flush()
+            desc = line[1:].strip()
+            chunks = []
+        else:
+            if desc is None:
+                raise ValueError(f"line {lineno}: sequence data before header")
+            chunks.append(line.upper().replace(" ", ""))
+    flush()
+    return records
+
+
+def write_fasta(records: Iterable[FastaRecord], width: int = 70) -> str:
+    """Render records as FASTA text."""
+    out: List[str] = []
+    for rec in records:
+        out.append(f">{rec.description}")
+        seq = rec.sequence
+        for i in range(0, len(seq), width):
+            out.append(seq[i:i + width])
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def iter_fasta(source: Union[str, TextIO]) -> Iterator[FastaRecord]:
+    """Iterator form of :func:`parse_fasta` (materialises internally —
+    provided for API symmetry)."""
+    return iter(parse_fasta(source))

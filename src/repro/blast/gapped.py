@@ -1,0 +1,188 @@
+"""Banded gapped alignment.
+
+Promising ungapped HSPs are refined with a banded affine-gap local
+alignment (Smith–Waterman restricted to a diagonal band around the
+HSP's diagonal — the moral equivalent of Gapped BLAST's X-dropoff
+gapped extension).  The DP is vectorised across the band for each query
+row; exact affine traceback recovers endpoints, alignment length, and
+identity count.
+
+DP formulation (Gotoh): for query index i (1..m) and subject index j::
+
+    E(i,j) = best score ending at (i,j) with a gap in the query
+             (last move consumes subject only, from (i, j-1))
+    F(i,j) = best score ending at (i,j) with a gap in the subject
+             (last move consumes query only, from (i-1, j))
+    H(i,j) = max(0, H(i-1,j-1) + s(q_i, s_j), E(i,j), F(i,j))
+
+Band slot b holds subject column j = i + diag - band + b, so cell
+(i-1, j-1) is slot b of the previous row, (i-1, j) is slot b+1 of the
+previous row, and (i, j-1) is slot b-1 of the same row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.blast.score import ScoringScheme
+
+NEG = -(10 ** 9)
+
+# Traceback codes for the H matrix.
+_STOP, _DIAG, _FROM_F, _FROM_E = 0, 1, 2, 3
+
+
+@dataclass
+class GappedAlignment:
+    """Result of a banded gapped extension."""
+
+    q_start: int
+    q_end: int     # exclusive
+    s_start: int
+    s_end: int     # exclusive
+    score: int
+    identities: int
+    align_len: int
+    #: Alignment operations, query-start to query-end: "M" aligned pair,
+    #: "D" query residue vs gap, "I" gap vs subject residue.
+    ops: str = ""
+
+    @property
+    def identity(self) -> float:
+        return self.identities / self.align_len if self.align_len else 0.0
+
+
+def banded_local_align(query: np.ndarray, subject: np.ndarray,
+                       diag: int, scheme: ScoringScheme,
+                       band: int = 24,
+                       identity_query: Optional[np.ndarray] = None
+                       ) -> GappedAlignment:
+    """Banded affine local alignment around diagonal ``diag = s - q``.
+
+    ``identity_query`` supplies the residue letters for identity
+    counting when *query* holds something else — PSI-BLAST passes
+    position indices as *query* (so ``scheme.matrix`` is a PSSM) and
+    the actual residues here.
+    """
+    id_query = query if identity_query is None else identity_query
+    m = len(query)
+    n = len(subject)
+    if m == 0 or n == 0:
+        return GappedAlignment(0, 0, 0, 0, 0, 0, 0)
+    w = 2 * band + 1
+    go = scheme.gap_open
+    ge = scheme.gap_extend
+
+    H_prev = np.zeros(w, dtype=np.int64)
+    F_prev = np.full(w, NEG, dtype=np.int64)
+
+    ptrH = np.zeros((m + 1, w), dtype=np.int8)
+    # ptrE / ptrF: 1 if the gap state was *extended* (came from the same
+    # gap matrix), 0 if freshly *opened* (came from H).
+    ptrE = np.zeros((m + 1, w), dtype=np.int8)
+    ptrF = np.zeros((m + 1, w), dtype=np.int8)
+
+    best = 0
+    best_pos = (0, 0)
+    subject_idx = subject.astype(np.intp)
+    band_arange = np.arange(w)
+
+    for i in range(1, m + 1):
+        j = i + diag - band + band_arange        # 1-based subject column
+        valid = (j >= 1) & (j <= n)
+        safe = np.clip(j - 1, 0, n - 1)
+        sub = scheme.matrix[query[i - 1], subject_idx[safe]].astype(np.int64)
+
+        diag_score = H_prev + sub
+
+        # F: gap in subject, from row i-1 slot b+1.
+        up_H = np.concatenate([H_prev[1:], [NEG]])
+        up_F = np.concatenate([F_prev[1:], [NEG]])
+        F_open = up_H - go
+        F_ext = up_F - ge
+        F = np.maximum(F_open, F_ext)
+        ptrF[i] = (F_ext > F_open).astype(np.int8)
+
+        # H before E (E needs H within the row, computed left to right).
+        H = np.maximum(diag_score, 0)
+        codes = np.where(diag_score >= H, _DIAG, _STOP).astype(np.int8)
+        take_f = F > H
+        H = np.maximum(H, F)
+        codes[take_f] = _FROM_F
+
+        E = np.full(w, NEG, dtype=np.int64)
+        pe = ptrE[i]
+        for b in range(1, w):
+            e_open = H[b - 1] - go
+            e_ext = E[b - 1] - ge
+            E[b] = e_open if e_open >= e_ext else e_ext
+            pe[b] = 0 if e_open >= e_ext else 1
+            if E[b] > H[b]:
+                H[b] = E[b]
+                codes[b] = _FROM_E
+
+        H[~valid] = 0
+        codes[~valid] = _STOP
+        E[~valid] = NEG
+        F[~valid] = NEG
+        ptrH[i] = codes
+
+        row_best = int(H.max())
+        if row_best > best:
+            best = row_best
+            best_pos = (i, int(np.argmax(H)))
+
+        H_prev = H
+        F_prev = F
+
+    if best <= 0:
+        return GappedAlignment(0, 0, 0, 0, 0, 0, 0)
+
+    # ------------------------------------------------------------ traceback
+    i, b = best_pos
+    j = i + diag - band + b
+    q_end, s_end = i, j
+    identities = 0
+    align_len = 0
+    ops_rev = []
+    state = "H"
+    while i > 0 and 0 <= b < w:
+        if state == "H":
+            code = ptrH[i, b]
+            if code == _STOP:
+                break
+            if code == _DIAG:
+                if id_query[i - 1] == subject[j - 1]:
+                    identities += 1
+                align_len += 1
+                ops_rev.append("M")
+                i -= 1
+                j -= 1
+                # same slot
+            elif code == _FROM_F:
+                state = "F"
+            else:
+                state = "E"
+        elif state == "F":
+            # consume one query residue (gap in subject)
+            extended = ptrF[i, b]
+            align_len += 1
+            ops_rev.append("D")
+            i -= 1
+            b += 1
+            state = "F" if extended else "H"
+        else:  # state == "E": consume one subject residue (gap in query)
+            extended = ptrE[i, b]
+            align_len += 1
+            ops_rev.append("I")
+            j -= 1
+            b -= 1
+            state = "E" if extended else "H"
+    return GappedAlignment(
+        q_start=i, q_end=q_end, s_start=j, s_end=s_end,
+        score=best, identities=identities, align_len=align_len,
+        ops="".join(reversed(ops_rev)),
+    )

@@ -1,0 +1,191 @@
+"""K-mer word machinery: rolling word codes and the query word index.
+
+BLAST builds a lookup table from the *query*'s words and scans each
+database sequence against it (Altschul et al. 1990).  For nucleotide
+search the table holds exact w-mers (default w=11); for protein search
+it holds the *neighbourhood* of each query word: every w-mer whose
+BLOSUM62 score against the query word is at least the threshold T
+(default w=3, T=11).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.blast.alphabet import DNA, PROTEIN
+from repro.blast.score import ScoringScheme
+
+
+def word_codes(encoded: np.ndarray, k: int, base: int) -> np.ndarray:
+    """Rolling base-``base`` codes of every k-mer of *encoded*.
+
+    Returns an empty array when the sequence is shorter than k.
+    """
+    enc = np.asarray(encoded, dtype=np.int64)
+    n = len(enc)
+    if n < k:
+        return np.empty(0, dtype=np.int64)
+    powers = base ** np.arange(k - 1, -1, -1, dtype=np.int64)
+    windows = np.lib.stride_tricks.sliding_window_view(enc, k)
+    return windows @ powers
+
+
+def dna_word_codes(encoded: np.ndarray, k: int = 11) -> np.ndarray:
+    return word_codes(encoded, k, 4)
+
+
+def protein_word_codes(encoded: np.ndarray, k: int = 3) -> np.ndarray:
+    return word_codes(encoded, k, len(PROTEIN))
+
+
+_NEIGHBOR_CACHE: dict = {}
+
+
+def _all_words(k: int, n_letters: int) -> np.ndarray:
+    """(n_letters**k, k) array of every possible word, cached."""
+    key = (k, n_letters)
+    cached = _NEIGHBOR_CACHE.get(key)
+    if cached is None:
+        grids = np.meshgrid(*[np.arange(n_letters)] * k, indexing="ij")
+        cached = np.stack([g.ravel() for g in grids], axis=1)
+        _NEIGHBOR_CACHE[key] = cached
+    return cached
+
+
+class WordIndex:
+    """Lookup table from word code to query positions."""
+
+    #: Largest code space for which a direct presence bitmap is kept
+    #: (4**11 = 4 Mi entries = 4 MiB of bools; DNA w<=11, protein w<=3).
+    _BITMAP_LIMIT = 1 << 26
+
+    def __init__(self, codes: np.ndarray, positions: np.ndarray, k: int, base: int):
+        """Build from parallel arrays: ``codes[i]`` occurs at query
+        position ``positions[i]``.  Prefer the classmethods."""
+        order = np.argsort(codes, kind="stable")
+        codes = codes[order]
+        positions = positions[order]
+        self.k = k
+        self.base = base
+        # Unique codes with offsets into the concatenated positions.
+        self.unique_codes, starts = np.unique(codes, return_index=True)
+        self.offsets = np.append(starts, len(codes)).astype(np.int64)
+        self.positions = positions.astype(np.int64)
+        # Presence bitmap: scanning a subject is then a cheap gather,
+        # with the (expensive) searchsorted run only on actual hits —
+        # the profiled hotspot of database scanning.
+        space = base ** k
+        if 0 < space <= self._BITMAP_LIMIT:
+            self._present = np.zeros(space, dtype=bool)
+            self._present[self.unique_codes] = True
+        else:
+            self._present = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_dna(cls, query: np.ndarray, k: int = 11,
+                skip: Optional[np.ndarray] = None) -> "WordIndex":
+        """Exact-word index of a DNA query.
+
+        *skip*, when given, is a boolean array over word positions
+        (True = do not index, e.g. low-complexity regions masked by
+        :func:`repro.blast.filter.dust_mask`)."""
+        codes = dna_word_codes(query, k)
+        positions = np.arange(len(codes))
+        if skip is not None and len(skip) == len(codes):
+            keep = ~np.asarray(skip, dtype=bool)
+            codes, positions = codes[keep], positions[keep]
+        return cls(codes, positions, k, 4)
+
+    @classmethod
+    def for_protein(cls, query: np.ndarray, scheme: ScoringScheme,
+                    k: int = 3, threshold: int = 11,
+                    skip: Optional[np.ndarray] = None) -> "WordIndex":
+        """Neighbourhood index of a protein query.
+
+        Every word scoring >= *threshold* against some query word is
+        entered at that query position.
+
+        The alphabet size comes from the matrix *columns* (the subject
+        axis) so rectangular position-specific matrices (PSI-BLAST
+        PSSMs, rows = query positions) work unchanged.
+        """
+        n_letters = scheme.matrix.shape[1]
+        m = len(query) - k + 1
+        if m <= 0:
+            return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+                       k, n_letters)
+        words = _all_words(k, n_letters)                   # (W, k)
+        powers = n_letters ** np.arange(k - 1, -1, -1, dtype=np.int64)
+        all_codes = words @ powers                         # (W,)
+        codes_out = []
+        pos_out = []
+        for qpos in range(m):
+            if skip is not None and qpos < len(skip) and skip[qpos]:
+                continue
+            qword = query[qpos:qpos + k]
+            # score of every candidate word against this query word
+            scores = np.zeros(len(words), dtype=np.int64)
+            for j in range(k):
+                scores += scheme.matrix[qword[j], words[:, j]]
+            hits = all_codes[scores >= threshold]
+            codes_out.append(hits)
+            pos_out.append(np.full(len(hits), qpos, dtype=np.int64))
+        codes = np.concatenate(codes_out) if codes_out else np.empty(0, np.int64)
+        positions = np.concatenate(pos_out) if pos_out else np.empty(0, np.int64)
+        return cls(codes, positions, k, n_letters)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_words(self) -> int:
+        return len(self.positions)
+
+    def __contains__(self, code: int) -> bool:
+        i = np.searchsorted(self.unique_codes, code)
+        return i < len(self.unique_codes) and self.unique_codes[i] == code
+
+    def query_positions(self, code: int) -> np.ndarray:
+        i = np.searchsorted(self.unique_codes, code)
+        if i >= len(self.unique_codes) or self.unique_codes[i] != code:
+            return np.empty(0, dtype=np.int64)
+        return self.positions[self.offsets[i]:self.offsets[i + 1]]
+
+    # ------------------------------------------------------------------
+    def scan(self, subject_codes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Find all word hits in a subject.
+
+        Returns (subject_positions, query_positions), one entry per
+        (subject word, matching query word) pair.
+        """
+        if len(subject_codes) == 0 or len(self.unique_codes) == 0:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        if self._present is not None:
+            spos = np.nonzero(self._present[subject_codes])[0]
+            if len(spos) == 0:
+                return (np.empty(0, dtype=np.int64),
+                        np.empty(0, dtype=np.int64))
+            idx_clipped = np.searchsorted(self.unique_codes,
+                                          subject_codes[spos])
+        else:
+            idx = np.searchsorted(self.unique_codes, subject_codes)
+            idx_clipped = np.minimum(idx, len(self.unique_codes) - 1)
+            valid = self.unique_codes[idx_clipped] == subject_codes
+            spos = np.nonzero(valid)[0]
+            idx_clipped = idx_clipped[spos]
+        if len(spos) == 0:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        uidx = idx_clipped
+        starts = self.offsets[uidx]
+        ends = self.offsets[uidx + 1]
+        counts = ends - starts
+        total = int(counts.sum())
+        # Expand ranges [starts_i, ends_i) into one flat index vector.
+        rep_starts = np.repeat(starts, counts)
+        within = np.arange(total) - np.repeat(
+            np.concatenate([[0], np.cumsum(counts)[:-1]]), counts)
+        flat = rep_starts + within
+        qpos = self.positions[flat]
+        spos_expanded = np.repeat(spos, counts)
+        return (spos_expanded, qpos)

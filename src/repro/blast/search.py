@@ -1,0 +1,367 @@
+"""The BLAST search driver.
+
+Pipeline per database sequence (Altschul et al. 1990/1997):
+
+1. scan the subject's word codes against the query word index;
+2. pick seeds (one-hit for nucleotide, two-hit for protein);
+3. ungapped X-drop extension of each seed, deduplicated per diagonal;
+4. banded gapped extension of HSPs above the gapped trigger score;
+5. Karlin–Altschul E-values; keep hits under the E-value cutoff.
+
+Results merge across database fragments by alignment score, which is
+exactly what the mpiBLAST master does with worker results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.blast.alphabet import DNA, reverse_complement
+from repro.blast.extend import UngappedHSP, ungapped_extend
+from repro.blast.gapped import GappedAlignment, banded_local_align
+from repro.blast.kmer import WordIndex, dna_word_codes, protein_word_codes
+from repro.blast.score import NucleotideScore, ProteinScore, ScoringScheme
+from repro.blast.seed import one_hit_seeds, two_hit_seeds
+from repro.blast.seqdb import AA, NT, SequenceDB
+from repro.blast.stats import (KarlinAltschul, effective_search_space,
+                               karlin_altschul_params)
+
+
+@dataclass(frozen=True)
+class SearchParams:
+    """Tunable knobs of the search pipeline."""
+
+    #: Word size (11 for blastn, 3 for blastp).
+    word_size: int = 11
+    #: Neighbourhood threshold T for protein words.
+    neighbor_threshold: int = 11
+    #: X-drop for ungapped extension.
+    xdrop_ungapped: int = 20
+    #: Ungapped score needed to attempt gapped extension.
+    gapped_trigger: int = 22
+    #: Diagonal band half-width for gapped extension.
+    band: int = 24
+    #: Report cutoff.
+    evalue_cutoff: float = 10.0
+    #: Two-hit window A (protein only; 0 disables two-hit seeding).
+    two_hit_window: int = 40
+    #: Keep at most this many HSPs per subject sequence.
+    max_hsps: int = 10
+    #: Do gapped refinement at all (BLAST 1.x behaviour when False).
+    gapped: bool = True
+    #: Mask low-complexity query regions before seeding (DUST / SEG).
+    filter_low_complexity: bool = False
+    #: Apply NCBI's length adjustment (edge-effect correction) to the
+    #: E-value search space.
+    effective_lengths: bool = False
+    #: Gapped refinement algorithm: "banded" (fixed diagonal band) or
+    #: "xdrop" (NCBI's adaptive-region extension; finds indels larger
+    #: than the band at somewhat higher cost).
+    gapped_method: str = "banded"
+
+
+@dataclass
+class HSP:
+    """One reported high-scoring pair."""
+
+    q_start: int
+    q_end: int
+    s_start: int
+    s_end: int
+    score: int
+    bit_score: float
+    evalue: float
+    identities: int
+    align_len: int
+    #: +1 / -1 (nucleotide minus-strand hits), or frame for translated.
+    strand: int = 1
+    #: Alignment operations ("M" pair, "D" query-vs-gap, "I" gap-vs-
+    #: subject); empty when not tracked.
+    ops: str = ""
+
+    @property
+    def identity(self) -> float:
+        return self.identities / self.align_len if self.align_len else 0.0
+
+
+@dataclass
+class Hit:
+    """All HSPs against one database sequence."""
+
+    subject_id: int
+    description: str
+    subject_len: int
+    hsps: List[HSP] = field(default_factory=list)
+    #: Which fragment the subject came from (for merged results).
+    fragment_id: Optional[int] = None
+
+    @property
+    def best_score(self) -> int:
+        return max((h.score for h in self.hsps), default=0)
+
+    @property
+    def best_evalue(self) -> float:
+        return min((h.evalue for h in self.hsps), default=float("inf"))
+
+
+@dataclass
+class SearchResults:
+    """Hits for one query against one database (or fragment)."""
+
+    query_id: str
+    query_len: int
+    db_residues: int
+    db_sequences: int
+    hits: List[Hit] = field(default_factory=list)
+
+    def sort(self) -> None:
+        """Order hits best-first (by E-value, then score)."""
+        for hit in self.hits:
+            hit.hsps.sort(key=lambda h: (h.evalue, -h.score))
+        self.hits.sort(key=lambda h: (h.best_evalue, -h.best_score))
+
+    def best(self) -> Optional[HSP]:
+        self.sort()
+        return self.hits[0].hsps[0] if self.hits and self.hits[0].hsps else None
+
+    def merge(self, other: "SearchResults") -> "SearchResults":
+        """Combine results from another fragment of the same database —
+        the master's merge step in parallel BLAST."""
+        if other.query_id != self.query_id:
+            raise ValueError("cannot merge results for different queries")
+        merged = SearchResults(
+            query_id=self.query_id,
+            query_len=self.query_len,
+            db_residues=self.db_residues + other.db_residues,
+            db_sequences=self.db_sequences + other.db_sequences,
+            hits=self.hits + other.hits,
+        )
+        # E-values were computed against fragment sizes; rescale to the
+        # combined database size (E scales linearly in n).
+        for hit in merged.hits:
+            src = self if hit in self.hits else other
+            if src.db_residues > 0:
+                factor = merged.db_residues / src.db_residues
+                for h in hit.hsps:
+                    h.evalue *= factor
+        merged.sort()
+        return merged
+
+    def tabular(self, max_hits: int = 0) -> str:
+        """Tab-separated output (NCBI outfmt-6 column order):
+
+        query id, subject id, % identity, alignment length, mismatches,
+        gap opens, q. start, q. end, s. start, s. end, evalue, bit
+        score.  Coordinates are 1-based inclusive, like NCBI's.
+        """
+        self.sort()
+        rows = []
+        hits = self.hits if max_hits <= 0 else self.hits[:max_hits]
+        for hit in hits:
+            sid = (hit.description.split()[0] if hit.description
+                   else str(hit.subject_id))
+            for h in hit.hsps:
+                gap_opens = 0
+                prev = ""
+                for op in h.ops:
+                    if op in "DI" and op != prev:
+                        gap_opens += 1
+                    prev = op
+                gap_cols = h.ops.count("D") + h.ops.count("I")
+                mismatches = h.align_len - h.identities - gap_cols
+                rows.append("\t".join([
+                    self.query_id, sid,
+                    f"{100 * h.identity:.3f}", str(h.align_len),
+                    str(mismatches), str(gap_opens),
+                    str(h.q_start + 1), str(h.q_end),
+                    str(h.s_start + 1), str(h.s_end),
+                    f"{h.evalue:.2e}", f"{h.bit_score:.1f}",
+                ]))
+        return "\n".join(rows)
+
+    def report(self, max_hits: int = 25) -> str:
+        """Plain-text summary table."""
+        self.sort()
+        lines = [
+            f"Query: {self.query_id} ({self.query_len} letters)",
+            f"Database: {self.db_sequences} sequences, {self.db_residues} letters",
+            "",
+            f"{'Subject':<40s} {'bits':>7s} {'E':>10s} {'ident':>6s}",
+        ]
+        for hit in self.hits[:max_hits]:
+            h = hit.hsps[0]
+            desc = hit.description[:40]
+            lines.append(
+                f"{desc:<40s} {h.bit_score:7.1f} {h.evalue:10.2e} "
+                f"{100 * h.identity:5.1f}%")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def _hsps_for_strand(query: np.ndarray, subject: np.ndarray,
+                     index: WordIndex, scheme: ScoringScheme,
+                     params: SearchParams, is_protein: bool,
+                     ka: KarlinAltschul, m_eff: int, n_eff: int,
+                     strand: int,
+                     identity_query: Optional[np.ndarray] = None
+                     ) -> List[HSP]:
+    """Steps 1-4 for one query orientation against one subject."""
+    id_query = query if identity_query is None else identity_query
+    if is_protein:
+        codes = protein_word_codes(subject, params.word_size)
+    else:
+        codes = dna_word_codes(subject, params.word_size)
+    spos, qpos = index.scan(codes)
+    if len(spos) == 0:
+        return []
+    if is_protein and params.two_hit_window > 0:
+        seeds = two_hit_seeds(spos, qpos, params.word_size, params.two_hit_window)
+    else:
+        seeds = one_hit_seeds(spos, qpos)
+    if not seeds:
+        return []
+
+    # Ungapped extension with per-diagonal coverage dedup: skip a seed
+    # already inside a previous HSP on its diagonal.
+    covered: Dict[int, int] = {}
+    candidates: List[UngappedHSP] = []
+    for qp, sp in seeds:
+        dg = sp - qp
+        if covered.get(dg, -1) >= sp:
+            continue
+        hsp = ungapped_extend(query, subject, qp, sp, scheme,
+                              xdrop=params.xdrop_ungapped)
+        covered[dg] = hsp.s_end
+        if hsp.score > 0:
+            candidates.append(hsp)
+    if not candidates:
+        return []
+    candidates.sort(key=lambda h: -h.score)
+    candidates = candidates[:params.max_hsps]
+
+    out: List[HSP] = []
+    seen_spans: List[Tuple[int, int]] = []
+    for cand in candidates:
+        if params.gapped and cand.score >= params.gapped_trigger:
+            mid_q = cand.q_start + cand.length // 2
+            mid_s = cand.s_start + cand.length // 2
+            if params.gapped_method == "xdrop":
+                from repro.blast.xdrop import xdrop_gapped_extend
+
+                aln = xdrop_gapped_extend(query, subject, mid_q, mid_s,
+                                          scheme, xdrop=2 * params.band)
+            else:
+                aln = banded_local_align(query, subject, mid_s - mid_q,
+                                         scheme, band=params.band,
+                                         identity_query=identity_query)
+            if aln.score <= 0:
+                continue
+            q0, q1, s0, s1 = aln.q_start, aln.q_end, aln.s_start, aln.s_end
+            score = aln.score
+            identities, align_len = aln.identities, aln.align_len
+            ops = aln.ops
+        else:
+            q0, q1 = cand.q_start, cand.q_end
+            s0, s1 = cand.s_start, cand.s_end
+            score = cand.score
+            matches = id_query[q0:q1] == subject[s0:s1]
+            identities = int(np.count_nonzero(matches))
+            align_len = cand.length
+            ops = "M" * align_len
+        # Drop duplicates: identical subject spans found via different seeds.
+        span = (s0, s1)
+        if span in seen_spans:
+            continue
+        seen_spans.append(span)
+        evalue = ka.evalue(score, m_eff, n_eff)
+        if evalue > params.evalue_cutoff:
+            continue
+        out.append(HSP(
+            q_start=q0, q_end=q1, s_start=s0, s_end=s1,
+            score=score, bit_score=ka.bit_score(score), evalue=evalue,
+            identities=identities, align_len=align_len, strand=strand,
+            ops=ops,
+        ))
+    return out
+
+
+def search(query: np.ndarray, db: SequenceDB, scheme: ScoringScheme,
+           params: Optional[SearchParams] = None,
+           query_id: str = "query",
+           ka: Optional[KarlinAltschul] = None,
+           both_strands: bool = True,
+           identity_query: Optional[np.ndarray] = None) -> SearchResults:
+    """Search an encoded *query* against every sequence of *db*.
+
+    For nucleotide databases the reverse-complement strand of the query
+    is searched too (``both_strands``).
+    """
+    params = params or SearchParams()
+    is_protein = db.seqtype == AA
+    if ka is None:
+        if is_protein:
+            key = (f"aa:blosum62:{scheme.gap_open}/{scheme.gap_extend}"
+                   if params.gapped else None)
+        else:
+            match = int(scheme.matrix[0, 0])
+            mis = int(scheme.matrix[0, 1])
+            key = (f"nt:{'+' if match > 0 else ''}{match}/{mis}:"
+                   f"{scheme.gap_open}/{scheme.gap_extend}"
+                   if params.gapped else None)
+        ka = karlin_altschul_params(scheme.matrix, gapped_key=key)
+
+    m = len(query)
+    n_total = db.total_residues
+    results = SearchResults(query_id=query_id, query_len=m,
+                            db_residues=n_total, db_sequences=len(db))
+    if m < params.word_size:
+        return results
+    m_eff, n_eff = m, n_total
+    if params.effective_lengths:
+        m_eff, n_eff = effective_search_space(ka, m, n_total, len(db))
+
+    def word_skip(oriented: np.ndarray):
+        if not params.filter_low_complexity:
+            return None
+        from repro.blast.filter import apply_query_filter
+
+        _, skip = apply_query_filter(oriented, is_protein, params.word_size)
+        return skip
+
+    if is_protein:
+        index = WordIndex.for_protein(query, scheme, params.word_size,
+                                      params.neighbor_threshold,
+                                      skip=word_skip(query))
+        orientations = [(query, index, 1)]
+    else:
+        index = WordIndex.for_dna(query, params.word_size,
+                                  skip=word_skip(query))
+        orientations = [(query, index, 1)]
+        if both_strands:
+            rc = reverse_complement(query)
+            orientations.append(
+                (rc, WordIndex.for_dna(rc, params.word_size,
+                                       skip=word_skip(rc)), -1))
+
+    for sid in range(len(db)):
+        subject = db.sequence(sid)
+        hsps: List[HSP] = []
+        for oriented_query, oriented_index, strand in orientations:
+            hsps.extend(_hsps_for_strand(
+                oriented_query, subject, oriented_index, scheme, params,
+                is_protein, ka, m_eff, n_eff, strand,
+                identity_query=identity_query))
+        if hsps:
+            hsps.sort(key=lambda h: (h.evalue, -h.score))
+            results.hits.append(Hit(
+                subject_id=sid,
+                description=db.description(sid),
+                subject_len=len(subject),
+                hsps=hsps[:params.max_hsps],
+                fragment_id=db.fragment_id,
+            ))
+    results.sort()
+    return results

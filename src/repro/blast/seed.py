@@ -1,0 +1,76 @@
+"""Seed selection from word hits.
+
+Word hits (subject position, query position) pairs are grouped by
+diagonal (``subject - query``).  Nucleotide search extends every hit
+(one-hit seeding, as in the 1990 BLAST); protein search uses the two-hit
+heuristic of Gapped BLAST (Altschul et al. 1997): extension triggers
+only when two non-overlapping hits lie on the same diagonal within a
+window of A residues.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+#: A seed: (query position, subject position).
+Seed = Tuple[int, int]
+
+
+def one_hit_seeds(spos: np.ndarray, qpos: np.ndarray) -> List[Seed]:
+    """Every word hit is a seed, deduplicated to the first hit per
+    run of consecutive hits on a diagonal (consecutive overlapping word
+    hits would all extend to the same HSP)."""
+    if len(spos) == 0:
+        return []
+    diag = spos - qpos
+    order = np.lexsort((spos, diag))
+    d = diag[order]
+    s = spos[order]
+    q = qpos[order]
+    # A hit starts a new run when the diagonal changes or the subject
+    # position jumps by more than 1.
+    new_run = np.empty(len(d), dtype=bool)
+    new_run[0] = True
+    new_run[1:] = (d[1:] != d[:-1]) | (s[1:] != s[:-1] + 1)
+    idx = np.nonzero(new_run)[0]
+    return [(int(q[i]), int(s[i])) for i in idx]
+
+
+def two_hit_seeds(spos: np.ndarray, qpos: np.ndarray, word_size: int,
+                  window: int = 40) -> List[Seed]:
+    """Two-hit seeding: the *second* hit of a close pair on the same
+    diagonal becomes the seed (extension then runs through the first)."""
+    if len(spos) < 2:
+        return []
+    diag = spos - qpos
+    order = np.lexsort((spos, diag))
+    d = diag[order]
+    s = spos[order]
+    q = qpos[order]
+    # NCBI-style stored-hit scan per diagonal: an overlapping follow-up
+    # hit (distance < word_size) leaves the stored hit in place; a hit at
+    # distance in [word_size, window] triggers a seed; one farther than
+    # the window replaces the stored hit.
+    seeds: List[Seed] = []
+    cur_diag = None
+    stored = -(10 ** 12)     # stored hit position on current diagonal
+    fired_until = -(10 ** 12)  # suppress re-triggering inside one region
+    for i in range(len(d)):
+        if d[i] != cur_diag:
+            cur_diag = d[i]
+            stored = s[i]
+            fired_until = -(10 ** 12)
+            continue
+        dist = s[i] - stored
+        if dist < word_size:
+            continue                     # overlaps the stored hit
+        if dist <= window:
+            if s[i] >= fired_until:
+                seeds.append((int(q[i]), int(s[i])))
+                fired_until = s[i] + window
+            stored = s[i]
+        else:
+            stored = s[i]                # too far: start a new pair
+    return seeds

@@ -1,0 +1,120 @@
+"""Multi-volume databases and alias files.
+
+NCBI ships large databases (nt included) as numbered *volumes*
+(``nt.00``, ``nt.01``, ...) capped at a maximum file size, tied
+together by an alias file (``nt.nal``) listing the member volumes.
+Search tools open the alias and iterate the volumes transparently.
+
+This module reproduces that mechanism on top of
+:class:`repro.blast.seqdb.SequenceDB`: :func:`split_volumes` cuts a
+database into size-capped volumes preserving sequence order,
+:func:`write_volumes` persists them plus the alias file, and
+:func:`search_volumes` runs any program over all volumes and merges —
+the same merge the parallel master uses.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.blast.search import SearchParams, SearchResults
+from repro.blast.seqdb import NT, SequenceDB
+
+#: Default volume cap (NCBI used ~1 GB volumes in the era).
+DEFAULT_VOLUME_BYTES = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class AliasFile:
+    """Parsed ``.nal``/``.pal`` alias file."""
+
+    title: str
+    volumes: List[str]
+
+    def render(self) -> str:
+        return (f"TITLE {self.title}\n"
+                f"DBLIST {' '.join(self.volumes)}\n")
+
+    @classmethod
+    def parse(cls, text: str) -> "AliasFile":
+        title = ""
+        volumes: List[str] = []
+        for line in text.splitlines():
+            line = line.strip()
+            if line.startswith("TITLE"):
+                title = line[5:].strip()
+            elif line.startswith("DBLIST"):
+                volumes = line[6:].split()
+        if not volumes:
+            raise ValueError("alias file lists no volumes")
+        return cls(title, volumes)
+
+
+def _sequence_disk_bytes(db: SequenceDB, i: int) -> int:
+    """On-disk bytes one sequence contributes (packed data + header)."""
+    seq_len = len(db.sequence(i))
+    data = (seq_len + 3) // 4 if db.seqtype == NT else seq_len
+    return data + len(db.description(i).encode()) + 24  # + index entry
+
+
+def split_volumes(db: SequenceDB,
+                  max_bytes: int = DEFAULT_VOLUME_BYTES) -> List[SequenceDB]:
+    """Cut *db* into volumes of at most ``max_bytes`` on-disk bytes,
+    preserving sequence order (unlike fragment balancing, volumes are a
+    storage artifact and keep the original layout)."""
+    if max_bytes < 1:
+        raise ValueError("max_bytes must be >= 1")
+    volumes: List[SequenceDB] = []
+    current: Optional[SequenceDB] = None
+    current_bytes = 0
+    for i in range(len(db)):
+        nbytes = _sequence_disk_bytes(db, i)
+        if current is None or (current_bytes + nbytes > max_bytes
+                               and len(current) > 0):
+            current = SequenceDB(db.seqtype, f"{db.name}.{len(volumes):02d}")
+            volumes.append(current)
+            current_bytes = 0
+        current.add(db.description(i), db.sequence(i))
+        current_bytes += nbytes
+    return volumes or [SequenceDB(db.seqtype, f"{db.name}.00")]
+
+
+def write_volumes(db: SequenceDB, directory: str,
+                  max_bytes: int = DEFAULT_VOLUME_BYTES) -> str:
+    """Write volumes plus the alias file; returns the alias path."""
+    volumes = split_volumes(db, max_bytes)
+    for vol in volumes:
+        vol.write(directory)
+    ext = "nal" if db.seqtype == NT else "pal"
+    alias = AliasFile(title=db.name, volumes=[v.name for v in volumes])
+    path = os.path.join(directory, f"{db.name}.{ext}")
+    with open(path, "w") as f:
+        f.write(alias.render())
+    return path
+
+
+def load_volumes(directory: str, name: str,
+                 seqtype: str = NT) -> List[SequenceDB]:
+    """Load every volume listed by the alias file."""
+    ext = "nal" if seqtype == NT else "pal"
+    with open(os.path.join(directory, f"{name}.{ext}")) as f:
+        alias = AliasFile.parse(f.read())
+    return [SequenceDB.load(directory, vol, seqtype)
+            for vol in alias.volumes]
+
+
+def search_volumes(program: Callable[..., SearchResults], query: str,
+                   volumes: List[SequenceDB],
+                   params: Optional[SearchParams] = None,
+                   query_id: str = "query") -> SearchResults:
+    """Run *program* over every volume and merge (E-values rescaled to
+    the combined database size)."""
+    if not volumes:
+        raise ValueError("no volumes to search")
+    merged: Optional[SearchResults] = None
+    for vol in volumes:
+        res = program(query, vol, params=params, query_id=query_id)
+        merged = res if merged is None else merged.merge(res)
+    return merged

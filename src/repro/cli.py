@@ -1,0 +1,255 @@
+"""Command-line interface.
+
+Mirrors the tools of the paper's era plus the experiment layer::
+
+    python -m repro.cli formatdb  -i seqs.fasta -d DIR -n nt [-p]
+    python -m repro.cli blastall  -p blastn -d DIR/nt -i query.fasta
+    python -m repro.cli segmentdb -d DIR/nt -o OUTDIR -n 8
+    python -m repro.cli experiment --variant ceft-pvfs --workers 8 \\
+        --servers 8 --stress 1 --scale 0.1
+    python -m repro.cli synthdb   -o DIR -n nt --residues 1000000
+
+``blastall`` dispatches the five programs through one interface, like
+NCBI's binary (paper Section 2.1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+
+def _load_db(dbpath: str, protein: bool):
+    from repro.blast.seqdb import SequenceDB
+
+    directory, name = os.path.split(dbpath)
+    return SequenceDB.load(directory or ".", name,
+                           seqtype="aa" if protein else "nt")
+
+
+def cmd_formatdb(args) -> int:
+    from repro.blast.seqdb import SequenceDB
+
+    with open(args.input) as f:
+        text = f.read()
+    db = SequenceDB.from_fasta_text(text, seqtype="aa" if args.protein else "nt",
+                                    name=args.name)
+    paths = db.write(args.directory)
+    print(f"formatted {len(db)} sequences ({db.total_residues} residues)")
+    for p in paths:
+        print(f"  {p}")
+    return 0
+
+
+def cmd_blastall(args) -> int:
+    from repro.blast.fasta import parse_fasta
+    from repro.blast.programs import blastall
+    from repro.blast.render import render_results
+    from repro.blast.search import SearchParams
+
+    protein_db = args.program in ("blastp", "blastx")
+    db = _load_db(args.database, protein_db)
+    with open(args.input) as f:
+        queries = parse_fasta(f.read())
+    params = None
+    if args.evalue is not None or args.filter:
+        params = SearchParams(
+            word_size=3 if args.program in ("blastp", "blastx", "tblastn",
+                                            "tblastx") else 11,
+            evalue_cutoff=args.evalue if args.evalue is not None else 10.0,
+            filter_low_complexity=args.filter)
+    for rec in queries:
+        results = blastall(args.program, rec.sequence, db, params=params,
+                           query_id=rec.id or "query")
+        if args.outfmt == "tabular":
+            print(results.tabular(max_hits=args.max_hits))
+        elif args.outfmt == "xml":
+            from repro.blast.xmlout import to_xml
+
+            print(to_xml(results, program=args.program,
+                         database=args.database))
+        elif args.alignments and args.program in ("blastn", "blastp"):
+            print(render_results(rec.sequence, db, results,
+                                 max_hits=args.max_hits))
+        else:
+            print(results.report(max_hits=args.max_hits))
+        print()
+    return 0
+
+
+def cmd_psiblast(args) -> int:
+    from repro.blast.fasta import parse_fasta
+    from repro.blast.psiblast import psiblast
+
+    db = _load_db(args.database, protein=True)
+    with open(args.input) as f:
+        queries = parse_fasta(f.read())
+    for rec in queries:
+        result = psiblast(rec.sequence, db, iterations=args.iterations,
+                          inclusion_evalue=args.inclusion_evalue,
+                          query_id=rec.id or "query")
+        for i, res in enumerate(result.iterations, 1):
+            print(f"--- iteration {i} ---")
+            print(res.report(max_hits=args.max_hits))
+        status = "converged" if result.converged else "not converged"
+        print(f"[{status} after {result.n_iterations} iteration(s)]")
+        print()
+    return 0
+
+
+def cmd_segmentdb(args) -> int:
+    from repro.blast.seqdb import segment_db
+
+    db = _load_db(args.database, args.protein)
+    frags = segment_db(db, args.n_fragments)
+    for frag in frags:
+        frag.write(args.output)
+        print(f"fragment {frag.fragment_id}: {len(frag)} sequences, "
+              f"{frag.total_residues} residues -> {args.output}/{frag.name}.*")
+    return 0
+
+
+def cmd_synthdb(args) -> int:
+    from repro.workloads.synthdb import synthetic_nt_db
+
+    db = synthetic_nt_db(args.residues, seed=args.seed, name=args.name)
+    db.write(args.output)
+    print(f"wrote {len(db)} synthetic sequences "
+          f"({db.total_residues} residues) to {args.output}/{args.name}.*")
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    from repro.core.figures import reproduce
+
+    result = reproduce(args.figure, scale=args.scale)
+    print(result.render())
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.core import (ExperimentConfig, Parallelization, Placement,
+                            Variant, run_experiment)
+    from repro.trace import analyze
+
+    cfg = ExperimentConfig(
+        variant=Variant(args.variant),
+        n_workers=args.workers,
+        n_servers=args.servers,
+        placement=Placement(args.placement),
+        n_stressed_disks=args.stress,
+        trace=args.trace,
+        parallelization=(Parallelization.QUERY_SEGMENTATION if args.queryseg
+                         else Parallelization.DATABASE_SEGMENTATION),
+        time_limit=1e7,
+    )
+    if args.scale != 1.0:
+        cfg = cfg.scaled(args.scale)
+    res = run_experiment(cfg)
+    print(f"variant        : {args.variant}")
+    print(f"workers/servers: {args.workers}/{args.servers}")
+    print(f"database       : {cfg.db.total_bytes / 1e9:.2f} GB "
+          f"(scale {args.scale:g})")
+    print(f"execution time : {res.execution_time:.1f} s")
+    if res.copy_time:
+        print(f"copy time      : {res.copy_time:.1f} s per worker "
+              f"(excluded, as in the paper)")
+    print(f"I/O share      : {100 * res.io_fraction:.1f} %")
+    if args.trace and res.tracer is not None:
+        print()
+        print(analyze(res.tracer).report())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("formatdb", help="format a FASTA file into a database")
+    p.add_argument("-i", "--input", required=True, help="FASTA file")
+    p.add_argument("-d", "--directory", required=True, help="output directory")
+    p.add_argument("-n", "--name", default="db", help="database name")
+    p.add_argument("-p", "--protein", action="store_true")
+    p.set_defaults(fn=cmd_formatdb)
+
+    p = sub.add_parser("blastall", help="run one of the five BLAST programs")
+    p.add_argument("-p", "--program", required=True,
+                   choices=["blastn", "blastp", "blastx", "tblastn", "tblastx"])
+    p.add_argument("-d", "--database", required=True,
+                   help="database path (directory/name)")
+    p.add_argument("-i", "--input", required=True, help="FASTA query file")
+    p.add_argument("-e", "--evalue", type=float, default=None)
+    p.add_argument("-F", "--filter", action="store_true",
+                   help="mask low-complexity query regions (DUST/SEG)")
+    p.add_argument("-a", "--alignments", action="store_true",
+                   help="print pairwise alignments")
+    p.add_argument("--max-hits", type=int, default=25)
+    p.add_argument("-m", "--outfmt", default="report",
+                   choices=["report", "tabular", "xml"],
+                   help="output format (tabular = NCBI outfmt 6, "
+                        "xml = BlastOutput XML)")
+    p.set_defaults(fn=cmd_blastall)
+
+    p = sub.add_parser("psiblast", help="position-specific iterated search")
+    p.add_argument("-d", "--database", required=True)
+    p.add_argument("-i", "--input", required=True, help="FASTA query file")
+    p.add_argument("-j", "--iterations", type=int, default=3)
+    p.add_argument("-h-incl", "--inclusion-evalue", type=float, default=1e-3)
+    p.add_argument("--max-hits", type=int, default=15)
+    p.set_defaults(fn=cmd_psiblast)
+
+    p = sub.add_parser("segmentdb",
+                       help="split a database into balanced fragments")
+    p.add_argument("-d", "--database", required=True)
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("-n", "--n-fragments", type=int, required=True)
+    p.add_argument("-p", "--protein", action="store_true")
+    p.set_defaults(fn=cmd_segmentdb)
+
+    p = sub.add_parser("synthdb", help="generate a synthetic nt-like database")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("-n", "--name", default="synth-nt")
+    p.add_argument("--residues", type=int, default=1_000_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_synthdb)
+
+    p = sub.add_parser("reproduce",
+                       help="regenerate one of the paper's tables/figures")
+    p.add_argument("--figure", required=True,
+                   help="T1, 4, 5, 6, 7 or 9")
+    p.add_argument("--scale", type=float, default=0.1,
+                   help="database scale (1.0 = the paper's 2.7 GB nt)")
+    p.set_defaults(fn=cmd_reproduce)
+
+    p = sub.add_parser("experiment",
+                       help="run one simulated cluster experiment")
+    p.add_argument("--variant", default="pvfs",
+                   choices=["original", "pvfs", "ceft-pvfs"])
+    p.add_argument("--workers", type=int, default=8)
+    p.add_argument("--servers", type=int, default=8)
+    p.add_argument("--placement", default="colocated",
+                   choices=["colocated", "dedicated"])
+    p.add_argument("--stress", type=int, default=0,
+                   help="number of stressed disks (Figure 8 program)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="database scale factor (1.0 = the 2.7 GB nt)")
+    p.add_argument("--trace", action="store_true",
+                   help="collect and summarise the I/O trace (Figure 4)")
+    p.add_argument("--queryseg", action="store_true",
+                   help="use query segmentation instead of database "
+                        "segmentation")
+    p.set_defaults(fn=cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Simulated cluster hardware: nodes, disks, CPUs, network, stressors.
+
+The default parameters model the PrairieFire cluster of the paper's
+Section 4.1: dual AMD Athlon MP nodes with 2 GB RAM, a 20 GB IDE disk
+(26 MB/s read / 32 MB/s write per Bonnie), and 2 Gb/s full-duplex
+Myrinet with ~112 MB/s effective TCP bandwidth per Netperf.
+"""
+
+from repro.cluster.params import (
+    CPUParams,
+    DiskParams,
+    MemoryParams,
+    NetworkParams,
+    NodeParams,
+    prairiefire_params,
+)
+from repro.cluster.cpu import CPU
+from repro.cluster.disk import Disk, DiskRequest
+from repro.cluster.memory import PageCache
+from repro.cluster.network import NIC, Network
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster
+from repro.cluster.stress import (cpu_stressor, disk_stressor,
+                                  memory_stressor, network_stressor)
+
+__all__ = [
+    "CPU",
+    "CPUParams",
+    "Cluster",
+    "Disk",
+    "DiskParams",
+    "DiskRequest",
+    "MemoryParams",
+    "NIC",
+    "Network",
+    "NetworkParams",
+    "Node",
+    "NodeParams",
+    "PageCache",
+    "cpu_stressor",
+    "disk_stressor",
+    "memory_stressor",
+    "network_stressor",
+    "prairiefire_params",
+]

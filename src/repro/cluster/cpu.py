@@ -1,0 +1,131 @@
+"""Processor-sharing CPU model.
+
+A node has ``cores`` processors shared by any number of tasks.  With
+``k`` active tasks each runs at rate ``min(1, cores / k)`` — the ideal
+egalitarian processor-sharing discipline, which is what a multitasking
+Linux scheduler approximates at this timescale.
+
+The implementation is event-driven: task remaining-work values are
+advanced lazily whenever the active set changes, and a single pending
+completion timer is kept for the earliest-finishing task.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from repro.sim import Event, Simulator, TimeWeightedMonitor, Timeout
+
+
+class _Task:
+    __slots__ = ("remaining", "done")
+
+    def __init__(self, sim: Simulator, work: float):
+        self.remaining = float(work)
+        self.done = Event(sim)
+
+
+class CPU:
+    """Shared processors of one node."""
+
+    def __init__(self, sim: Simulator, cores: int = 2, name: str = "cpu"):
+        if cores < 1:
+            raise ValueError("cores must be >= 1")
+        self.sim = sim
+        self.cores = cores
+        self.name = name
+        self._tasks: Dict[int, _Task] = {}
+        self._ids = itertools.count()
+        self._last_update = sim.now
+        self._timer: Optional[Event] = None
+        self.load = TimeWeightedMonitor(sim, name=f"{name}.load")
+        self.busy_cores = TimeWeightedMonitor(sim, name=f"{name}.busy")
+        self.total_work_done = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def active_tasks(self) -> int:
+        return len(self._tasks)
+
+    def rate(self) -> float:
+        """Per-task execution rate with the current active set."""
+        k = len(self._tasks)
+        return 0.0 if k == 0 else min(1.0, self.cores / k)
+
+    def utilization(self) -> float:
+        """Time-averaged fraction of cores busy since t=0."""
+        return self.busy_cores.time_average / self.cores
+
+    # ------------------------------------------------------------------
+    def consume(self, work: float) -> Event:
+        """Execute *work* seconds of CPU time; returns a completion event.
+
+        ``work`` is wall-clock seconds the task would take if it had a
+        whole core to itself.
+        """
+        if work < 0:
+            raise ValueError("work must be >= 0")
+        self._advance()
+        task = _Task(self.sim, work)
+        if work == 0:
+            task.done.succeed()
+            return task.done
+        tid = next(self._ids)
+        self._tasks[tid] = task
+        self._update_monitors()
+        self._reschedule()
+        return task.done
+
+    def run(self, work: float):
+        """Generator form of :meth:`consume` for ``yield from`` use."""
+        yield self.consume(work)
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        """Charge elapsed time against every active task."""
+        now = self.sim.now
+        dt = now - self._last_update
+        self._last_update = now
+        if dt <= 0 or not self._tasks:
+            return
+        progress = dt * self.rate()
+        self.total_work_done += progress * len(self._tasks)
+        finished = []
+        for tid, task in self._tasks.items():
+            task.remaining -= progress
+            if task.remaining <= 1e-12:
+                finished.append(tid)
+        for tid in finished:
+            task = self._tasks.pop(tid)
+            task.done.succeed()
+        if finished:
+            self._update_monitors()
+
+    def _update_monitors(self) -> None:
+        k = len(self._tasks)
+        self.load.set(k)
+        self.busy_cores.set(min(k, self.cores))
+
+    def _reschedule(self) -> None:
+        """(Re)arm the completion timer for the earliest finisher."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._tasks:
+            return
+        soonest = min(t.remaining for t in self._tasks.values())
+        delay = soonest / self.rate()
+        timer = Timeout(self.sim, delay)
+        timer.add_callback(self._on_timer)
+        self._timer = timer
+
+    def _on_timer(self, event: Event) -> None:
+        if event.cancelled:  # pragma: no cover - cancelled timers are skipped upstream
+            return
+        self._timer = None
+        self._advance()
+        self._reschedule()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<CPU {self.name!r} tasks={len(self._tasks)} cores={self.cores}>"

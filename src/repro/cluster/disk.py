@@ -1,0 +1,258 @@
+"""IDE disk model with an elevator-style scheduler.
+
+The model captures the three behaviours the paper's results depend on:
+
+1. **Sequential vs. random access** — a request contiguous with the
+   previously serviced request of the same stream pays no positioning
+   cost; anything else pays an average seek + rotational delay.
+2. **Bandwidth asymmetry** — 26 MB/s reads vs 32 MB/s writes (Bonnie,
+   Section 4.1 of the paper).
+3. **Write batching / read starvation** — the Linux 2.4 elevator
+   services bursts of writes before a queued read.  Under the paper's
+   Figure 8 stressor (a tight loop of synchronous 1 MB appends) this is
+   the mechanism that degrades interleaved reads by more than an order
+   of magnitude, and — because the penalty is paid per read *request* —
+   punishes small-granularity readers (PVFS 64 KB stripe units) harder
+   than large-granularity ones (128 KB mmap readahead).  That asymmetry
+   is why the paper measures 21× degradation for over-PVFS but "only"
+   10× for the original BLAST (Section 4.5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.sim import AnyOf, Event, Monitor, Simulator, TimeWeightedMonitor, Timeout
+from repro.cluster.params import DiskParams
+
+READ = "read"
+WRITE = "write"
+
+
+class DiskRequest:
+    """One block-level request."""
+
+    __slots__ = ("kind", "offset", "size", "stream", "done", "submitted")
+
+    def __init__(self, sim: Simulator, kind: str, offset: int, size: int, stream: str):
+        if kind not in (READ, WRITE):
+            raise ValueError(f"bad request kind {kind!r}")
+        if size <= 0:
+            raise ValueError("request size must be positive")
+        if offset < 0:
+            raise ValueError("offset must be >= 0")
+        self.kind = kind
+        self.offset = int(offset)
+        self.size = int(size)
+        self.stream = stream
+        self.done = Event(sim)
+        self.submitted = sim.now
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<DiskRequest {self.kind} off={self.offset} size={self.size} stream={self.stream!r}>"
+
+
+class Disk:
+    """A single simulated disk with its own scheduler process."""
+
+    def __init__(self, sim: Simulator, params: Optional[DiskParams] = None, name: str = "disk"):
+        self.sim = sim
+        self.params = params or DiskParams()
+        self.name = name
+        self._reads: Deque[DiskRequest] = deque()
+        self._writes: Deque[DiskRequest] = deque()
+        self._wakeup: Optional[Event] = None
+        self._write_arrival: Optional[Event] = None
+        self._last_pos: Optional[Tuple[str, str, int]] = None  # (kind, stream, end offset)
+        # Statistics -----------------------------------------------------
+        self.busy = TimeWeightedMonitor(sim, name=f"{name}.busy")
+        self.queue_len = TimeWeightedMonitor(sim, name=f"{name}.queue")
+        self.read_latency = Monitor(sim, name=f"{name}.read_latency")
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.reads_serviced = 0
+        self.writes_serviced = 0
+        self._util_checkpoint_time = sim.now
+        self._util_checkpoint_area = 0.0
+        self._last_write_time = float("-inf")
+        sim.process(self._scheduler(), name=f"{name}.sched")
+
+    # ------------------------------------------------------------------
+    # Submission API
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, offset: int, size: int, stream: str = "") -> Event:
+        """Queue a request; the returned event fires on completion."""
+        req = DiskRequest(self.sim, kind, offset, size, stream)
+        if kind == READ:
+            self._reads.append(req)
+        else:
+            self._writes.append(req)
+            if self._write_arrival is not None and not self._write_arrival.scheduled:
+                self._write_arrival.succeed()
+                self._write_arrival = None
+        self.queue_len.add(1)
+        if self._wakeup is not None and not self._wakeup.scheduled:
+            self._wakeup.succeed()
+            self._wakeup = None
+        return req.done
+
+    def read(self, offset: int, size: int, stream: str = "") -> Event:
+        return self.submit(READ, offset, size, stream)
+
+    def write(self, offset: int, size: int, stream: str = "") -> Event:
+        return self.submit(WRITE, offset, size, stream)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        return len(self._reads) + len(self._writes)
+
+    def service_time(self, kind: str, size: int, sequential: bool) -> float:
+        """Raw service time for a request (excludes queueing)."""
+        bw = self.params.read_bandwidth if kind == READ else self.params.write_bandwidth
+        t = self.params.request_overhead + size / bw
+        if not sequential:
+            t += self.params.seek_time
+        return t
+
+    def sample_utilization(self) -> float:
+        """Busy fraction since the previous call (used by the CEFT-PVFS
+        metadata server's periodic load collection)."""
+        # TimeWeightedMonitor integrates level over time; difference the
+        # integral between checkpoints.
+        self.busy._advance()
+        area = self.busy._area
+        now = self.sim.now
+        elapsed = now - self._util_checkpoint_time
+        util = 0.0 if elapsed <= 0 else (area - self._util_checkpoint_area) / elapsed
+        self._util_checkpoint_time = now
+        self._util_checkpoint_area = area
+        return util
+
+    # ------------------------------------------------------------------
+    # Scheduler
+    # ------------------------------------------------------------------
+    def _pop_contiguous_read(self) -> Optional[DiskRequest]:
+        """Pop the queued read (if any) that continues the stream just
+        serviced — the elevator's locality preference."""
+        last = self._last_pos
+        if last is None or last[0] != READ:
+            return None
+        for i, req in enumerate(self._reads):
+            if req.stream == last[1] and req.offset == last[2]:
+                del self._reads[i]
+                return req
+        return None
+
+    def _has_contiguous_read(self) -> bool:
+        last = self._last_pos
+        if last is None or last[0] != READ:
+            return False
+        return any(r.stream == last[1] and r.offset == last[2]
+                   for r in self._reads)
+
+    def _pick(self) -> Optional[DiskRequest]:
+        """Elevator policy.
+
+        Writes are preferred up to ``write_batch`` in a row while reads
+        wait (Linux 2.4 write preference — the read-starvation mechanism
+        of the paper's Section 4.5).  Among reads, a request contiguous
+        with the last serviced read is preferred up to ``read_batch`` in
+        a row, so concurrent sequential streams time-share the spindle
+        in bursts instead of seeking per request.
+        """
+        p = self.params
+        if self._writes and self._reads:
+            if self._writes_in_batch < p.write_batch:
+                self._writes_in_batch += 1
+                return self._writes.popleft()
+            self._writes_in_batch = 0
+            self._reads_in_batch = 0
+            return self._reads.popleft()
+        if self._writes:
+            self._writes_in_batch += 1
+            return self._writes.popleft()
+        if self._reads:
+            self._writes_in_batch = 0
+            if self._reads_in_batch < p.read_batch:
+                req = self._pop_contiguous_read()
+                if req is not None:
+                    self._reads_in_batch += 1
+                    return req
+            self._reads_in_batch = 0
+            return self._reads.popleft()
+        return None
+
+    def _scheduler(self):
+        self._writes_in_batch = 0
+        self._reads_in_batch = 0
+        p = self.params
+        may_anticipate_read = True
+        while True:
+            # Read anticipation: mid-batch, the stream just serviced will
+            # likely submit its next contiguous request within an event
+            # tick; wait a moment before switching streams (or going
+            # idle) so sequential bursts are not broken up by seeks.
+            # Never engaged while writes are pending — which is exactly
+            # why the Figure 8 write stressor reduces readers to one
+            # request per write batch.
+            if (may_anticipate_read
+                    and not self._writes
+                    and self._last_pos is not None
+                    and self._last_pos[0] == READ
+                    and self._reads_in_batch < p.read_batch
+                    and p.read_anticipation > 0
+                    and not self._has_contiguous_read()):
+                may_anticipate_read = False
+                self._wakeup = Event(self.sim)
+                timer = Timeout(self.sim, p.read_anticipation)
+                yield AnyOf(self.sim, [self._wakeup, timer])
+                self._wakeup = None
+                continue
+            if not self._reads and not self._writes:
+                self._wakeup = Event(self.sim)
+                yield self._wakeup
+                self._wakeup = None
+                continue
+            # Write anticipation: a read is queued, no write is queued,
+            # but the write stream has been active recently — hold the
+            # read briefly to see whether another write arrives
+            # (dirty-page writeback burst).
+            if (self._reads and not self._writes
+                    and self.sim.now - self._last_write_time < 10 * p.write_anticipation
+                    and self._writes_in_batch < p.write_batch
+                    and p.write_anticipation > 0):
+                self._write_arrival = Event(self.sim)
+                timer = Timeout(self.sim, p.write_anticipation)
+                yield AnyOf(self.sim, [self._write_arrival, timer])
+                if self._write_arrival is not None:
+                    # Timer fired first: give up anticipating writes.
+                    self._write_arrival = None
+                    self._writes_in_batch = 0
+                continue
+            req = self._pick()
+            if req is None:  # pragma: no cover - defensive
+                continue
+            may_anticipate_read = True
+            sequential = self._last_pos == (req.kind, req.stream, req.offset)
+            svc = self.service_time(req.kind, req.size, sequential)
+            self.busy.set(1)
+            yield Timeout(self.sim, svc)
+            self.busy.set(0)
+            self._last_pos = (req.kind, req.stream, req.offset + req.size)
+            self.queue_len.add(-1)
+            if req.kind == READ:
+                self.bytes_read += req.size
+                self.reads_serviced += 1
+                self.read_latency.observe(self.sim.now - req.submitted)
+            else:
+                self.bytes_written += req.size
+                self.writes_serviced += 1
+                self._last_write_time = self.sim.now
+            req.done.succeed(req)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Disk {self.name!r} queue={self.queue_length}>"

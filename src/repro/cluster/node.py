@@ -1,0 +1,45 @@
+"""A cluster node: CPU + disk + page cache + NIC."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim import Simulator
+from repro.cluster.cpu import CPU
+from repro.cluster.disk import Disk
+from repro.cluster.memory import PageCache
+from repro.cluster.params import NodeParams, prairiefire_params
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.network import NIC, Network
+
+
+class Node:
+    """One machine in the cluster.
+
+    Construction wires the node into *network* (creating its NIC) and
+    instantiates its hardware from *params*.
+    """
+
+    def __init__(self, sim: Simulator, name: str, network: "Network",
+                 params: Optional[NodeParams] = None):
+        self.sim = sim
+        self.name = name
+        self.params = params or prairiefire_params()
+        self.network = network
+        self.cpu = CPU(sim, cores=self.params.cpu.cores, name=f"{name}.cpu")
+        self.disk = Disk(sim, self.params.disk, name=f"{name}.disk")
+        self.cache = PageCache(self.params.memory, name=f"{name}.cache")
+        self.nic: "NIC" = network.attach(self)
+
+    # ------------------------------------------------------------------
+    def send(self, dst: "Node", size: int):
+        """Generator: transmit *size* bytes to *dst* (yield from it)."""
+        yield from self.network.transfer(self, dst, size)
+
+    def compute(self, work: float):
+        """Generator: burn *work* seconds of CPU."""
+        yield self.cpu.consume(work)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Node {self.name!r}>"

@@ -1,0 +1,128 @@
+"""Hardware parameter sets.
+
+All sizes are in bytes, rates in bytes/second, times in seconds.
+``MB`` here means 10**6 bytes, matching how Bonnie/Netperf figures are
+quoted in the paper (the absolute numbers only need to be right to the
+precision the paper reports them).
+
+The defaults are calibrated to Section 4.1 of the paper:
+
+* Bonnie: disk write 32 MB/s, read 26 MB/s (20 GB IDE ATA100);
+* Netperf: TCP over 2 Gb/s Myrinet ≈ 112 MB/s at 47 % utilisation;
+* two Athlon MP CPUs and 2 GB RAM per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+KiB = 1 << 10
+MiB = 1 << 20
+GiB = 1 << 30
+
+
+@dataclass(frozen=True)
+class DiskParams:
+    """IDE disk model parameters."""
+
+    #: Sequential read bandwidth (Bonnie: 26 MB/s).
+    read_bandwidth: float = 26 * MB
+    #: Sequential write bandwidth (Bonnie: 32 MB/s).
+    write_bandwidth: float = 32 * MB
+    #: Average seek + rotational positioning cost paid when a request is
+    #: not sequential with the previously serviced one.
+    seek_time: float = 8e-3
+    #: Fixed per-request command overhead.
+    request_overhead: float = 2e-4
+    #: Disk capacity (20 GB IDE drive).
+    capacity: int = 20 * GB
+    #: Elevator write-batching: when a streaming writer and readers
+    #: contend, up to this many write requests are serviced between
+    #: consecutive reads.  Models the Linux 2.4 elevator's write
+    #: preference, which is what starves BLAST reads under the paper's
+    #: Figure 8 stressor (Section 4.5).  Calibrated so the Figure 9
+    #: degradation factors land in the paper's bands.
+    write_batch: int = 18
+    #: After a write completes, the scheduler waits this long for a
+    #: follow-up write before admitting a queued read (anticipatory
+    #: batching of the dirty-page stream).
+    write_anticipation: float = 5e-3
+    #: Elevator read locality: up to this many *contiguous same-stream*
+    #: reads are serviced in a row before switching to another stream,
+    #: and the scheduler anticipates briefly for the stream's next
+    #: request.  This is what lets several sequential readers share one
+    #: spindle without paying a seek per request — but it is preempted
+    #: whenever writes are pending, so the Figure 8 stressor reduces
+    #: reads to one request per write batch.
+    read_batch: int = 8
+    #: Anticipation window for the current read stream's next request.
+    read_anticipation: float = 1e-3
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Myrinet + TCP stack parameters."""
+
+    #: Effective TCP bandwidth per NIC direction (Netperf: ~112 MB/s).
+    bandwidth: float = 112 * MB
+    #: One-way message latency (Myrinet + TCP stack).
+    latency: float = 100e-6
+    #: CPU time consumed per message on each endpoint (TCP processing).
+    per_message_cpu: float = 30e-6
+    #: CPU time consumed per byte on each endpoint (checksum/copy).
+    per_byte_cpu: float = 0.2e-9
+    #: Transfers are chopped into segments of this size so that
+    #: concurrent flows share a NIC direction fairly.
+    segment_size: int = 256 * KiB
+    #: Effective bandwidth of node-local (loopback) TCP transfers —
+    #: the data still traverses the stack and is copied twice.  This is
+    #: part of why one-worker PVFS loses to local disk in the paper's
+    #: Figure 5 even though client and server share the node.
+    loopback_bandwidth: float = 350 * MB
+
+
+@dataclass(frozen=True)
+class CPUParams:
+    """Node compute parameters."""
+
+    #: Number of processors per node (dual Athlon MP).
+    cores: int = 2
+
+
+@dataclass(frozen=True)
+class MemoryParams:
+    """RAM / page-cache parameters."""
+
+    #: Physical memory per node.
+    ram: int = 2 * GB
+    #: Fraction of RAM usable as page cache.
+    cache_fraction: float = 0.8
+    #: Page-cache block granularity.
+    page_size: int = 64 * KiB
+    #: Bandwidth for reads served from the page cache.
+    cache_bandwidth: float = 800 * MB
+    #: Readahead cluster size for buffered/mmap reads from local disk.
+    #: Linux 2.4 clustered page faults into 128 KB chunks.
+    readahead: int = 128 * KiB
+
+
+@dataclass(frozen=True)
+class NodeParams:
+    """Everything that describes one cluster node."""
+
+    cpu: CPUParams = field(default_factory=CPUParams)
+    disk: DiskParams = field(default_factory=DiskParams)
+    memory: MemoryParams = field(default_factory=MemoryParams)
+    network: NetworkParams = field(default_factory=NetworkParams)
+
+    def with_disk(self, **kwargs) -> "NodeParams":
+        """Copy with some disk parameters overridden."""
+        return replace(self, disk=replace(self.disk, **kwargs))
+
+
+def prairiefire_params() -> NodeParams:
+    """Node parameters for the PrairieFire cluster (paper Section 4.1)."""
+    return NodeParams()

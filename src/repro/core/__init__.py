@@ -1,0 +1,35 @@
+"""Experiment layer: calibration, configuration, runners, metrics,
+report formatting — everything needed to regenerate the paper's
+evaluation section (Figures 4-9) from the simulated cluster.
+"""
+
+from repro.core.calibration import BlastCostModel, default_cost_model
+from repro.core.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    Parallelization,
+    Placement,
+    Variant,
+    run_experiment,
+)
+from repro.core.figures import FigureResult, reproduce
+from repro.core.metrics import amdahl_speedup_limit, io_fraction, speedup
+from repro.core.report import format_series, format_table
+
+__all__ = [
+    "BlastCostModel",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "FigureResult",
+    "Parallelization",
+    "Placement",
+    "Variant",
+    "amdahl_speedup_limit",
+    "default_cost_model",
+    "format_series",
+    "format_table",
+    "io_fraction",
+    "reproduce",
+    "run_experiment",
+    "speedup",
+]

@@ -1,0 +1,59 @@
+"""Derived metrics: speedups, I/O fractions, Amdahl bounds.
+
+Section 4.3 of the paper explains the Figure 6 plateau with Amdahl's
+Law: once I/O is a small fraction of execution time, speeding it up
+further cannot move the total.  These helpers quantify that argument
+for the experiment results.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def speedup(baseline: float, measured: float) -> float:
+    """baseline / measured (>1 means faster than baseline)."""
+    if measured <= 0:
+        raise ValueError("measured time must be positive")
+    return baseline / measured
+
+
+def degradation(unstressed: float, stressed: float) -> float:
+    """stressed / unstressed (the paper's 'degraded by a factor of N')."""
+    if unstressed <= 0:
+        raise ValueError("unstressed time must be positive")
+    return stressed / unstressed
+
+
+def io_fraction(io_time: float, compute_time: float) -> float:
+    """Fraction of busy time spent in I/O."""
+    total = io_time + compute_time
+    return io_time / total if total > 0 else 0.0
+
+
+def amdahl_speedup_limit(parallel_fraction: float) -> float:
+    """Maximum overall speedup if only *parallel_fraction* of the work
+    (here: the I/O share) can be accelerated indefinitely."""
+    if not 0 <= parallel_fraction <= 1:
+        raise ValueError("fraction must be in [0, 1]")
+    serial = 1.0 - parallel_fraction
+    return float("inf") if serial == 0 else 1.0 / serial
+
+
+def amdahl_time(total: float, improvable_fraction: float,
+                improvement: float) -> float:
+    """Execution time after speeding the improvable part up by
+    *improvement* x."""
+    if improvement <= 0:
+        raise ValueError("improvement must be positive")
+    return total * ((1 - improvable_fraction) + improvable_fraction / improvement)
+
+
+def efficiency(times: Sequence[float]) -> Sequence[float]:
+    """Parallel efficiency of a scaling series: E_n = T_1 / (n * T_n),
+    assuming times[i] corresponds to 2**i workers is NOT assumed — the
+    caller supplies matching worker counts via zip."""
+    if not times:
+        return []
+    t1 = times[0]
+    return [t1 / ((i + 1) * t) if t > 0 else 0.0 for i, t in enumerate(times)]

@@ -1,0 +1,26 @@
+"""Simulated file systems: local disk FS, PVFS, and CEFT-PVFS.
+
+All three expose the same coroutine-style API (:class:`FileSystem`):
+``open``/``create``/``read``/``write`` generators that a simulation
+process drives with ``yield from``.  Files carry metadata only (sizes
+and layouts); actual sequence bytes live in :mod:`repro.blast`, which
+is a real, non-simulated library.
+"""
+
+from repro.fs.interface import FileMeta, FileSystem, FSError
+from repro.fs.localfs import LocalFS
+from repro.fs.striping import StripeLayout
+from repro.fs.pvfs import PVFS, PVFSClient
+from repro.fs.ceft import CEFT, CEFTClient
+
+__all__ = [
+    "CEFT",
+    "CEFTClient",
+    "FileMeta",
+    "FileSystem",
+    "FSError",
+    "LocalFS",
+    "PVFS",
+    "PVFSClient",
+    "StripeLayout",
+]

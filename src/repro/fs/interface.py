@@ -1,0 +1,98 @@
+"""Common file-system interface.
+
+A simulated file system stores :class:`FileMeta` records (no payload
+bytes — the simulation only needs sizes and placement).  Operations are
+generators intended for ``yield from`` inside simulation processes; each
+returns when the operation completes in simulated time.
+
+An optional *tracer* (any object with an ``record`` method compatible
+with :class:`repro.trace.TraceCollector`) observes application-level
+operations, which is how the Figure 4 traces are collected.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+    from repro.trace.collector import TraceCollector
+
+
+class FSError(Exception):
+    """File-system level error (missing file, short read, ...)."""
+
+
+class FileMeta:
+    """Metadata for one file."""
+
+    __slots__ = ("path", "size")
+
+    def __init__(self, path: str, size: int = 0):
+        self.path = path
+        self.size = int(size)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<FileMeta {self.path!r} size={self.size}>"
+
+
+class FileSystem:
+    """Base class: namespace handling + trace plumbing."""
+
+    #: Human-readable scheme name ("local", "pvfs", "ceft-pvfs").
+    scheme = "abstract"
+
+    def __init__(self, tracer: Optional["TraceCollector"] = None):
+        self._files: Dict[str, FileMeta] = {}
+        self.tracer = tracer
+
+    # ------------------------------------------------------------------
+    # Namespace (instantaneous bookkeeping; the timed part of metadata
+    # operations lives in subclasses).
+    # ------------------------------------------------------------------
+    def lookup(self, path: str) -> FileMeta:
+        meta = self._files.get(path)
+        if meta is None:
+            raise FSError(f"{self.scheme}: no such file {path!r}")
+        return meta
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def _create_meta(self, path: str, size: int = 0) -> FileMeta:
+        if path in self._files:
+            raise FSError(f"{self.scheme}: file exists {path!r}")
+        meta = FileMeta(path, size)
+        self._files[path] = meta
+        return meta
+
+    def _unlink_meta(self, path: str) -> None:
+        if path not in self._files:
+            raise FSError(f"{self.scheme}: no such file {path!r}")
+        del self._files[path]
+
+    def list_files(self):
+        return sorted(self._files)
+
+    # ------------------------------------------------------------------
+    def _check_range(self, meta: FileMeta, offset: int, size: int) -> None:
+        if offset < 0 or size < 0:
+            raise FSError(f"bad range offset={offset} size={size}")
+        if offset + size > meta.size:
+            raise FSError(
+                f"{self.scheme}: read past EOF on {meta.path!r} "
+                f"(offset={offset} size={size} file={meta.size})")
+
+    def _trace(self, client: "Node", op: str, path: str, size: int,
+               start: float, end: float) -> None:
+        if self.tracer is not None:
+            self.tracer.record(node=client.name, op=op, path=path,
+                               size=size, start=start, end=end)
+
+    # ------------------------------------------------------------------
+    # Interface to be provided by subclasses (all generators):
+    #   create(client, path, size=0)
+    #   open(client, path) -> FileMeta
+    #   read(client, path, offset, size)
+    #   write(client, path, offset, size)
+    # ------------------------------------------------------------------

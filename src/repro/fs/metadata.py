@@ -1,0 +1,47 @@
+"""Metadata server shared by PVFS and CEFT-PVFS.
+
+Every namespace operation (open/create/stat) is an RPC to this single
+server: a small request message, some CPU, and a reply carrying the
+striping information.  This round trip is part of why one-server PVFS
+loses to local disk in the paper's Figure 5, and the slightly larger
+CEFT metadata (mirror-group layout, load state) is why CEFT-PVFS trails
+PVFS slightly in Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+    from repro.fs.interface import FileSystem
+
+#: Request message size.
+MD_REQUEST_SIZE = 128
+#: Reply carrying stripe layout for one file.
+MD_REPLY_SIZE = 512
+#: CPU time per metadata operation on the server.
+MD_CPU = 50e-6
+
+
+class MetadataServer:
+    """The (single) metadata server of a parallel file system."""
+
+    def __init__(self, fs: "FileSystem", node: "Node",
+                 reply_size: int = MD_REPLY_SIZE, op_cpu: float = MD_CPU):
+        self.fs = fs
+        self.node = node
+        self.reply_size = reply_size
+        self.op_cpu = op_cpu
+        self.ops_served = 0
+
+    def rpc(self, client: "Node"):
+        """Generator: one metadata round trip from *client*."""
+        net = self.node.network
+        yield from net.transfer(client, self.node, MD_REQUEST_SIZE)
+        yield self.node.cpu.consume(self.op_cpu)
+        yield from net.transfer(self.node, client, self.reply_size)
+        self.ops_served += 1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<MetadataServer on {self.node.name} ops={self.ops_served}>"

@@ -1,0 +1,92 @@
+"""Round-robin stripe layout arithmetic (RAID-0 / PVFS style).
+
+A file is cut into ``stripe_size`` units distributed round-robin over
+``n_servers``: unit *u* lives on server ``u % n_servers`` at server-local
+offset ``(u // n_servers) * stripe_size``.  The paper's implementations
+fix ``stripe_size`` at 64 KB (Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+KiB = 1 << 10
+
+#: (server index, offset on that server, length) of one contiguous extent.
+Extent = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    """Immutable striping description for one file."""
+
+    n_servers: int
+    stripe_size: int = 64 * KiB
+
+    def __post_init__(self):
+        if self.n_servers < 1:
+            raise ValueError("n_servers must be >= 1")
+        if self.stripe_size < 1:
+            raise ValueError("stripe_size must be >= 1")
+
+    # ------------------------------------------------------------------
+    def server_of(self, offset: int) -> int:
+        """Which server stores the byte at *offset*."""
+        return (offset // self.stripe_size) % self.n_servers
+
+    def server_offset(self, offset: int) -> int:
+        """Local offset of file byte *offset* on its server."""
+        unit = offset // self.stripe_size
+        return (unit // self.n_servers) * self.stripe_size + offset % self.stripe_size
+
+    # ------------------------------------------------------------------
+    def units(self, offset: int, size: int) -> Iterator[Tuple[int, int, int, int]]:
+        """Yield (server, server_offset, length, file_offset) for every
+        stripe-unit-aligned piece of the byte range."""
+        if offset < 0 or size < 0:
+            raise ValueError("offset and size must be >= 0")
+        pos = offset
+        end = offset + size
+        while pos < end:
+            unit_end = (pos // self.stripe_size + 1) * self.stripe_size
+            length = min(end, unit_end) - pos
+            yield (self.server_of(pos), self.server_offset(pos), length, pos)
+            pos += length
+
+    # ------------------------------------------------------------------
+    def extents(self, offset: int, size: int) -> List[List[Extent]]:
+        """Partition a byte range into per-server extents.
+
+        Returns a list indexed by server; each entry is a list of
+        (server, server_offset, length) extents with adjacent units on
+        the same server merged (they are contiguous in server-local
+        space for a dense range).
+        """
+        per_server: List[List[Extent]] = [[] for _ in range(self.n_servers)]
+        for server, soff, length, _ in self.units(offset, size):
+            bucket = per_server[server]
+            if bucket and bucket[-1][1] + bucket[-1][2] == soff:
+                last = bucket[-1]
+                bucket[-1] = (server, last[1], last[2] + length)
+            else:
+                bucket.append((server, soff, length))
+        return per_server
+
+    def server_bytes(self, offset: int, size: int) -> List[int]:
+        """Bytes of the range stored on each server."""
+        totals = [0] * self.n_servers
+        for server, _, length, _ in self.units(offset, size):
+            totals[server] += length
+        return totals
+
+    def local_size(self, file_size: int, server: int) -> int:
+        """Bytes of a ``file_size``-byte file stored on *server*."""
+        full_cycles, rem = divmod(file_size, self.stripe_size * self.n_servers)
+        size = full_cycles * self.stripe_size
+        rem_units, tail = divmod(rem, self.stripe_size)
+        if server < rem_units:
+            size += self.stripe_size
+        elif server == rem_units:
+            size += tail
+        return size

@@ -1,0 +1,36 @@
+"""The parallel BLAST (mpiBLAST-style) master/worker system.
+
+Implements the paper's Section 2.2/3 application: database
+segmentation, a master that assigns fragments to idle workers and
+merges their results, and workers that search fragments through one of
+the three I/O schemes:
+
+* ``Variant``: local-copy (the original), over-PVFS, over-CEFT-PVFS.
+
+The worker's I/O + compute timeline inside the simulator comes from
+:mod:`repro.parallel.iomodel`, fit to the paper's Figure 4 trace.
+"""
+
+from repro.parallel.mpi import Messenger
+from repro.parallel.iomodel import FragmentSpec, Step, fragment_steps, fragment_files
+from repro.parallel.ioadapters import LocalIO, ParallelIO, WorkerIO
+from repro.parallel.master import JobResult, WorkerStats, master_proc
+from repro.parallel.worker import worker_proc
+from repro.parallel.mpiblast import run_parallel_blast, run_query_stream
+
+__all__ = [
+    "FragmentSpec",
+    "JobResult",
+    "LocalIO",
+    "Messenger",
+    "ParallelIO",
+    "Step",
+    "WorkerIO",
+    "WorkerStats",
+    "fragment_files",
+    "fragment_steps",
+    "master_proc",
+    "run_parallel_blast",
+    "run_query_stream",
+    "worker_proc",
+]

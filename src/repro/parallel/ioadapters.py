@@ -1,0 +1,77 @@
+"""Adapters giving workers one I/O interface over the three schemes.
+
+The worker executes :class:`~repro.parallel.iomodel.Step` timelines
+against a :class:`WorkerIO`; the adapter hides whether reads go to the
+node's local disk (original BLAST), a PVFS client, or a CEFT-PVFS
+client.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Union
+
+from repro.fs.localfs import LocalFS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+    from repro.fs.ceft import CEFTClient
+    from repro.fs.pvfs import PVFSClient
+
+
+class WorkerIO:
+    """Interface: coroutine read/write plus setup hooks."""
+
+    scheme = "abstract"
+
+    def read(self, path: str, offset: int, size: int):  # pragma: no cover
+        raise NotImplementedError
+        yield
+
+    def write(self, path: str, offset: int, size: int):  # pragma: no cover
+        raise NotImplementedError
+        yield
+
+    def ensure_file(self, path: str, size: int) -> None:  # pragma: no cover
+        """Make sure *path* exists with at least *size* bytes (setup)."""
+        raise NotImplementedError
+
+
+class LocalIO(WorkerIO):
+    """Conventional I/O on the worker's own disk (original BLAST)."""
+
+    scheme = "local"
+
+    def __init__(self, fs: LocalFS, node: "Node"):
+        self.fs = fs
+        self.node = node
+
+    def read(self, path: str, offset: int, size: int):
+        yield from self.fs.read(self.node, path, offset, size)
+
+    def write(self, path: str, offset: int, size: int):
+        yield from self.fs.write(self.node, path, offset, size)
+
+    def ensure_file(self, path: str, size: int) -> None:
+        self.fs.populate(path, size)
+
+
+class ParallelIO(WorkerIO):
+    """Parallel I/O through a PVFS or CEFT-PVFS client library."""
+
+    def __init__(self, client: Union["PVFSClient", "CEFTClient"]):
+        self.client = client
+        self.scheme = client.fs.scheme
+
+    def read(self, path: str, offset: int, size: int):
+        yield from self.client.read(path, offset, size)
+
+    def write(self, path: str, offset: int, size: int):
+        yield from self.client.write(path, offset, size)
+
+    def ensure_file(self, path: str, size: int) -> None:
+        fs = self.client.fs
+        if fs.exists(path):
+            meta = fs.lookup(path)
+            meta.size = max(meta.size, size)
+        else:
+            fs.populate(path, size)

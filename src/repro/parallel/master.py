@@ -1,0 +1,123 @@
+"""The master side of parallel BLAST.
+
+The master keeps a queue of un-searched fragments, hands one to each
+worker that announces itself idle, merges results as they arrive
+(a CPU cost per merge, as the real master sorts worker hits by
+alignment score), and stops every worker once all fragments are done.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Sequence
+
+from repro.parallel.iomodel import FragmentSpec
+from repro.parallel.mpi import Messenger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.calibration import BlastCostModel
+    from repro.cluster.node import Node
+
+MASTER_RANK = 0
+
+
+class JobAborted(RuntimeError):
+    """The job was aborted because a worker hit an unrecoverable I/O
+    error (the mpiBLAST-over-PVFS outcome when a data server dies)."""
+
+    def __init__(self, rank: int, fragment: int, cause: str):
+        super().__init__(
+            f"worker {rank} aborted on fragment {fragment}: {cause}")
+        self.rank = rank
+        self.fragment = fragment
+        self.cause = cause
+
+
+@dataclass
+class WorkerStats:
+    """Final per-worker accounting (from the worker's StepTotals)."""
+
+    rank: int
+    io_time: float
+    compute_time: float
+    read_bytes: int
+    write_bytes: int
+    fragments: List[int]
+    finish_time: float
+
+
+@dataclass
+class JobResult:
+    """Outcome of one parallel BLAST job."""
+
+    #: Search makespan (first task issued -> last result merged).
+    makespan: float
+    #: Wall-clock time the whole job took, including worker start-up.
+    total_time: float
+    workers: List[WorkerStats] = field(default_factory=list)
+    fragments_done: int = 0
+
+    @property
+    def io_time_max(self) -> float:
+        return max((w.io_time for w in self.workers), default=0.0)
+
+    @property
+    def compute_time_max(self) -> float:
+        return max((w.compute_time for w in self.workers), default=0.0)
+
+    def io_fraction(self) -> float:
+        """Mean fraction of worker busy time spent in I/O."""
+        fracs = [w.io_time / (w.io_time + w.compute_time)
+                 for w in self.workers if w.io_time + w.compute_time > 0]
+        return sum(fracs) / len(fracs) if fracs else 0.0
+
+
+def master_proc(node: "Node", messenger: Messenger,
+                fragments: Sequence[FragmentSpec], n_workers: int,
+                cost: "BlastCostModel"):
+    """Simulation process for the master.  Returns :class:`JobResult`."""
+    sim = node.sim
+    # Broadcast the query to every worker first (query replication is
+    # the database-segmentation approach's cheap half, Section 2.2).
+    for rank in range(1, n_workers + 1):
+        yield from messenger.send(MASTER_RANK, rank, ("query",),
+                                  cost.query_msg_bytes)
+    queue = deque(f.fragment_id for f in fragments)
+    outstanding: Dict[int, int] = {}      # rank -> fragment id
+    done = 0
+    stopped = 0
+    abort: JobAborted | None = None
+    start = sim.now
+
+    while stopped < n_workers:
+        src, msg = yield from messenger.recv(MASTER_RANK)
+        kind = msg[0]
+        if kind == "result":
+            done += 1
+            outstanding.pop(src, None)
+            yield node.cpu.consume(cost.merge_cpu)
+        elif kind == "abort":
+            outstanding.pop(src, None)
+            if abort is None:
+                abort = JobAborted(msg[1], msg[2], msg[3])
+        elif kind != "ready":  # pragma: no cover - protocol error
+            raise RuntimeError(f"master: unexpected message {msg!r}")
+        # The sender is now idle: assign more work or stop it.
+        if queue and abort is None:
+            frag = queue.popleft()
+            outstanding[src] = frag
+            yield from messenger.send(MASTER_RANK, src, ("task", frag),
+                                      cost.task_msg_bytes)
+        else:
+            yield from messenger.send(MASTER_RANK, src, ("stop",),
+                                      cost.control_msg_bytes)
+            stopped += 1
+
+    if abort is not None:
+        raise abort
+    return JobResult(
+        makespan=sim.now - start,
+        total_time=sim.now,
+        fragments_done=done,
+    )

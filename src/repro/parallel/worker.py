@@ -1,0 +1,145 @@
+"""The worker side of parallel BLAST.
+
+A worker announces itself to the master, receives fragment assignments,
+replays each fragment's I/O + compute timeline through its
+:class:`~repro.parallel.ioadapters.WorkerIO`, sends the result back,
+and repeats until the master says stop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+from repro.fs.interface import FSError
+from repro.parallel.iomodel import SCAN_CHUNK, FragmentSpec, Step, fragment_steps
+from repro.parallel.ioadapters import WorkerIO
+from repro.parallel.mpi import Messenger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.calibration import BlastCostModel
+    from repro.cluster.node import Node
+    from repro.trace.collector import TraceCollector
+
+MASTER_RANK = 0
+
+
+def _scan_chunks(size: int, rng: np.random.Generator) -> List[int]:
+    """Jittered demand-paging chunk sizes summing to *size*.
+
+    The jitter desynchronises concurrent workers so their striped read
+    bursts interleave instead of colliding."""
+    chunks: List[int] = []
+    remaining = size
+    while remaining > 0:
+        c = int(rng.lognormal(np.log(SCAN_CHUNK), 0.35))
+        c = max(64 * 1024, min(c, remaining))
+        if remaining - c < 64 * 1024:
+            c = remaining
+        chunks.append(c)
+        remaining -= c
+    return chunks
+
+
+@dataclass
+class StepTotals:
+    """Per-worker accumulated time split."""
+
+    io_time: float = 0.0
+    compute_time: float = 0.0
+    read_bytes: int = 0
+    write_bytes: int = 0
+    fragments: List[int] = field(default_factory=list)
+
+
+def execute_steps(node: "Node", io: WorkerIO, steps: List[Step],
+                  totals: StepTotals,
+                  rng: Optional[np.random.Generator] = None,
+                  tracer: Optional["TraceCollector"] = None):
+    """Generator: run one fragment timeline, accounting time split.
+
+    *tracer*, when given, records operations at the application level
+    (a whole scan is one read record, as in the paper's Figure 4)."""
+    sim = node.sim
+    rng = rng or np.random.default_rng(0)
+    for step in steps:
+        t0 = sim.now
+        if step.kind == "compute":
+            yield node.cpu.consume(step.seconds)
+            totals.compute_time += sim.now - t0
+        elif step.kind == "scan":
+            # Demand-paged pass: alternate chunk reads with the compute
+            # that consumes them.
+            offset = step.offset
+            io_acc = 0.0
+            for chunk in _scan_chunks(step.size, rng):
+                r0 = sim.now
+                yield from io.read(step.path, offset, chunk)
+                io_acc += sim.now - r0
+                offset += chunk
+                yield node.cpu.consume(step.seconds * chunk / step.size)
+            totals.io_time += io_acc
+            totals.compute_time += (sim.now - t0) - io_acc
+            totals.read_bytes += step.size
+            if tracer is not None:
+                tracer.record(node.name, "read", step.path, step.size,
+                              t0, sim.now)
+        elif step.kind == "read":
+            yield from io.read(step.path, step.offset, step.size)
+            totals.io_time += sim.now - t0
+            totals.read_bytes += step.size
+            if tracer is not None:
+                tracer.record(node.name, "read", step.path, step.size,
+                              t0, sim.now)
+        elif step.kind == "write":
+            io.ensure_file(step.path, 0)
+            yield from io.write(step.path, step.offset, step.size)
+            totals.io_time += sim.now - t0
+            totals.write_bytes += step.size
+            if tracer is not None:
+                tracer.record(node.name, "write", step.path, step.size,
+                              t0, sim.now)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown step kind {step.kind!r}")
+
+
+def worker_proc(rank: int, node: "Node", io: WorkerIO, messenger: Messenger,
+                cost: "BlastCostModel",
+                fragments: Dict[int, FragmentSpec],
+                tracer: Optional["TraceCollector"] = None):
+    """Simulation process for one worker.
+
+    Returns the worker's :class:`StepTotals` (the process value).
+    """
+    totals = StepTotals()
+    yield from messenger.send(rank, MASTER_RANK, ("ready", rank),
+                              cost.control_msg_bytes)
+    while True:
+        src, msg = yield from messenger.recv(rank)
+        kind = msg[0]
+        if kind == "stop":
+            return totals
+        if kind == "query":
+            continue  # the query broadcast; nothing to do yet
+        if kind != "task":  # pragma: no cover - protocol error
+            raise RuntimeError(f"worker {rank}: unexpected message {msg!r}")
+        frag_id = msg[1]
+        spec = fragments[frag_id]
+        steps = fragment_steps(spec, cost)
+        rng = np.random.default_rng(7000 + 131 * rank + frag_id)
+        try:
+            yield from execute_steps(node, io, steps, totals, rng=rng,
+                                     tracer=tracer)
+        except FSError as exc:
+            # I/O failure (e.g. a dead PVFS server): report it to the
+            # master, which aborts the whole job — mpiBLAST's behaviour
+            # when the file system goes away underneath it.
+            yield from messenger.send(rank, MASTER_RANK,
+                                      ("abort", rank, frag_id, str(exc)),
+                                      cost.control_msg_bytes)
+            continue
+        totals.fragments.append(frag_id)
+        yield from messenger.send(rank, MASTER_RANK, ("result", rank, frag_id),
+                                  cost.result_msg_bytes)

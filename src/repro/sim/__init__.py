@@ -1,0 +1,57 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free, SimPy-flavoured engine: processes are Python
+generators that ``yield`` events; the :class:`~repro.sim.engine.Simulator`
+advances virtual time by popping events off a heap.  Everything in
+:mod:`repro.cluster` and :mod:`repro.fs` is built on this kernel.
+
+Quick example::
+
+    from repro.sim import Simulator, Timeout
+
+    sim = Simulator()
+
+    def hello(sim):
+        yield Timeout(sim, 3.0)
+        print(f"t={sim.now}")
+
+    sim.process(hello(sim))
+    sim.run()          # prints t=3.0
+"""
+
+from repro.sim.engine import Simulator, SimulationError, StopProcess
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Timeout,
+)
+from repro.sim.process import Process
+from repro.sim.resources import (
+    Container,
+    PriorityResource,
+    Resource,
+    Store,
+)
+from repro.sim.rng import RandomStreams
+from repro.sim.monitor import Monitor, TimeWeightedMonitor
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Event",
+    "Interrupt",
+    "Monitor",
+    "PriorityResource",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "Simulator",
+    "SimulationError",
+    "StopProcess",
+    "Store",
+    "TimeWeightedMonitor",
+    "Timeout",
+]

@@ -1,0 +1,158 @@
+"""The event loop at the heart of the simulation.
+
+The :class:`Simulator` owns virtual time and an event heap.  Events are
+scheduled with a (time, priority, sequence) key so that simultaneous
+events fire in a deterministic order: first by priority (lower first),
+then by insertion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+#: Priority used for ordinary events.
+NORMAL = 1
+#: Priority used for "urgent" bookkeeping events (fire before NORMAL).
+URGENT = 0
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class StopProcess(Exception):
+    """Raised inside a process generator to terminate it early.
+
+    ``raise StopProcess(value)`` behaves like ``return value`` but also
+    works from helper functions called by the process body.
+    """
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+class Simulator:
+    """Discrete-event simulation engine.
+
+    Parameters
+    ----------
+    start:
+        Initial value of the simulation clock, in seconds.
+
+    Notes
+    -----
+    The simulator is single-threaded and deterministic: two runs with the
+    same seed and the same process structure produce identical event
+    orderings.  All user code runs inside generator-based processes (see
+    :class:`repro.sim.process.Process`).
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._heap: list = []
+        self._seq = 0
+        self._active: int = 0  # events on the heap that are not cancelled
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    def schedule(self, event: "Event", delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Schedule *event* to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        if event.scheduled:
+            raise SimulationError(f"event {event!r} scheduled twice")
+        event.scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        self._active += 1
+
+    # ------------------------------------------------------------------
+    def process(self, generator: Generator, name: Optional[str] = None) -> "Process":
+        """Launch *generator* as a new simulation process.
+
+        Returns the :class:`~repro.sim.process.Process`, which is itself
+        an event that fires when the process finishes.
+        """
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)
+
+    # ------------------------------------------------------------------
+    def timeout(self, delay: float, value: Any = None) -> "Event":
+        """Convenience constructor for :class:`repro.sim.events.Timeout`."""
+        from repro.sim.events import Timeout
+
+        return Timeout(self, delay, value)
+
+    # ------------------------------------------------------------------
+    def event(self) -> "Event":
+        """Create a bare, untriggered event bound to this simulator."""
+        from repro.sim.events import Event
+
+        return Event(self)
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event on the heap."""
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._active -= 1
+        if event.cancelled:
+            return
+        if when < self._now:
+            raise SimulationError("time ran backwards")
+        self._now = when
+        event.fire()
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or the clock passes *until*.
+
+        Returns the final simulation time.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"until={until} is in the past (now={self._now})")
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+    # ------------------------------------------------------------------
+    def run_until_complete(self, *processes: "Event", limit: float = 1e12) -> None:
+        """Run until every event in *processes* has fired.
+
+        Raises
+        ------
+        SimulationError
+            If the event heap drains (deadlock) before all the given
+            events have triggered, or the time *limit* is exceeded.
+        """
+        pending = [p for p in processes if not p.triggered]
+        while pending:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: {len(pending)} process(es) never completed"
+                )
+            if self._now > limit:
+                raise SimulationError(f"simulation exceeded time limit {limit}")
+            self.step()
+            pending = [p for p in pending if not p.triggered]
+
+    # ------------------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator now={self._now:.6f} pending={len(self._heap)}>"

@@ -1,0 +1,122 @@
+"""Generator-based simulation processes."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.engine import URGENT, SimulationError, Simulator, StopProcess
+from repro.sim.events import Event, Interrupt
+
+
+class Process(Event):
+    """A running simulation activity.
+
+    Wraps a generator: every value the generator yields must be an
+    :class:`~repro.sim.events.Event`; the process sleeps until that event
+    fires, at which point the event's value is sent back into the
+    generator (or its exception thrown, if it failed).
+
+    The process is itself an event that fires when the generator returns;
+    the generator's return value (``return x`` / ``raise StopProcess(x)``)
+    becomes the process's value, so processes can wait on each other::
+
+        def child(sim):
+            yield Timeout(sim, 1.0)
+            return 42
+
+        def parent(sim):
+            result = yield sim.process(child(sim))
+            assert result == 42
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(self, sim: Simulator, generator: Generator, name: Optional[str] = None):
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume once, now (URGENT so spawning is prompt but
+        # still passes through the event loop for determinism).
+        boot = Event(sim)
+        boot.add_callback(self._resume)
+        boot.succeed(priority=URGENT)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered and not self.scheduled
+
+    # ------------------------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        Interrupting a finished process is an error; interrupting a
+        process that is waiting detaches it from the event it was
+        waiting on (the event may still fire, but the process will not
+        see it).
+        """
+        if self.triggered or self.scheduled:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        waited = self._waiting_on
+        if waited is not None and not waited.triggered:
+            # Detach: replace our callback with a no-op by filtering.
+            waited.callbacks = [cb for cb in waited.callbacks if getattr(cb, "__self__", None) is not self]
+        self._waiting_on = None
+        kick = Event(self.sim)
+        kick.add_callback(lambda ev: self._throw(Interrupt(cause)))
+        kick.succeed(priority=URGENT)
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.failed:
+                target = self.generator.throw(event.value)
+            else:
+                target = self.generator.send(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value, priority=URGENT)
+            return
+        except StopProcess as stop:
+            self.generator.close()
+            self.succeed(stop.value, priority=URGENT)
+            return
+        except Interrupt as exc:
+            # Uncaught interrupt terminates the process as failed.
+            self.fail(exc)
+            return
+        except Exception as exc:
+            self.fail(exc)
+            return
+        self._wait_on(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        try:
+            target = self.generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value, priority=URGENT)
+            return
+        except StopProcess as stop:
+            self.generator.close()
+            self.succeed(stop.value, priority=URGENT)
+            return
+        except Exception as err:
+            self.fail(err)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            self.fail(SimulationError(
+                f"process {self.name!r} yielded {target!r}, which is not an Event"))
+            return
+        if target.sim is not self.sim:
+            self.fail(SimulationError(
+                f"process {self.name!r} yielded an event from another simulator"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name!r} {'done' if self.triggered else 'alive'}>"

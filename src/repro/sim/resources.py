@@ -1,0 +1,259 @@
+"""Shared-resource primitives: counted resources, priority queues, stores,
+and continuous containers.
+
+All follow the same protocol: an acquire operation returns an
+:class:`~repro.sim.events.Event` that the caller ``yield``s; when it
+fires the caller holds the resource and must later release it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.events import Event
+
+
+class Request(Event):
+    """The event returned by :meth:`Resource.request`."""
+
+    __slots__ = ("resource", "priority", "released")
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+        self.released = False
+
+    def release(self) -> None:
+        """Give the slot back (idempotent)."""
+        self.resource.release(self)
+
+    # Context-manager sugar for the common acquire/release pattern:
+    #     with (yield disk.request()):
+    #         ...
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class Resource:
+    """A counted FCFS resource (e.g. a disk head, a CPU core).
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    capacity:
+        Number of simultaneous holders.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._users: List[Request] = []
+        self._queue: Deque[Request] = deque()
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of waiting requests."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    def request(self, priority: int = 0) -> Request:
+        req = Request(self, priority)
+        if len(self._users) < self.capacity:
+            self._users.append(req)
+            req.succeed(req)
+        else:
+            self._enqueue(req)
+        return req
+
+    def _enqueue(self, req: Request) -> None:
+        self._queue.append(req)
+
+    def _dequeue(self) -> Optional[Request]:
+        return self._queue.popleft() if self._queue else None
+
+    # ------------------------------------------------------------------
+    def release(self, req: Request) -> None:
+        if req.released:
+            return
+        req.released = True
+        if req in self._users:
+            self._users.remove(req)
+        elif req in self._queue:
+            self._queue.remove(req)
+            req.cancelled = True
+            return
+        nxt = self._dequeue()
+        if nxt is not None:
+            self._users.append(nxt)
+            nxt.succeed(nxt)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<{type(self).__name__} {self.name!r} {self.count}/{self.capacity}"
+                f" queued={self.queue_length}>")
+
+
+class PriorityResource(Resource):
+    """A resource whose queue is ordered by (priority, arrival)."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        super().__init__(sim, capacity, name)
+        self._pqueue: List[Tuple[int, int, Request]] = []
+        self._seq = 0
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._pqueue)
+
+    def _enqueue(self, req: Request) -> None:
+        self._seq += 1
+        heapq.heappush(self._pqueue, (req.priority, self._seq, req))
+
+    def _dequeue(self) -> Optional[Request]:
+        while self._pqueue:
+            _, _, req = heapq.heappop(self._pqueue)
+            if not req.released:
+                return req
+        return None
+
+    def release(self, req: Request) -> None:
+        if req.released:
+            return
+        if req not in self._users:
+            # Still queued: lazy-delete from the heap.
+            req.released = True
+            req.cancelled = True
+            return
+        super().release(req)
+
+
+class Store:
+    """An unbounded (or bounded) FIFO of Python objects.
+
+    ``put`` is an event that fires when the item is accepted; ``get`` is
+    an event that fires with the next item.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf"), name: str = ""):
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Tuple[Event, Any]] = deque()
+
+    # ------------------------------------------------------------------
+    @property
+    def items(self) -> Tuple[Any, ...]:
+        return tuple(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    # ------------------------------------------------------------------
+    def put(self, item: Any) -> Event:
+        ev = Event(self.sim)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed()
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+            if self._putters:
+                pev, item = self._putters.popleft()
+                self._items.append(item)
+                pev.succeed()
+        elif self._putters:
+            pev, item = self._putters.popleft()
+            pev.succeed()
+            ev.succeed(item)
+        else:
+            self._getters.append(ev)
+        return ev
+
+
+class Container:
+    """A continuous quantity (bytes of buffer space, tokens, ...).
+
+    ``get(amount)`` blocks until at least *amount* is present; ``put``
+    adds and wakes waiters in FIFO order.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf"),
+                 init: float = 0.0, name: str = ""):
+        if init < 0 or init > capacity:
+            raise ValueError("init outside [0, capacity]")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._level = float(init)
+        self._getters: Deque[Tuple[Event, float]] = deque()
+        self._putters: Deque[Tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        ev = Event(self.sim)
+        if self._level + amount <= self.capacity:
+            self._level += amount
+            ev.succeed()
+            self._drain_getters()
+        else:
+            self._putters.append((ev, amount))
+        return ev
+
+    def get(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        if amount > self.capacity:
+            raise SimulationError(f"get({amount}) exceeds capacity {self.capacity}")
+        ev = Event(self.sim)
+        if not self._getters and self._level >= amount:
+            self._level -= amount
+            ev.succeed()
+            self._drain_putters()
+        else:
+            self._getters.append((ev, amount))
+        return ev
+
+    def _drain_getters(self) -> None:
+        while self._getters and self._level >= self._getters[0][1]:
+            ev, amount = self._getters.popleft()
+            self._level -= amount
+            ev.succeed()
+
+    def _drain_putters(self) -> None:
+        while self._putters and self._level + self._putters[0][1] <= self.capacity:
+            ev, amount = self._putters.popleft()
+            self._level += amount
+            ev.succeed()
+            self._drain_getters()

@@ -1,0 +1,16 @@
+"""Application-level I/O tracing.
+
+Reproduces the instrumentation of Section 4.2 of the paper: every
+application-level read/write is recorded with its node, size, and
+simulated start/end times, and :mod:`repro.trace.analysis` computes the
+summary statistics the paper quotes for Figure 4 (operation mix, size
+ranges, means).
+"""
+
+from repro.trace.record import TraceRecord
+from repro.trace.collector import TraceCollector
+from repro.trace.analysis import TraceStats, analyze
+from repro.trace.replay import export_csv, import_csv, replay
+
+__all__ = ["TraceCollector", "TraceRecord", "TraceStats", "analyze",
+           "export_csv", "import_csv", "replay"]

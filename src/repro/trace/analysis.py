@@ -1,0 +1,84 @@
+"""Trace statistics matching Section 4.2 of the paper.
+
+For the 8-worker blastn run against the 8-fragment nt database the
+paper reports, at the application level (master excluded):
+
+* 144 I/O operations in total, 89 % of them reads;
+* reads from 13 bytes to 220 MB, mean ≈ 10.5 MB (the text quotes the
+  mean with its decimals truncated by the OCR; we take "large reads
+  with mean in the tens-of-MB" as the target band);
+* 16 writes of 50–778 bytes, mean ≈ 690 bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.trace.record import TraceRecord
+
+
+@dataclass(frozen=True)
+class OpStats:
+    """Summary of one operation class."""
+
+    count: int
+    total_bytes: int
+    min_bytes: int
+    max_bytes: int
+    mean_bytes: float
+
+    @staticmethod
+    def of(sizes: List[int]) -> "OpStats":
+        if not sizes:
+            return OpStats(0, 0, 0, 0, 0.0)
+        return OpStats(
+            count=len(sizes),
+            total_bytes=sum(sizes),
+            min_bytes=min(sizes),
+            max_bytes=max(sizes),
+            mean_bytes=sum(sizes) / len(sizes),
+        )
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Full Section 4.2-style summary."""
+
+    operations: int
+    reads: OpStats
+    writes: OpStats
+
+    @property
+    def read_fraction(self) -> float:
+        return self.reads.count / self.operations if self.operations else 0.0
+
+    def report(self) -> str:
+        r, w = self.reads, self.writes
+        lines = [
+            f"I/O operations: {self.operations} "
+            f"({100 * self.read_fraction:.0f}% reads)",
+            f"  reads : n={r.count} min={r.min_bytes}B max={r.max_bytes}B "
+            f"mean={r.mean_bytes / 1e6:.2f}MB total={r.total_bytes / 1e6:.1f}MB",
+            f"  writes: n={w.count} min={w.min_bytes}B max={w.max_bytes}B "
+            f"mean={w.mean_bytes:.0f}B total={w.total_bytes}B",
+        ]
+        return "\n".join(lines)
+
+
+def analyze(records: Iterable[TraceRecord]) -> TraceStats:
+    """Compute :class:`TraceStats` over *records*."""
+    reads: List[int] = []
+    writes: List[int] = []
+    for r in records:
+        if r.op == "read":
+            reads.append(r.size)
+        elif r.op == "write":
+            writes.append(r.size)
+        else:
+            raise ValueError(f"unknown op {r.op!r}")
+    return TraceStats(
+        operations=len(reads) + len(writes),
+        reads=OpStats.of(reads),
+        writes=OpStats.of(writes),
+    )

@@ -1,0 +1,57 @@
+"""Trace collection.
+
+The collector is handed to a file system as its ``tracer``; the FS calls
+:meth:`TraceCollector.record` for every application-level operation.
+Collection can be switched off (the paper turns instrumentation off for
+timing runs to avoid perturbing the measurement — here it is free, but
+the switch is kept for API fidelity and for pruning memory on long
+runs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.trace.record import TraceRecord
+
+
+class TraceCollector:
+    """Accumulates :class:`TraceRecord` objects."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+
+    # ------------------------------------------------------------------
+    def record(self, node: str, op: str, path: str, size: int,
+               start: float, end: float) -> None:
+        if not self.enabled:
+            return
+        self.records.append(TraceRecord(node, op, path, size, start, end))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    # ------------------------------------------------------------------
+    def filter(self, op: Optional[str] = None, node: Optional[str] = None,
+               path_prefix: Optional[str] = None) -> List[TraceRecord]:
+        out: Iterable[TraceRecord] = self.records
+        if op is not None:
+            out = (r for r in out if r.op == op)
+        if node is not None:
+            out = (r for r in out if r.node == node)
+        if path_prefix is not None:
+            out = (r for r in out if r.path.startswith(path_prefix))
+        return list(out)
+
+    def dump(self) -> str:
+        """Text dump, one row per record (Figure 4 raw data)."""
+        header = f"{'start':>12s} {'end':>12s} {'node':>8s} {'op':>5s} {'bytes':>12s} path"
+        return "\n".join([header] + [r.as_row() for r in self.records])

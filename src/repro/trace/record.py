@@ -1,0 +1,32 @@
+"""A single I/O trace record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One application-level I/O operation."""
+
+    #: Node the operation ran on.
+    node: str
+    #: "read" or "write".
+    op: str
+    #: File path.
+    path: str
+    #: Bytes transferred.
+    size: int
+    #: Simulated start time (seconds).
+    start: float
+    #: Simulated completion time (seconds).
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def as_row(self) -> str:
+        """Fixed-width text form for dumps."""
+        return (f"{self.start:12.6f} {self.end:12.6f} {self.node:>8s} "
+                f"{self.op:>5s} {self.size:>12d} {self.path}")

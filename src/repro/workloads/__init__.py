@@ -1,0 +1,36 @@
+"""Workload generation: synthetic nt-like databases and query sampling.
+
+The NCBI ``nt`` database used by the paper (1.76 M sequences, 2.7 GB)
+is neither redistributable nor practical to regenerate byte-for-byte;
+these generators produce nucleotide databases with the same aggregate
+shape (sequence-length distribution, residue totals) at any scale, plus
+the paper's query model (90 % of real queries are 300–600 characters;
+the paper uses a 568-character query from ``ecoli.nt``).
+"""
+
+from repro.workloads.synthdb import (
+    NT_DATABASE_SPEC,
+    DatabaseSpec,
+    synthetic_nt_db,
+    synthetic_nt_fasta,
+)
+from repro.workloads.checkpoint import CheckpointSpec, run_checkpoint_workload
+from repro.workloads.queries import (
+    PAPER_QUERY_LENGTH,
+    extract_query,
+    sample_query_length,
+    synthetic_query,
+)
+
+__all__ = [
+    "CheckpointSpec",
+    "DatabaseSpec",
+    "NT_DATABASE_SPEC",
+    "PAPER_QUERY_LENGTH",
+    "run_checkpoint_workload",
+    "extract_query",
+    "sample_query_length",
+    "synthetic_nt_db",
+    "synthetic_nt_fasta",
+    "synthetic_query",
+]

@@ -1,0 +1,50 @@
+"""Meta-tests: public-API hygiene.
+
+Every module has a docstring; every public class and function exported
+from a package ``__init__`` is documented; ``__all__`` lists resolve.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [m.name for m in pkgutil.walk_packages(repro.__path__, "repro.")]
+PACKAGES = ["repro", "repro.sim", "repro.cluster", "repro.fs", "repro.blast",
+            "repro.parallel", "repro.workloads", "repro.trace", "repro.core"]
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_every_module_has_docstring(name):
+    mod = importlib.import_module(name)
+    assert mod.__doc__ and mod.__doc__.strip(), f"{name} lacks a docstring"
+
+
+@pytest.mark.parametrize("pkg", PACKAGES)
+def test_all_exports_resolve(pkg):
+    mod = importlib.import_module(pkg)
+    for sym in getattr(mod, "__all__", []):
+        assert hasattr(mod, sym), f"{pkg}.__all__ lists missing {sym!r}"
+
+
+@pytest.mark.parametrize("pkg", PACKAGES)
+def test_exported_callables_are_documented(pkg):
+    mod = importlib.import_module(pkg)
+    undocumented = []
+    for sym in getattr(mod, "__all__", []):
+        obj = getattr(mod, sym, None)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(sym)
+    assert not undocumented, f"{pkg}: undocumented exports {undocumented}"
+
+
+def test_no_module_shadowing():
+    """Exported names never silently shadow submodules."""
+    import repro.blast
+    import repro.core
+
+    assert callable(repro.blast.search) or inspect.ismodule(repro.blast.search)

@@ -1,0 +1,172 @@
+"""Tests for ungapped X-drop extension and banded gapped alignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blast.alphabet import encode_dna
+from repro.blast.extend import ungapped_extend
+from repro.blast.gapped import banded_local_align
+from repro.blast.score import NucleotideScore
+
+SCHEME = NucleotideScore()  # +1/-3, gaps 5/2
+
+
+def test_ungapped_extends_exact_match_fully():
+    q = encode_dna("ACGTACGTAC")
+    s = encode_dna("TTACGTACGTACTT")
+    hsp = ungapped_extend(q, s, 0, 2, SCHEME, xdrop=10)
+    assert hsp.q_start == 0 and hsp.s_start == 2
+    assert hsp.length == 10
+    assert hsp.score == 10
+    assert hsp.q_end == 10 and hsp.s_end == 12
+
+
+def test_ungapped_extends_left_and_right():
+    q = encode_dna("AAAACCCCGGGG")
+    s = encode_dna("TTAAAACCCCGGGGTT")
+    # Seed in the middle.
+    hsp = ungapped_extend(q, s, 6, 8, SCHEME, xdrop=10)
+    assert hsp.q_start == 0
+    assert hsp.s_start == 2
+    assert hsp.length == 12
+    assert hsp.score == 12
+
+
+def test_ungapped_stops_at_xdrop():
+    # Match block, then a long mismatch run, then another match block
+    # that the X-drop must not reach.
+    q = encode_dna("AAAAAAAA" + "CCCC" + "AAAAAAAA")
+    s = encode_dna("AAAAAAAA" + "GGGG" + "TTTTTTTT")
+    hsp = ungapped_extend(q, s, 0, 0, SCHEME, xdrop=5)
+    assert hsp.length == 8
+    assert hsp.score == 8
+
+
+def test_ungapped_xdrop_bridges_small_dip():
+    # One mismatch (-3) inside matches: bridged when xdrop > 3.
+    q = encode_dna("AAAAATAAAAA")
+    s = encode_dna("AAAAACAAAAA")
+    hsp = ungapped_extend(q, s, 0, 0, SCHEME, xdrop=10)
+    assert hsp.length == 11
+    assert hsp.score == 10 - 3
+
+
+def test_ungapped_at_sequence_edges():
+    q = encode_dna("ACGT")
+    s = encode_dna("ACGT")
+    hsp = ungapped_extend(q, s, 3, 3, SCHEME, xdrop=10)
+    assert hsp.q_start == 0 and hsp.length == 4
+
+
+def test_ungapped_no_negative_scores_reported():
+    q = encode_dna("AAAA")
+    s = encode_dna("CCCC")
+    hsp = ungapped_extend(q, s, 0, 0, SCHEME, xdrop=3)
+    assert hsp.score == 0
+    assert hsp.length == 0
+
+
+@settings(max_examples=100)
+@given(st.text(alphabet="ACGT", min_size=11, max_size=80),
+       st.integers(0, 79))
+def test_ungapped_self_alignment_is_full_length(s, pos):
+    """Extending a sequence against itself from any anchor recovers the
+    identity alignment."""
+    enc = encode_dna(s)
+    anchor = min(pos, len(s) - 1)
+    hsp = ungapped_extend(enc, enc, anchor, anchor, SCHEME, xdrop=10 ** 6)
+    assert hsp.q_start == 0
+    assert hsp.length == len(s)
+    assert hsp.score == len(s)
+
+
+# ---------------------------------------------------------------- gapped
+def test_gapped_exact_match():
+    q = encode_dna("ACGTACGTACGTACGT")
+    s = encode_dna("TTTTACGTACGTACGTACGTTTTT")
+    aln = banded_local_align(q, s, diag=4, scheme=SCHEME, band=8)
+    assert aln.score == 16
+    assert aln.identities == 16
+    assert aln.align_len == 16
+    assert aln.q_start == 0 and aln.q_end == 16
+    assert aln.s_start == 4 and aln.s_end == 20
+
+
+def test_gapped_alignment_crosses_deletion():
+    """A 2-base deletion in the subject: affine gap cost 5+2=7... with
+    +1 match the flanks (12+12) minus gap open/extend beats splitting."""
+    left = "ACGTACGTACGT"
+    right = "TGCATGCATGCA"
+    q = encode_dna(left + "GG" + right)
+    s = encode_dna(left + right)
+    aln = banded_local_align(q, s, diag=0, scheme=SCHEME, band=6)
+    # 24 matches, one gap of length 2 (open 5 + extend 2).
+    assert aln.score == 24 - 7
+    assert aln.identities == 24
+    assert aln.align_len == 26
+    assert aln.q_start == 0 and aln.q_end == 26
+    assert aln.s_start == 0 and aln.s_end == 24
+
+
+def test_gapped_alignment_crosses_insertion():
+    left = "ACGTACGTACGT"
+    right = "TGCATGCATGCA"
+    q = encode_dna(left + right)
+    s = encode_dna(left + "CC" + right)
+    aln = banded_local_align(q, s, diag=0, scheme=SCHEME, band=6)
+    assert aln.score == 24 - 7
+    assert aln.identities == 24
+    assert aln.align_len == 26
+
+
+def test_gapped_local_trims_noise():
+    q = encode_dna("CCCC" + "ACGTACGTACGT" + "GGGG")
+    s = encode_dna("TTTT" + "ACGTACGTACGT" + "AAAA")
+    aln = banded_local_align(q, s, diag=0, scheme=SCHEME, band=4)
+    assert aln.score == 12
+    assert aln.q_start == 4 and aln.q_end == 16
+
+
+def test_gapped_no_alignment_returns_zero():
+    q = encode_dna("AAAAAAAA")
+    s = encode_dna("CCCCCCCC")
+    aln = banded_local_align(q, s, diag=0, scheme=SCHEME, band=4)
+    assert aln.score == 0
+    assert aln.align_len == 0
+
+
+def test_gapped_respects_band():
+    """A shift larger than the band cannot be bridged."""
+    left = "ACGTACGTACGT"
+    right = "TGCATGCATGCA"
+    q = encode_dna(left + right)
+    s = encode_dna(left + "C" * 20 + right)
+    aln = banded_local_align(q, s, diag=0, scheme=SCHEME, band=4)
+    # Only one of the two blocks alignable within the band.
+    assert aln.score == 12
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.text(alphabet="ACGT", min_size=4, max_size=60))
+def test_gapped_self_alignment_perfect(s):
+    enc = encode_dna(s)
+    aln = banded_local_align(enc, enc, diag=0, scheme=SCHEME, band=5)
+    assert aln.score == len(s)
+    assert aln.identities == len(s)
+    assert aln.align_len == len(s)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.text(alphabet="ACGT", min_size=10, max_size=50),
+       st.text(alphabet="ACGT", min_size=10, max_size=50))
+def test_gapped_score_consistency(a, b):
+    """Identities never exceed alignment length; score bounded by
+    match-count upper bound."""
+    qa, sb = encode_dna(a), encode_dna(b)
+    aln = banded_local_align(qa, sb, diag=0, scheme=SCHEME, band=6)
+    assert 0 <= aln.identities <= aln.align_len
+    assert aln.score <= min(len(a), len(b)) * SCHEME.max_score
+    assert aln.q_end - aln.q_start <= aln.align_len
+    assert aln.s_end - aln.s_start <= aln.align_len

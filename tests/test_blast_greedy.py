@@ -1,0 +1,136 @@
+"""Tests for greedy extension and megablast."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blast import SequenceDB
+from repro.blast.alphabet import encode_dna
+from repro.blast.greedy import GreedyExtension, greedy_extend, megablast
+
+
+def test_exact_match_consumes_everything():
+    a = encode_dna("ACGTACGTACGT")
+    ext = greedy_extend(a, a)
+    assert ext.q_consumed == 12
+    assert ext.s_consumed == 12
+    assert ext.matches == 12
+    assert ext.differences == 0
+    assert ext.score == 12
+    assert ext.identity == 1.0
+
+
+def test_empty_inputs():
+    a = encode_dna("ACGT")
+    e = encode_dna("")
+    assert greedy_extend(a, e).score == 0
+    assert greedy_extend(e, a).score == 0
+
+
+def test_single_mismatch_bridged():
+    q = encode_dna("AAAAAAAA" + "C" + "GGGGGGGG")
+    s = encode_dna("AAAAAAAA" + "T" + "GGGGGGGG")
+    ext = greedy_extend(q, s, match=1, penalty=3)
+    assert ext.matches == 16
+    assert ext.differences == 1
+    assert ext.score == 16 - 3
+
+
+def test_single_gap_bridged():
+    q = encode_dna("AAAAAAAA" + "GGGGGGGG")
+    s = encode_dna("AAAAAAAA" + "C" + "GGGGGGGG")
+    ext = greedy_extend(q, s, match=1, penalty=3)
+    assert ext.matches == 16
+    assert ext.differences == 1
+    assert ext.q_consumed == 16
+    assert ext.s_consumed == 17
+
+
+def test_stops_when_not_worth_crossing():
+    # 8 matches, then pure noise: crossing costs more than it earns.
+    q = encode_dna("AAAAAAAA" + "CCCCCCCCCCCC")
+    s = encode_dna("AAAAAAAA" + "GGGGGGGGGGGG")
+    ext = greedy_extend(q, s, match=1, penalty=3, xdrop=6)
+    assert ext.score == 8
+    assert ext.matches == 8
+
+
+def test_max_diff_bounds_work():
+    rng = np.random.default_rng(0)
+    q = encode_dna("".join(rng.choice(list("ACGT"), 200)))
+    s = encode_dna("".join(rng.choice(list("ACGT"), 200)))
+    ext = greedy_extend(q, s, max_diff=5)
+    assert ext.differences <= 5
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.text(alphabet="ACGT", min_size=1, max_size=60))
+def test_self_extension_is_perfect(s):
+    enc = encode_dna(s)
+    ext = greedy_extend(enc, enc)
+    assert ext.matches == len(s)
+    assert ext.differences == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.text(alphabet="ACGT", min_size=20, max_size=80),
+       st.integers(1, 4), st.integers(0, 100))
+def test_few_mutations_recovered(core, n_muts, seed):
+    """Point mutations inside a long match: greedy crosses them all and
+    matches everything else."""
+    rng = np.random.default_rng(seed)
+    q = list(core)
+    positions = set()
+    for _ in range(n_muts):
+        # keep mutations away from the very start (anchor) and end
+        pos = int(rng.integers(5, max(6, len(q) - 5)))
+        q[pos] = {"A": "C", "C": "G", "G": "T", "T": "A"}[q[pos]]
+        positions.add(pos)
+    qa, sb = encode_dna("".join(q)), encode_dna(core)
+    ext = greedy_extend(qa, sb, match=1, penalty=1, xdrop=10 ** 9,
+                        max_diff=40)
+    # The naive expectation is one mismatch per mutation, but greedy may
+    # do better: a mutated base can realign against a nearby identical
+    # base via gaps.  So: at least the naive match count, never more
+    # than two differences per mutation, and (near-)full consumption.
+    assert ext.matches >= len(core) - len(positions)
+    assert ext.differences <= 2 * len(positions)
+    assert ext.q_consumed >= len(core) - len(positions)
+    assert ext.score >= len(core) - 2 * len(positions)
+
+
+# ---------------------------------------------------------------- megablast
+def test_megablast_finds_high_identity_hit():
+    rng = np.random.default_rng(3)
+    target = "".join(rng.choice(list("ACGT"), 500))
+    db = SequenceDB.from_fasta_text(
+        f">t target\n{target}\n>d decoy\n"
+        + "".join(rng.choice(list("ACGT"), 400)) + "\n")
+    res = megablast(target[100:300], db)
+    assert res.hits
+    assert res.hits[0].description.startswith("t")
+    assert res.best().identity == 1.0
+
+
+def test_megablast_large_word_skips_weak_similarity():
+    """A ~94%-identity region with no 28-base exact run: megablast misses it
+    (by design), blastn finds it."""
+    from repro.blast import blastn
+
+    rng = np.random.default_rng(4)
+    core = "".join(rng.choice(list("ACGT"), 300))
+    mutated = list(core)
+    for i in range(0, len(mutated), 16):  # a mismatch every 16 bases:
+        # runs of 15 anchor an 11-mer (blastn) but never a 28-mer.
+        mutated[i] = {"A": "C", "C": "G", "G": "T", "T": "A"}[mutated[i]]
+    db = SequenceDB.from_fasta_text(f">t\n{''.join(mutated)}\n")
+    assert blastn(core, db).hits
+    assert not megablast(core, db).hits
+
+
+def test_megablast_requires_nt():
+    aa = SequenceDB("aa")
+    aa.add("p", "MKVLAW" * 10)
+    with pytest.raises(ValueError):
+        megablast("ACGT" * 10, aa)

@@ -1,0 +1,156 @@
+"""Tests for word codes, the word index, and seed selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blast.alphabet import encode_dna, encode_protein
+from repro.blast.kmer import WordIndex, dna_word_codes, protein_word_codes, word_codes
+from repro.blast.score import ProteinScore
+from repro.blast.seed import one_hit_seeds, two_hit_seeds
+
+
+def test_word_codes_basic():
+    enc = encode_dna("ACGT")
+    codes = dna_word_codes(enc, k=2)
+    # AC=0*4+1, CG=1*4+2, GT=2*4+3
+    assert list(codes) == [1, 6, 11]
+
+
+def test_word_codes_short_sequence():
+    assert len(dna_word_codes(encode_dna("AC"), k=11)) == 0
+
+
+def test_word_codes_exact_length():
+    enc = encode_dna("ACGTACGTACG")  # 11 bases
+    assert len(dna_word_codes(enc, k=11)) == 1
+
+
+@settings(max_examples=50)
+@given(st.text(alphabet="ACGT", min_size=12, max_size=100))
+def test_word_codes_window_count(s):
+    enc = encode_dna(s)
+    assert len(dna_word_codes(enc, 11)) == len(s) - 10
+
+
+def test_dna_index_finds_exact_words():
+    q = encode_dna("ACGTACGTACGT")
+    idx = WordIndex.for_dna(q, k=11)
+    subj = encode_dna("TTTTACGTACGTACGTTTTT")
+    spos, qpos = idx.scan(dna_word_codes(subj, 11))
+    assert len(spos) > 0
+    # Every reported pair has matching words.
+    for s, qq in zip(spos, qpos):
+        assert np.array_equal(subj[s:s + 11], q[qq:qq + 11])
+
+
+def test_dna_index_no_hits_in_unrelated_subject():
+    q = encode_dna("A" * 20)
+    idx = WordIndex.for_dna(q, k=11)
+    subj = encode_dna("C" * 50)
+    spos, qpos = idx.scan(dna_word_codes(subj, 11))
+    assert len(spos) == 0
+
+
+def test_index_contains_and_positions():
+    q = encode_dna("ACGTACGTACGTA")  # words at 0,1,2
+    idx = WordIndex.for_dna(q, k=11)
+    codes = dna_word_codes(q, 11)
+    assert int(codes[0]) in idx
+    assert list(idx.query_positions(int(codes[0]))) == [0]
+    assert idx.n_words == 3
+
+
+def test_index_repeated_words_report_all_positions():
+    q = encode_dna("ACGTACGTACGTACGT")  # repeats: word at 0 == word at 4
+    idx = WordIndex.for_dna(q, k=4)
+    code = int(dna_word_codes(q[:4], 4)[0])
+    positions = idx.query_positions(code)
+    assert list(positions) == [0, 4, 8, 12]
+
+
+def test_protein_neighborhood_includes_exact_word():
+    scheme = ProteinScore()
+    q = encode_protein("WWW")
+    idx = WordIndex.for_protein(q, scheme, k=3, threshold=11)
+    codes = protein_word_codes(q, 3)
+    assert int(codes[0]) in idx
+
+
+def test_protein_neighborhood_includes_similar_words():
+    scheme = ProteinScore()
+    q = encode_protein("WWWW")
+    idx = WordIndex.for_protein(q, scheme, k=3, threshold=11)
+    # WWF scores 11+11-? W/F = 1 -> 11+11+1 = 23 >= 11: in neighbourhood.
+    similar = encode_protein("WWF")
+    code = int(protein_word_codes(similar, 3)[0])
+    assert code in idx
+
+
+def test_protein_neighborhood_excludes_dissimilar_words():
+    scheme = ProteinScore()
+    q = encode_protein("WWW")
+    idx = WordIndex.for_protein(q, scheme, k=3, threshold=11)
+    diss = encode_protein("PPP")  # W vs P = -4 each: score -12
+    code = int(protein_word_codes(diss, 3)[0])
+    assert code not in idx
+
+
+def test_scan_empty_inputs():
+    q = encode_dna("ACGTACGTACGT")
+    idx = WordIndex.for_dna(q, k=11)
+    spos, qpos = idx.scan(np.empty(0, dtype=np.int64))
+    assert len(spos) == 0 and len(qpos) == 0
+
+
+# ---------------------------------------------------------------- seeds
+def test_one_hit_seeds_dedupes_runs():
+    # Hits at consecutive subject positions on one diagonal = one seed.
+    spos = np.array([10, 11, 12, 30])
+    qpos = np.array([0, 1, 2, 20])  # diagonals: 10,10,10,10
+    seeds = one_hit_seeds(spos, qpos)
+    assert seeds == [(0, 10), (20, 30)]
+
+
+def test_one_hit_seeds_different_diagonals_kept():
+    spos = np.array([10, 10])
+    qpos = np.array([0, 5])
+    seeds = one_hit_seeds(spos, qpos)
+    assert len(seeds) == 2
+
+
+def test_one_hit_seeds_empty():
+    assert one_hit_seeds(np.array([]), np.array([])) == []
+
+
+def test_two_hit_requires_nonoverlapping_pair():
+    w = 3
+    # Two hits 2 apart (overlapping): no seed.
+    seeds = two_hit_seeds(np.array([10, 12]), np.array([0, 2]), w)
+    assert seeds == []
+    # Two hits 5 apart on one diagonal: seed at the second.
+    seeds = two_hit_seeds(np.array([10, 15]), np.array([0, 5]), w)
+    assert seeds == [(5, 15)]
+
+
+def test_two_hit_window_limit():
+    w = 3
+    seeds = two_hit_seeds(np.array([10, 100]), np.array([0, 90]), w, window=40)
+    assert seeds == []
+
+
+def test_two_hit_dense_run_triggers():
+    """An exact long match produces hits at every position (distance 1);
+    the stored-hit rule must still fire once the span reaches word_size."""
+    n = 20
+    spos = np.arange(n) + 50
+    qpos = np.arange(n)
+    seeds = two_hit_seeds(spos, qpos, word_size=3, window=40)
+    assert len(seeds) >= 1
+    assert seeds[0] == (3, 53)
+
+
+def test_two_hit_different_diagonals_never_pair():
+    seeds = two_hit_seeds(np.array([10, 20]), np.array([0, 5]), 3)
+    assert seeds == []

@@ -1,0 +1,132 @@
+"""Property-based tests of the whole search pipeline: planted matches
+are always found, coordinates are exact, invariants hold under random
+inputs."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.blast import SequenceDB, SearchParams, blastn, blastp
+from repro.blast.alphabet import decode_dna, encode_dna, reverse_complement
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=400)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    background=st.text(alphabet="ACGT", min_size=200, max_size=400),
+    start_frac=st.floats(0.0, 0.7),
+    length=st.integers(30, 120),
+    seed=st.integers(0, 100),
+)
+def test_planted_exact_substring_is_always_found(background, start_frac,
+                                                 length, seed):
+    """Any exact substring of length >= 30 must be found with perfect
+    identity and exact subject coordinates."""
+    start = int(start_frac * (len(background) - 1))
+    length = min(length, len(background) - start)
+    assume(length >= 30)
+    query = background[start:start + length]
+    rng = np.random.default_rng(seed)
+    db = SequenceDB.from_fasta_text(
+        f">target\n{background}\n>decoy\n"
+        + "".join(rng.choice(list("ACGT"), 300)) + "\n")
+    res = blastn(query, db)
+    target_hits = [h for h in res.hits if h.description == "target"]
+    assert target_hits, "planted substring missed"
+    best = max((hsp for h in target_hits for hsp in h.hsps),
+               key=lambda h: h.score)
+    assert best.identity == 1.0
+    # The true placement must be covered (repeats may extend further).
+    assert best.s_start <= start
+    assert best.s_end >= start + length - (length // 10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    background=st.text(alphabet="ACGT", min_size=150, max_size=300),
+    length=st.integers(40, 100),
+)
+def test_planted_substring_found_on_minus_strand(background, length):
+    start = (len(background) - length) // 2
+    assume(start >= 0)
+    piece = background[start:start + length]
+    rc = decode_dna(reverse_complement(encode_dna(piece)))
+    db = SequenceDB.from_fasta_text(f">t\n{background}\n")
+    res = blastn(rc, db)
+    assert res.hits
+    assert any(h.strand == -1 for hit in res.hits for h in hit.hsps)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_hsp_invariants_on_random_queries(data):
+    """Whatever the inputs, reported HSPs satisfy basic geometry and
+    statistics invariants."""
+    rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+    db = SequenceDB.from_fasta_text(
+        "".join(f">s{i}\n{''.join(rng.choice(list('ACGT'), 200))}\n"
+                for i in range(3)))
+    query = "".join(rng.choice(list("ACGT"),
+                               data.draw(st.integers(11, 150))))
+    res = blastn(query, db)
+    for hit in res.hits:
+        subject_len = hit.subject_len
+        for h in hit.hsps:
+            assert 0 <= h.q_start <= h.q_end <= len(query)
+            assert 0 <= h.s_start <= h.s_end <= subject_len
+            assert 0 <= h.identities <= h.align_len
+            assert h.align_len >= max(h.q_end - h.q_start,
+                                      h.s_end - h.s_start)
+            assert h.evalue >= 0
+            assert h.score > 0
+            if h.ops:
+                assert len(h.ops) == h.align_len
+                assert h.ops.count("M") + h.ops.count("D") == h.q_end - h.q_start
+                assert h.ops.count("M") + h.ops.count("I") == h.s_end - h.s_start
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_frags=st.integers(2, 5),
+    seed=st.integers(0, 50),
+)
+def test_fragment_merge_equals_whole_search(n_frags, seed):
+    """Database segmentation + merge finds the same best hit with the
+    same score as searching the whole database."""
+    from repro.blast.seqdb import segment_db
+
+    rng = np.random.default_rng(seed)
+    db = SequenceDB("nt")
+    for i in range(8):
+        db.add(f"s{i}", "".join(rng.choice(list("ACGT"), 300)))
+    target_id = int(rng.integers(0, 8))
+    target = db.sequence_str(target_id)
+    query = target[50:200]
+
+    whole = blastn(query, db)
+    frags = segment_db(db, n_frags)
+    merged = None
+    for frag in frags:
+        r = blastn(query, frag)
+        merged = r if merged is None else merged.merge(r)
+    assert whole.hits and merged.hits
+    assert merged.best().score == whole.best().score
+    assert merged.hits[0].description == whole.hits[0].description
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_search_is_deterministic(seed):
+    rng = np.random.default_rng(seed)
+    db = SequenceDB("nt")
+    db.add("s", "".join(rng.choice(list("ACGT"), 500)))
+    query = db.sequence_str(0)[100:220]
+
+    def run():
+        res = blastn(query, db)
+        return [(h.subject_id, hsp.score, hsp.q_start, hsp.s_start)
+                for h in res.hits for hsp in h.hsps]
+
+    assert run() == run()

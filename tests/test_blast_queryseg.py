@@ -1,0 +1,136 @@
+"""Tests for query segmentation (the paper's §2.2 alternative)."""
+
+import numpy as np
+import pytest
+
+from repro.blast import SequenceDB, blastn
+from repro.blast.queryseg import (
+    merge_segment_results,
+    search_segmented,
+    segment_query,
+)
+from repro.core import ExperimentConfig, Parallelization, Variant, run_experiment
+
+
+def rand_dna(rng, n):
+    return "".join(rng.choice(list("ACGT"), n))
+
+
+# ---------------------------------------------------------------- splitting
+def test_segment_query_covers_whole_query():
+    q = "ACGT" * 100
+    segs = segment_query(q, 4, overlap=10)
+    assert len(segs) == 4
+    assert segs[0].start == 0
+    # Reassembling the non-overlapping prefixes gives back the query.
+    rebuilt = "".join(q[s.start:segs[i + 1].start] if i + 1 < len(segs)
+                      else q[s.start:]
+                      for i, s in enumerate(segs))
+    assert rebuilt == q
+
+
+def test_segment_query_overlap_shared():
+    q = "A" * 100
+    segs = segment_query(q, 2, overlap=20)
+    end0 = segs[0].start + len(segs[0].text)
+    assert end0 - segs[1].start == 20
+
+
+def test_segment_query_validation():
+    with pytest.raises(ValueError):
+        segment_query("ACGT", 0)
+    with pytest.raises(ValueError):
+        segment_query("ACGT", 2, overlap=-1)
+
+
+def test_segment_query_single_segment_is_identity():
+    q = "ACGTACGT"
+    segs = segment_query(q, 1)
+    assert len(segs) == 1
+    assert segs[0].text == q
+
+
+def test_more_segments_than_chars_clamped():
+    segs = segment_query("ACGTT", 50)
+    assert len(segs) == 5
+
+
+# ---------------------------------------------------------------- merging
+@pytest.fixture
+def planted_db():
+    rng = np.random.default_rng(5)
+    target = rand_dna(rng, 600)
+    db = SequenceDB.from_fasta_text(
+        f">t target\n{target}\n" +
+        "".join(f">d{i} decoy\n{rand_dna(rng, 500)}\n" for i in range(4)))
+    return db, target
+
+
+def test_segmented_search_finds_hit_with_correct_coordinates(planted_db):
+    db, target = planted_db
+    query = target[100:400]  # 300 bases
+    merged = search_segmented(blastn, query, db, n_segments=3, overlap=40)
+    assert merged.hits
+    assert merged.hits[0].description.startswith("t")
+    best = merged.best()
+    # Coordinates are in full-query space.
+    assert 0 <= best.q_start < best.q_end <= len(query)
+    assert merged.query_len == len(query)
+
+
+def test_segmented_matches_unsegmented_top_hit(planted_db):
+    db, target = planted_db
+    query = target[50:450]
+    whole = blastn(query, db)
+    seg = search_segmented(blastn, query, db, n_segments=4, overlap=60)
+    assert seg.hits[0].description == whole.hits[0].description
+    # Each segment's best piece covers a subject subrange of the full hit.
+    ws, we = whole.best().s_start, whole.best().s_end
+    ss, se = seg.best().s_start, seg.best().s_end
+    assert ws <= ss and se <= we
+
+
+def test_segmented_dedupes_overlap_hits(planted_db):
+    db, target = planted_db
+    query = target[100:400]
+    merged = search_segmented(blastn, query, db, n_segments=3, overlap=80)
+    spans = [(h.s_start, h.s_end, h.strand) for h in merged.hits[0].hsps]
+    assert len(spans) == len(set(spans))
+
+
+def test_merge_requires_results():
+    with pytest.raises(ValueError):
+        merge_segment_results(100, [])
+
+
+# ---------------------------------------------------------------- simulator
+def test_query_segmentation_slower_for_large_db():
+    """The paper's §2.2 argument: with a big database, query
+    segmentation loses badly to database segmentation."""
+    times = {}
+    for par in Parallelization:
+        cfg = ExperimentConfig(variant=Variant.PVFS, n_workers=4,
+                               n_servers=4, parallelization=par).scaled(1 / 50)
+        times[par] = run_experiment(cfg).execution_time
+    assert (times[Parallelization.QUERY_SEGMENTATION]
+            > 1.5 * times[Parallelization.DATABASE_SEGMENTATION])
+
+
+def test_query_segmentation_copy_cost_is_whole_db():
+    cfg_q = ExperimentConfig(
+        variant=Variant.ORIGINAL, n_workers=4,
+        parallelization=Parallelization.QUERY_SEGMENTATION).scaled(1 / 50)
+    cfg_d = ExperimentConfig(variant=Variant.ORIGINAL, n_workers=4).scaled(1 / 50)
+    r_q = run_experiment(cfg_q)
+    r_d = run_experiment(cfg_d)
+    assert r_q.copy_time == pytest.approx(4 * r_d.copy_time, rel=0.01)
+
+
+def test_query_segmentation_shares_database_files():
+    cfg = ExperimentConfig(variant=Variant.PVFS, n_workers=3, n_servers=2,
+                           parallelization=Parallelization.QUERY_SEGMENTATION
+                           ).scaled(1 / 50)
+    frags = cfg.fragments
+    assert len(frags) == 3
+    assert len({f.file_name("nsq") for f in frags}) == 1  # shared files
+    assert len({f.fragment_id for f in frags}) == 3       # distinct tasks

@@ -1,0 +1,225 @@
+"""Tests for alignment rendering and low-complexity filtering."""
+
+import numpy as np
+import pytest
+
+from repro.blast import SequenceDB, SearchParams, blastn, blastp
+from repro.blast.alphabet import decode_dna, encode_dna, encode_protein, \
+    reverse_complement
+from repro.blast.filter import (
+    apply_query_filter,
+    dust_mask,
+    dust_score,
+    masked_positions,
+    seg_mask,
+    shannon_entropy,
+)
+from repro.blast.render import render_hsp, render_results
+
+
+def rand_dna(rng, n):
+    return "".join(rng.choice(list("ACGT"), n))
+
+
+# ---------------------------------------------------------------- render
+@pytest.fixture
+def rendered():
+    rng = np.random.default_rng(3)
+    target = rand_dna(rng, 400)
+    db = SequenceDB.from_fasta_text(f">t1 target sequence\n{target}\n")
+    q = list(target[50:200])
+    del q[60:62]                       # 2-base deletion
+    q[20] = {"A": "C"}.get(q[20], "A")  # 1 mismatch
+    query = "".join(q)
+    res = blastn(query, db)
+    return query, db, res, render_results(query, db, res)
+
+
+def test_render_contains_blocks(rendered):
+    query, db, res, text = rendered
+    assert "Query  1" in text
+    assert "Sbjct" in text
+    assert ">t1 target sequence" in text
+    assert "Score =" in text and "Expect =" in text
+
+
+def test_render_shows_gap_and_mismatch(rendered):
+    query, db, res, text = rendered
+    assert "-" in text.split("Query  61")[1].splitlines()[0]  # the deletion
+    best = res.best()
+    assert f"Identities = {best.identities}/{best.align_len}" in text
+
+
+def test_render_lines_are_consistent(rendered):
+    """Query/match/subject lines of each block have equal width and the
+    match line marks exactly the identities."""
+    query, db, res, text = rendered
+    lines = text.splitlines()
+    total_bars = 0
+    for i, line in enumerate(lines):
+        if line.startswith("Query  "):
+            qchunk = line.split()[2]
+            col = line.index(qchunk, 7)
+            mline = lines[i + 1][col:col + len(qchunk)]
+            schunk = lines[i + 2].split()[2]
+            assert len(qchunk) == len(schunk)
+            padded = mline.ljust(len(qchunk))
+            for qc, sc, mc in zip(qchunk, schunk, padded):
+                if mc == "|":
+                    assert qc == sc != "-"
+            total_bars += padded.count("|")
+    assert total_bars == res.best().identities
+
+
+def test_render_coordinates_match_hsp(rendered):
+    query, db, res, text = rendered
+    best = res.best()
+    first_q = [l for l in text.splitlines() if l.startswith("Query  ")][0]
+    assert first_q.split()[1] == str(best.q_start + 1)
+    first_s = [l for l in text.splitlines() if l.startswith("Sbjct  ")][0]
+    assert first_s.split()[1] == str(best.s_start + 1)
+
+
+def test_render_minus_strand_coordinates():
+    rng = np.random.default_rng(4)
+    target = rand_dna(rng, 300)
+    db = SequenceDB.from_fasta_text(f">t minus test\n{target}\n")
+    rc_query = decode_dna(reverse_complement(encode_dna(target[100:220])))
+    res = blastn(rc_query, db)
+    assert res.best().strand == -1
+    text = render_results(rc_query, db, res)
+    assert "Plus / Minus" in text
+    # Query coordinates run downwards for minus-strand alignments.
+    qlines = [l for l in text.splitlines() if l.startswith("Query  ")]
+    first_start = int(qlines[0].split()[1])
+    last_end = int(qlines[-1].split()[-1])
+    assert first_start > last_end
+    assert last_end == 1
+
+
+def test_render_bad_ops_rejected():
+    from repro.blast.search import HSP
+
+    hsp = HSP(0, 2, 0, 2, 2, 1.0, 1.0, 2, 2, ops="MX")
+    with pytest.raises(ValueError):
+        render_hsp("AC", "AC", hsp)
+
+
+def test_render_ops_span_must_match_coords():
+    from repro.blast.search import HSP
+
+    hsp = HSP(0, 3, 0, 2, 2, 1.0, 1.0, 2, 2, ops="MM")  # q span says 3
+    with pytest.raises(ValueError, match="span"):
+        render_hsp("ACG", "AC", hsp)
+
+
+# ---------------------------------------------------------------- dust
+def test_dust_score_homopolymer_high():
+    poly_a = encode_dna("A" * 64)
+    assert dust_score(poly_a) > 10
+
+
+def test_dust_score_random_low():
+    rng = np.random.default_rng(0)
+    rand = encode_dna(rand_dna(rng, 64))
+    assert dust_score(rand) < 1.5
+
+
+def test_dust_mask_flags_homopolymer_run():
+    rng = np.random.default_rng(1)
+    seq = rand_dna(rng, 100) + "A" * 80 + rand_dna(rng, 100)
+    mask = dust_mask(encode_dna(seq))
+    assert mask[120:160].all()          # inside the run
+    assert not mask[:60].any()          # clean prefix untouched
+
+
+def test_dust_mask_short_sequence():
+    assert not dust_mask(encode_dna("ACG")).any()
+
+
+def test_dust_mask_tandem_repeat():
+    seq = "ACACACACAC" * 10
+    assert dust_mask(encode_dna(seq)).mean() > 0.8
+
+
+# ---------------------------------------------------------------- seg
+def test_entropy_uniform_vs_constant():
+    assert shannon_entropy(np.arange(12), 25) == pytest.approx(np.log2(12))
+    assert shannon_entropy(np.zeros(12, dtype=int), 25) == 0.0
+
+
+def test_seg_mask_flags_poly_q():
+    rng = np.random.default_rng(2)
+    aas = "ARNDCQEGHILKMFPSTWYV"
+    seq = "".join(rng.choice(list(aas), 50)) + "Q" * 30 + \
+          "".join(rng.choice(list(aas), 50))
+    mask = seg_mask(encode_protein(seq))
+    assert mask[55:75].all()
+    assert not mask[:30].any()
+
+
+def test_seg_mask_random_protein_unmasked():
+    rng = np.random.default_rng(3)
+    seq = "".join(rng.choice(list("ARNDCQEGHILKMFPSTWYV"), 200))
+    assert seg_mask(encode_protein(seq)).mean() < 0.1
+
+
+# ----------------------------------------------------------- integration
+def test_masked_positions_cover_overlapping_words():
+    mask = np.zeros(20, dtype=bool)
+    mask[10] = True
+    wp = masked_positions(mask, word_size=5)
+    assert wp[6:11].all()       # words starting 6..10 cover position 10
+    assert not wp[:6].any()
+    assert not wp[11:].any()
+
+
+def test_filter_suppresses_low_complexity_hits():
+    """A poly-A query matches a poly-A decoy without filtering; with
+    DUST on, the junk hit disappears while a real hit survives."""
+    rng = np.random.default_rng(7)
+    real = rand_dna(rng, 300)
+    db = SequenceDB.from_fasta_text(
+        f">real target\n{real}\n>junk poly-a\n{'A' * 400}\n")
+    query = real[50:150] + "A" * 60
+
+    hits_raw = blastn(query, db).hits
+    assert any(h.description.startswith("junk") for h in hits_raw)
+
+    params = SearchParams(word_size=11, gapped_trigger=18,
+                          filter_low_complexity=True)
+    hits_filtered = blastn(query, db, params=params).hits
+    assert not any(h.description.startswith("junk") for h in hits_filtered)
+    assert any(h.description.startswith("real") for h in hits_filtered)
+
+
+def test_apply_query_filter_dispatch():
+    mask, wp = apply_query_filter(encode_dna("A" * 100), False, 11)
+    assert mask.any() and wp.any()
+    mask, wp = apply_query_filter(encode_protein("Q" * 40), True, 3)
+    assert mask.any() and wp.any()
+
+
+def test_render_protein_alignment():
+    rng = np.random.default_rng(8)
+    aas = "ARNDCQEGHILKMFPSTWYV"
+    prot = "".join(rng.choice(list(aas), 250))
+    db = SequenceDB("aa")
+    db.add("p1 target protein", prot)
+    res = blastp(prot[50:170], db)
+    from repro.blast.render import render_results
+
+    text = render_results(prot[50:170], db, res)
+    assert "Query  1" in text
+    assert "p1 target protein" in text
+    # Protein identity bars: every bar column is a true identity.
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        if line.startswith("Query  "):
+            qchunk = line.split()[2]
+            col = line.index(qchunk, 7)
+            mline = lines[i + 1][col:col + len(qchunk)]
+            schunk = lines[i + 2].split()[2]
+            for qc, sc, mc in zip(qchunk, schunk, mline.ljust(len(qchunk))):
+                if mc == "|":
+                    assert qc == sc

@@ -1,0 +1,61 @@
+"""Tests for length adjustment / effective search space."""
+
+import numpy as np
+import pytest
+
+from repro.blast import SequenceDB, SearchParams, blastn
+from repro.blast.stats import (
+    KarlinAltschul,
+    effective_search_space,
+    length_adjustment,
+)
+
+KA = KarlinAltschul(lam=1.28, k=0.46, h=0.85)
+
+
+def test_length_adjustment_positive_for_realistic_sizes():
+    l = length_adjustment(KA, 568, 2_580_000_000, 1_760_000)
+    assert 20 < l < 60  # ~ln(K m n)/H scale
+
+
+def test_length_adjustment_grows_with_search_space():
+    small = length_adjustment(KA, 500, 10 ** 6, 100)
+    big = length_adjustment(KA, 500, 10 ** 9, 10 ** 5)
+    assert big > small
+
+
+def test_length_adjustment_degenerate_inputs():
+    assert length_adjustment(KA, 0, 1000) == 0
+    assert length_adjustment(KA, 100, 0) == 0
+    assert length_adjustment(KA, 100, 1000, 0) == 0
+    assert length_adjustment(KarlinAltschul(1.0, 0.5, 0.0), 100, 1000) == 0
+
+
+def test_length_adjustment_never_exceeds_lengths():
+    # Tiny query: the adjustment must not consume the whole sequence.
+    l = length_adjustment(KA, 15, 10 ** 8, 10 ** 4)
+    assert 0 <= l < 15 or l == 0
+
+
+def test_effective_search_space_shrinks_both_axes():
+    m_eff, n_eff = effective_search_space(KA, 568, 10 ** 9, 10 ** 6)
+    assert m_eff < 568
+    assert n_eff < 10 ** 9
+    assert m_eff > 0 and n_eff > 0
+
+
+def test_effective_lengths_raise_significance():
+    """With the edge correction on, E-values shrink (smaller space)."""
+    rng = np.random.default_rng(0)
+    target = "".join(rng.choice(list("ACGT"), 600))
+    db = SequenceDB.from_fasta_text(
+        f">t\n{target}\n" +
+        "".join(f">d{i}\n{''.join(rng.choice(list('ACGT'), 500))}\n"
+                for i in range(5)))
+    query = target[100:250]
+    plain = blastn(query, db)
+    adjusted = blastn(query, db, params=SearchParams(
+        word_size=11, gapped_trigger=18, effective_lengths=True))
+    assert adjusted.best().evalue < plain.best().evalue
+    # Same alignment either way.
+    assert adjusted.best().score == plain.best().score

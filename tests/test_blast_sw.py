@@ -1,0 +1,125 @@
+"""Tests for full Smith-Waterman, and banded-vs-exact properties."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.blast.alphabet import encode_dna
+from repro.blast.gapped import banded_local_align
+from repro.blast.score import NucleotideScore
+from repro.blast.sw import SWAlignment, smith_waterman, smith_waterman_score
+
+SCHEME = NucleotideScore()  # +1/-3, gap 5/2
+dna = st.text(alphabet="ACGT", min_size=0, max_size=80)
+
+
+def test_sw_exact_match():
+    a = encode_dna("ACGTACGTACGT")
+    aln = smith_waterman(a, a, SCHEME)
+    assert aln.score == 12
+    assert aln.ops == "M" * 12
+    assert (aln.q_start, aln.q_end) == (0, 12)
+
+
+def test_sw_empty_inputs():
+    a = encode_dna("ACGT")
+    empty = encode_dna("")
+    assert smith_waterman(a, empty, SCHEME).score == 0
+    assert smith_waterman(empty, a, SCHEME).score == 0
+    assert smith_waterman_score(empty, a, SCHEME) == 0
+
+
+def test_sw_no_positive_alignment():
+    aln = smith_waterman(encode_dna("AAAA"), encode_dna("CCCC"), SCHEME)
+    assert aln.score == 0
+    assert aln.ops == ""
+
+
+def test_sw_gap_handling():
+    q = encode_dna("ACGTACGTACGT" + "GG" + "TGCATGCATGCA")
+    s = encode_dna("ACGTACGTACGT" + "TGCATGCATGCA")
+    aln = smith_waterman(q, s, SCHEME)
+    assert aln.score == 24 - (5 + 2)  # 24 matches, gap of 2
+    assert aln.ops.count("D") == 2
+    assert aln.ops.count("M") == 24
+
+
+def test_sw_local_trims():
+    q = encode_dna("CCCC" + "ACGTACGTACGT" + "GGGG")
+    s = encode_dna("TTTT" + "ACGTACGTACGT" + "AAAA")
+    aln = smith_waterman(q, s, SCHEME)
+    assert aln.score == 12
+    assert aln.q_start == 4 and aln.q_end == 16
+    assert aln.s_start == 4 and aln.s_end == 16
+
+
+@settings(max_examples=60, deadline=None)
+@given(dna, dna)
+def test_sw_score_matches_traceback_score(a, b):
+    qa, sb = encode_dna(a), encode_dna(b)
+    assert smith_waterman(qa, sb, SCHEME).score == \
+        smith_waterman_score(qa, sb, SCHEME)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dna, dna)
+def test_sw_ops_rescore_to_reported_score(a, b):
+    """Replaying the traceback ops reproduces the optimal score."""
+    qa, sb = encode_dna(a), encode_dna(b)
+    aln = smith_waterman(qa, sb, SCHEME)
+    qi, si = aln.q_start, aln.s_start
+    score = 0
+    gap_open = True
+    prev = ""
+    for op in aln.ops:
+        if op == "M":
+            score += int(SCHEME.matrix[qa[qi], sb[si]])
+            qi += 1
+            si += 1
+        else:
+            score -= SCHEME.gap_extend if op == prev else SCHEME.gap_open
+            if op == "D":
+                qi += 1
+            else:
+                si += 1
+        prev = op
+    assert qi == aln.q_end and si == aln.s_end
+    assert score == aln.score
+
+
+@settings(max_examples=60, deadline=None)
+@given(dna, dna)
+def test_banded_never_exceeds_exact(a, b):
+    """The banded heuristic is a lower bound on the true optimum."""
+    qa, sb = encode_dna(a), encode_dna(b)
+    exact = smith_waterman_score(qa, sb, SCHEME)
+    banded = banded_local_align(qa, sb, diag=0, scheme=SCHEME, band=8).score
+    assert banded <= exact
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.text(alphabet="ACGT", min_size=5, max_size=60),
+       st.integers(0, 3), st.integers(0, 100))
+def test_banded_equals_exact_when_band_covers(core, n_muts, seed):
+    """For near-diagonal alignments (few mutations, no big shifts) a
+    generous band recovers the exact optimum."""
+    rng = np.random.default_rng(seed)
+    q = list(core)
+    for _ in range(n_muts):
+        pos = int(rng.integers(0, len(q)))
+        q[pos] = rng.choice(list("ACGT"))
+    qa, sb = encode_dna("".join(q)), encode_dna(core)
+    exact = smith_waterman_score(qa, sb, SCHEME)
+    banded = banded_local_align(qa, sb, diag=0, scheme=SCHEME,
+                                band=max(len(core), 8)).score
+    assert banded == exact
+
+
+@settings(max_examples=40, deadline=None)
+@given(dna, dna)
+def test_sw_symmetry(a, b):
+    """score(a, b) == score(b, a) for a symmetric matrix."""
+    qa, sb = encode_dna(a), encode_dna(b)
+    assert smith_waterman_score(qa, sb, SCHEME) == \
+        smith_waterman_score(sb, qa, SCHEME)

@@ -1,0 +1,138 @@
+"""Unit tests for the processor-sharing CPU model."""
+
+import pytest
+
+from repro.sim import Simulator, Timeout
+from repro.cluster.cpu import CPU
+
+
+def test_single_task_runs_at_full_speed():
+    sim = Simulator()
+    cpu = CPU(sim, cores=2)
+
+    def proc(sim, cpu):
+        yield cpu.consume(5.0)
+        return sim.now
+
+    p = sim.process(proc(sim, cpu))
+    sim.run_until_complete(p)
+    assert p.value == pytest.approx(5.0)
+
+
+def test_two_tasks_on_two_cores_no_slowdown():
+    sim = Simulator()
+    cpu = CPU(sim, cores=2)
+
+    def proc(sim, cpu):
+        yield cpu.consume(5.0)
+        return sim.now
+
+    ps = [sim.process(proc(sim, cpu)) for _ in range(2)]
+    sim.run_until_complete(*ps)
+    for p in ps:
+        assert p.value == pytest.approx(5.0)
+
+
+def test_four_tasks_on_two_cores_halve_speed():
+    sim = Simulator()
+    cpu = CPU(sim, cores=2)
+
+    def proc(sim, cpu):
+        yield cpu.consume(5.0)
+        return sim.now
+
+    ps = [sim.process(proc(sim, cpu)) for _ in range(4)]
+    sim.run_until_complete(*ps)
+    for p in ps:
+        assert p.value == pytest.approx(10.0)
+
+
+def test_staggered_arrivals_share_fairly():
+    sim = Simulator()
+    cpu = CPU(sim, cores=1)
+    finish = {}
+
+    def proc(sim, cpu, tag, start, work):
+        yield Timeout(sim, start)
+        yield cpu.consume(work)
+        finish[tag] = sim.now
+
+    # a runs alone [0,1), then shares with b.
+    sim.process(proc(sim, cpu, "a", 0.0, 2.0))
+    sim.process(proc(sim, cpu, "b", 1.0, 2.0))
+    sim.run()
+    # a: 1s alone + 2s shared (rate 1/2) = finishes at 3.0
+    assert finish["a"] == pytest.approx(3.0)
+    # b: shares [1,3] doing 1s of work, then alone 1s more -> 4.0
+    assert finish["b"] == pytest.approx(4.0)
+
+
+def test_zero_work_completes_immediately():
+    sim = Simulator()
+    cpu = CPU(sim, cores=1)
+
+    def proc(sim, cpu):
+        yield cpu.consume(0.0)
+        return sim.now
+
+    p = sim.process(proc(sim, cpu))
+    sim.run_until_complete(p)
+    assert p.value == 0.0
+
+
+def test_negative_work_rejected():
+    sim = Simulator()
+    cpu = CPU(sim, cores=1)
+    with pytest.raises(ValueError):
+        cpu.consume(-1.0)
+
+
+def test_cores_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        CPU(sim, cores=0)
+
+
+def test_utilization_accounting():
+    sim = Simulator()
+    cpu = CPU(sim, cores=2)
+
+    def proc(sim, cpu):
+        yield cpu.consume(4.0)
+        # idle afterwards
+        yield Timeout(sim, 4.0)
+
+    p = sim.process(proc(sim, cpu))
+    sim.run_until_complete(p)
+    # one core busy for 4s out of 2 cores * 8s = 0.25
+    assert cpu.utilization() == pytest.approx(0.25)
+    assert cpu.total_work_done == pytest.approx(4.0)
+
+
+def test_many_tasks_conserve_work():
+    sim = Simulator()
+    cpu = CPU(sim, cores=2)
+    works = [1.0, 2.5, 0.5, 3.0, 1.5]
+
+    def proc(sim, cpu, w, delay):
+        yield Timeout(sim, delay)
+        yield cpu.consume(w)
+
+    ps = [sim.process(proc(sim, cpu, w, i * 0.3)) for i, w in enumerate(works)]
+    sim.run_until_complete(*ps)
+    assert cpu.total_work_done == pytest.approx(sum(works))
+    # with 2 cores, total wall time >= total work / cores
+    assert sim.now >= sum(works) / 2 - 1e-9
+
+
+def test_run_generator_form():
+    sim = Simulator()
+    cpu = CPU(sim, cores=1)
+
+    def proc(sim, cpu):
+        yield from cpu.run(2.0)
+        return sim.now
+
+    p = sim.process(proc(sim, cpu))
+    sim.run_until_complete(p)
+    assert p.value == pytest.approx(2.0)

@@ -1,0 +1,224 @@
+"""Unit tests for the disk model, including the Figure 8 stressor
+interaction that drives the paper's hot-spot experiment."""
+
+import pytest
+
+from repro.sim import Simulator, Timeout
+from repro.cluster.disk import Disk, DiskRequest, READ, WRITE
+from repro.cluster.params import DiskParams, MB, MiB, KiB
+
+
+def make_disk(sim, **over):
+    return Disk(sim, DiskParams(**over), name="d0")
+
+
+def test_request_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        DiskRequest(sim, "erase", 0, 1, "s")
+    with pytest.raises(ValueError):
+        DiskRequest(sim, READ, 0, 0, "s")
+    with pytest.raises(ValueError):
+        DiskRequest(sim, READ, -1, 1, "s")
+
+
+def test_sequential_read_bandwidth():
+    """A long sequential read stream approaches the Bonnie read rate."""
+    sim = Simulator()
+    disk = make_disk(sim)
+    total = 100 * MB
+
+    def reader(sim, disk):
+        off = 0
+        chunk = MiB
+        while off < total:
+            yield disk.read(off, chunk, stream="f")
+            off += chunk
+
+    p = sim.process(reader(sim, disk))
+    sim.run_until_complete(p)
+    rate = total / sim.now
+    # One seek at the start, per-request overhead on 100 requests.
+    assert 0.9 * 26 * MB < rate <= 26 * MB
+
+
+def test_sequential_write_bandwidth():
+    sim = Simulator()
+    disk = make_disk(sim)
+    total = 64 * MB
+
+    def writer(sim, disk):
+        off = 0
+        while off < total:
+            yield disk.write(off, MiB, stream="f")
+            off += MiB
+
+    p = sim.process(writer(sim, disk))
+    sim.run_until_complete(p)
+    rate = total / sim.now
+    assert 0.9 * 32 * MB < rate <= 32 * MB
+
+
+def test_random_reads_pay_seek():
+    sim = Simulator()
+    disk = make_disk(sim)
+
+    def reader(sim, disk):
+        # Interleave two far-apart streams: every request seeks.
+        for i in range(10):
+            yield disk.read(i * 10 * MB, 4 * KiB, stream="a")
+            yield disk.read(500 * MB + i * 10 * MB, 4 * KiB, stream="b")
+
+    p = sim.process(reader(sim, disk))
+    sim.run_until_complete(p)
+    per_req = sim.now / 20
+    assert per_req >= DiskParams().seek_time  # dominated by seeks
+
+
+def test_service_time_formula():
+    sim = Simulator()
+    disk = make_disk(sim)
+    p = disk.params
+    seq = disk.service_time(READ, MiB, sequential=True)
+    rnd = disk.service_time(READ, MiB, sequential=False)
+    assert seq == pytest.approx(p.request_overhead + MiB / p.read_bandwidth)
+    assert rnd == pytest.approx(seq + p.seek_time)
+    w = disk.service_time(WRITE, MiB, sequential=True)
+    assert w < seq  # writes are faster on this drive
+
+
+def test_counters_and_stats():
+    sim = Simulator()
+    disk = make_disk(sim)
+
+    def io(sim, disk):
+        yield disk.read(0, 1000, stream="f")
+        yield disk.write(0, 2000, stream="g")
+
+    p = sim.process(io(sim, disk))
+    sim.run_until_complete(p)
+    assert disk.bytes_read == 1000
+    assert disk.bytes_written == 2000
+    assert disk.reads_serviced == 1
+    assert disk.writes_serviced == 1
+    assert disk.read_latency.count == 1
+
+
+def test_queue_drains_fifo_within_class():
+    sim = Simulator()
+    disk = make_disk(sim, write_batch=1, write_anticipation=0.0)
+    order = []
+
+    def submit_all(sim, disk):
+        evs = []
+        for i in range(3):
+            ev = disk.read(i * 100 * MB, 4 * KiB, stream=f"s{i}")
+            ev.add_callback(lambda e, i=i: order.append(i))
+            evs.append(ev)
+        for ev in evs:
+            yield ev
+
+    p = sim.process(submit_all(sim, disk))
+    sim.run_until_complete(p)
+    assert order == [0, 1, 2]
+
+
+def test_write_batching_starves_interleaved_reads():
+    """With a continuous synchronous writer, reads make far less
+    progress than their fair share — the paper's Section 4.5 mechanism."""
+    sim = Simulator()
+    disk = make_disk(sim)  # write_batch=16
+
+    stop = 60.0
+    read_bytes = [0]
+
+    def writer(sim, disk):
+        off = 0
+        while sim.now < stop:
+            yield disk.write(off, MiB, stream="stress")
+            off += MiB
+            yield Timeout(sim, 2.5e-3)  # memcpy gap
+
+    def reader(sim, disk):
+        off = 0
+        while sim.now < stop:
+            yield disk.read(off, 64 * KiB, stream="blast")
+            off += 64 * KiB
+            read_bytes[0] = off
+
+    sim.process(writer(sim, disk))
+    sim.process(reader(sim, disk))
+    sim.run(until=stop + 5)
+    rate = read_bytes[0] / stop
+    # Fair share would be ~13 MB/s; the elevator model must starve the
+    # reader well below 1 MB/s (paper: order-of-magnitude degradations).
+    assert rate < 1 * MB
+    assert rate > 0.01 * MB  # but not absolute starvation
+
+
+def test_larger_read_granularity_suffers_less():
+    """Per-request batching penalty means 128 KiB readers out-pace
+    64 KiB readers under write stress — why original BLAST (mmap
+    readahead) degrades less than over-PVFS (stripe-unit reads)."""
+
+    def stressed_read_rate(chunk):
+        sim = Simulator()
+        disk = make_disk(sim)
+        stop = 60.0
+        done = [0]
+
+        def writer(sim, disk):
+            off = 0
+            while sim.now < stop:
+                yield disk.write(off, MiB, stream="stress")
+                off += MiB
+                yield Timeout(sim, 2.5e-3)
+
+        def reader(sim, disk):
+            off = 0
+            while sim.now < stop:
+                yield disk.read(off, chunk, stream="blast")
+                off += chunk
+                done[0] = off
+
+        sim.process(writer(sim, disk))
+        sim.process(reader(sim, disk))
+        sim.run(until=stop + 5)
+        return done[0] / stop
+
+    small = stressed_read_rate(64 * KiB)
+    large = stressed_read_rate(128 * KiB)
+    assert large > 1.5 * small
+
+
+def test_sample_utilization_window():
+    sim = Simulator()
+    disk = make_disk(sim)
+
+    def io(sim, disk):
+        yield Timeout(sim, 1.0)
+        # ~1 second of disk work
+        yield disk.read(0, 26 * MB, stream="f")
+
+    p = sim.process(io(sim, disk))
+    sim.run_until_complete(p)
+    util = disk.sample_utilization()
+    assert 0.3 < util < 0.7  # busy ~1s out of ~2s
+    sim2_end = sim.run(until=sim.now + 10)
+    util2 = disk.sample_utilization()
+    assert util2 < 0.05  # idle since last sample
+
+
+def test_idle_disk_wakes_on_submission():
+    sim = Simulator()
+    disk = make_disk(sim)
+
+    def late_io(sim, disk):
+        yield Timeout(sim, 5.0)
+        yield disk.read(0, 4 * KiB, stream="f")
+        return sim.now
+
+    p = sim.process(late_io(sim, disk))
+    sim.run_until_complete(p)
+    assert p.value > 5.0
+    assert p.value < 5.1

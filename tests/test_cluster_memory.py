@@ -1,0 +1,90 @@
+"""Unit tests for the page cache."""
+
+import pytest
+
+from repro.cluster.memory import PageCache
+from repro.cluster.params import GB, KiB, MemoryParams
+
+
+def small_cache(pages=4, page_size=64 * KiB):
+    ram = pages * page_size
+    return PageCache(MemoryParams(ram=ram, cache_fraction=1.0, page_size=page_size))
+
+
+def test_miss_then_hit():
+    pc = small_cache()
+    hit, miss = pc.lookup("f", 0, 64 * KiB)
+    assert (hit, miss) == (0, 64 * KiB)
+    pc.insert("f", 0, 64 * KiB)
+    hit, miss = pc.lookup("f", 0, 64 * KiB)
+    assert (hit, miss) == (64 * KiB, 0)
+
+
+def test_partial_hit_accounting():
+    pc = small_cache()
+    pc.insert("f", 0, 64 * KiB)  # page 0 only
+    hit, miss = pc.lookup("f", 0, 128 * KiB)
+    assert hit == 64 * KiB
+    assert miss == 64 * KiB
+
+
+def test_lru_eviction():
+    pc = small_cache(pages=2)
+    pc.insert("f", 0 * 64 * KiB, 64 * KiB)
+    pc.insert("f", 1 * 64 * KiB, 64 * KiB)
+    pc.insert("f", 2 * 64 * KiB, 64 * KiB)  # evicts page 0
+    assert not pc.contains("f", 0, 64 * KiB)
+    assert pc.contains("f", 64 * KiB, 64 * KiB)
+    assert pc.cached_pages == 2
+
+
+def test_lookup_refreshes_lru_order():
+    pc = small_cache(pages=2)
+    pc.insert("f", 0, 64 * KiB)            # page 0
+    pc.insert("f", 64 * KiB, 64 * KiB)     # page 1
+    pc.lookup("f", 0, 64 * KiB)            # touch page 0 -> MRU
+    pc.insert("f", 128 * KiB, 64 * KiB)    # evicts page 1 (LRU)
+    assert pc.contains("f", 0, 64 * KiB)
+    assert not pc.contains("f", 64 * KiB, 64 * KiB)
+
+
+def test_files_are_independent():
+    pc = small_cache()
+    pc.insert("f", 0, 64 * KiB)
+    assert not pc.contains("g", 0, 64 * KiB)
+
+
+def test_invalidate_drops_only_target_file():
+    pc = small_cache()
+    pc.insert("f", 0, 64 * KiB)
+    pc.insert("g", 0, 64 * KiB)
+    pc.invalidate("f")
+    assert not pc.contains("f", 0, 64 * KiB)
+    assert pc.contains("g", 0, 64 * KiB)
+
+
+def test_unaligned_ranges_round_to_pages():
+    pc = small_cache()
+    pc.insert("f", 100, 10)  # touches page 0 only
+    assert pc.contains("f", 0, 64 * KiB)
+    hit, miss = pc.lookup("f", 50, 100)
+    assert hit == 100 and miss == 0
+
+
+def test_zero_size_lookup():
+    pc = small_cache()
+    assert pc.lookup("f", 0, 0) == (0, 0)
+
+
+def test_hit_ratio():
+    pc = small_cache()
+    assert pc.hit_ratio() == 0.0
+    pc.lookup("f", 0, 64 * KiB)      # miss
+    pc.insert("f", 0, 64 * KiB)
+    pc.lookup("f", 0, 64 * KiB)      # hit
+    assert pc.hit_ratio() == pytest.approx(0.5)
+
+
+def test_default_capacity_matches_ram_fraction():
+    pc = PageCache(MemoryParams())
+    assert pc.capacity_pages == int(2 * GB * 0.8) // (64 * KiB)

@@ -1,0 +1,143 @@
+"""Unit tests for the network model."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+from repro.cluster.params import MB, MiB, NetworkParams, NodeParams
+
+
+def two_nodes(sim, **net_over):
+    params = NodeParams(network=NetworkParams(**net_over))
+    net = Network(sim, params.network)
+    a = Node(sim, "a", net, params)
+    b = Node(sim, "b", net, params)
+    return net, a, b
+
+
+def test_transfer_approaches_tcp_bandwidth():
+    sim = Simulator()
+    net, a, b = two_nodes(sim)
+    size = 100 * MB
+
+    def proc():
+        yield from net.transfer(a, b, size)
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run_until_complete(p)
+    rate = size / p.value
+    assert 0.9 * 112 * MB < rate <= 112 * MB
+
+
+def test_small_message_dominated_by_latency():
+    sim = Simulator()
+    net, a, b = two_nodes(sim)
+
+    def proc():
+        yield from net.transfer(a, b, 100)
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run_until_complete(p)
+    assert p.value >= net.params.latency
+    assert p.value < 10 * net.params.latency
+
+
+def test_local_transfer_costs_only_cpu():
+    sim = Simulator()
+    net, a, b = two_nodes(sim)
+
+    def proc():
+        yield from net.transfer(a, a, 10 * MB)
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run_until_complete(p)
+    assert p.value < 1e-1  # far faster than the 90ms wire time
+    assert a.nic.bytes_sent == 0
+
+
+def test_two_flows_share_receiver_nic():
+    """Two senders into one receiver each get ~half the bandwidth."""
+    sim = Simulator()
+    params = NodeParams()
+    net = Network(sim, params.network)
+    a = Node(sim, "a", net, params)
+    b = Node(sim, "b", net, params)
+    c = Node(sim, "c", net, params)
+    size = 50 * MB
+    times = {}
+
+    def proc(src, tag):
+        yield from net.transfer(src, c, size)
+        times[tag] = sim.now
+
+    sim.process(proc(a, "a"))
+    sim.process(proc(b, "b"))
+    sim.run()
+    solo = size / params.network.bandwidth
+    for tag in ("a", "b"):
+        assert times[tag] == pytest.approx(2 * solo, rel=0.1)
+
+
+def test_full_duplex_no_interference():
+    """a->b and b->a proceed concurrently at full rate."""
+    sim = Simulator()
+    net, a, b = two_nodes(sim)
+    size = 50 * MB
+    times = {}
+
+    def proc(src, dst, tag):
+        yield from net.transfer(src, dst, size)
+        times[tag] = sim.now
+
+    sim.process(proc(a, b, "ab"))
+    sim.process(proc(b, a, "ba"))
+    sim.run()
+    solo = size / net.params.bandwidth
+    for tag in ("ab", "ba"):
+        assert times[tag] == pytest.approx(solo, rel=0.1)
+
+
+def test_transfer_counters():
+    sim = Simulator()
+    net, a, b = two_nodes(sim)
+
+    def proc():
+        yield from net.transfer(a, b, 1 * MB)
+
+    p = sim.process(proc())
+    sim.run_until_complete(p)
+    assert a.nic.bytes_sent == 1 * MB
+    assert b.nic.bytes_received == 1 * MB
+    assert net.messages_delivered == 1
+    assert net.bytes_delivered == 1 * MB
+
+
+def test_negative_size_rejected():
+    sim = Simulator()
+    net, a, b = two_nodes(sim)
+
+    def proc():
+        yield from net.transfer(a, b, -1)
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.failed
+    assert isinstance(p.value, ValueError)
+
+
+def test_duplicate_attach_rejected():
+    sim = Simulator()
+    net, a, b = two_nodes(sim)
+    with pytest.raises(ValueError):
+        net.attach(a)
+
+
+def test_message_time_helper():
+    sim = Simulator()
+    net, a, b = two_nodes(sim)
+    assert net.message_time(0) == net.params.latency
+    assert net.message_time(112 * MB) == pytest.approx(1.0 + net.params.latency)

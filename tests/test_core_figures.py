@@ -1,0 +1,71 @@
+"""Tests for the programmatic figure regeneration API (reduced scale)."""
+
+import pytest
+
+from repro.core import reproduce
+from repro.core.experiment import Variant
+from repro.core.figures import (
+    FIGURES,
+    figure4,
+    figure5,
+    figure9,
+    table1,
+)
+
+SCALE = 1 / 100
+
+
+def test_reproduce_dispatch_accepts_bare_numbers():
+    res = reproduce("9", scale=SCALE)
+    assert res.figure_id == "F9"
+    res = reproduce("T1", scale=SCALE)
+    assert res.figure_id == "T1"
+
+
+def test_reproduce_unknown_figure():
+    with pytest.raises(ValueError, match="unknown figure"):
+        reproduce("F8", scale=SCALE)  # fig 8 is the stressor listing
+
+
+def test_all_registered_figures_have_callables():
+    assert set(FIGURES) == {"T1", "F4", "F5", "F6", "F7", "F9"}
+
+
+def test_table1_calibration_holds_at_any_scale():
+    res = table1(scale=SCALE)
+    for name, (measured, paper) in res.data.items():
+        assert 0.85 * paper <= measured <= 1.05 * paper, name
+    assert "Bonnie" in res.table
+
+
+def test_figure4_structure():
+    res = figure4(scale=SCALE)
+    stats = res.data["stats"]
+    assert stats.operations == 144
+    assert res.chart  # the scatter is attached
+    assert "F4" in res.render()
+
+
+def test_figure5_shape_at_reduced_scale():
+    # 1/50 is the smallest scale where fixed costs do not drown the
+    # I/O-scheme differences.
+    res = figure5(scale=1 / 50, workers=(1, 4))
+    orig = res.data["original"]
+    pvfs = res.data["over PVFS"]
+    assert pvfs[0] > orig[0]   # loses at 1 worker
+    assert pvfs[1] < orig[1]   # wins at 4
+    assert "F5" in res.table and res.chart
+
+
+def test_figure9_ordering_at_reduced_scale():
+    res = figure9(scale=1 / 50)
+    factors = {v: f for v, (_b, _s, f) in res.data.items()}
+    assert factors[Variant.CEFT_PVFS] < factors[Variant.ORIGINAL] \
+        < factors[Variant.PVFS]
+
+
+def test_render_concatenates_table_and_chart():
+    res = figure5(scale=SCALE, workers=(1, 2))
+    text = res.render()
+    assert res.table in text
+    assert res.chart in text

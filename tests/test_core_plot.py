@@ -1,0 +1,67 @@
+"""Tests for the ASCII figure rendering."""
+
+import pytest
+
+from repro.core.plot import ascii_chart, figure4_scatter, figure_lines
+from repro.trace import TraceRecord
+
+
+def test_ascii_chart_basic_scatter():
+    text = ascii_chart({"a": [(0, 0), (1, 1), (2, 4)]}, title="T",
+                       x_label="x", y_label="y")
+    assert "T" in text
+    assert "o" in text
+    assert "[o = a]" in text
+    assert "(y: y)" in text
+
+
+def test_ascii_chart_multiple_series_distinct_markers():
+    text = ascii_chart({"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]})
+    assert "o" in text and "x" in text
+    assert "o = a" in text and "x = b" in text
+
+
+def test_ascii_chart_log_y_places_extremes():
+    text = ascii_chart({"a": [(0, 10), (1, 1e7)]}, log_y=True)
+    lines = [l for l in text.splitlines() if "|" in l]
+    # The small value sits near the bottom, the big one near the top.
+    top_half = "".join(lines[:len(lines) // 2])
+    bottom_half = "".join(lines[len(lines) // 2:])
+    assert "o" in top_half and "o" in bottom_half
+
+
+def test_ascii_chart_empty_rejected():
+    with pytest.raises(ValueError):
+        ascii_chart({})
+
+
+def test_ascii_chart_connect_draws_line():
+    text = ascii_chart({"a": [(0, 0), (10, 10)]}, connect=True)
+    assert "." in text
+
+
+def test_ascii_chart_constant_series():
+    # Degenerate ranges must not crash.
+    text = ascii_chart({"a": [(1, 5), (1, 5)]})
+    assert "o" in text
+
+
+def test_figure4_scatter_from_records():
+    records = [
+        TraceRecord("n0", "read", "f", 13, 0.0, 0.1),
+        TraceRecord("n0", "read", "f", 220_000_000, 1.0, 2.0),
+        TraceRecord("n0", "write", "g", 700, 3.0, 3.1),
+    ]
+    text = figure4_scatter(records)
+    assert "read" in text and "write" in text
+    assert "time (seconds)" in text
+
+
+def test_figure_lines_shape():
+    text = figure_lines([1, 2, 4, 8],
+                        {"original": [100, 60, 35, 20],
+                         "pvfs": [110, 55, 30, 18]},
+                        "title", "workers")
+    assert "title" in text
+    assert "workers" in text
+    assert text.count("\n") > 15

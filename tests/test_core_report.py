@@ -1,0 +1,43 @@
+"""Tests for report formatting."""
+
+import pytest
+
+from repro.core.report import format_comparison, format_series, format_table
+
+
+def test_format_table_basic():
+    text = format_table("Title", ["a", "b"], [[1, 2.5], ["x", 0.001]])
+    lines = text.splitlines()
+    assert lines[0] == "Title"
+    assert set(lines[1]) == {"="}
+    assert "a" in lines[2] and "b" in lines[2]
+    assert "1" in lines[4]
+    assert "x" in lines[5]
+
+
+def test_format_table_number_formats():
+    text = format_table("T", ["v"], [[12345.6], [0.0001], [0.0], [42]])
+    assert "1.23e+04" in text
+    assert "0.0001" in text
+    assert "42" in text
+
+
+def test_format_series_column_per_line():
+    text = format_series("S", "x", [1, 2], {"a": [10, 20], "b": [30, 40]})
+    lines = text.splitlines()
+    assert "a" in lines[2] and "b" in lines[2]
+    data_rows = lines[4:]
+    assert "10" in data_rows[0] and "30" in data_rows[0]
+    assert "20" in data_rows[1] and "40" in data_rows[1]
+
+
+def test_format_comparison_ratios():
+    text = format_comparison("C", ["one", "two"], [10.0, 20.0], [20.0, 20.0])
+    assert "2.00" in text   # 20/10
+    assert "1.00" in text   # 20/20
+    assert "paper" in text and "measured" in text
+
+
+def test_format_comparison_zero_baseline():
+    text = format_comparison("C", ["z"], [0.0], [5.0])
+    assert "nan" in text.lower()

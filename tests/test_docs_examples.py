@@ -1,0 +1,36 @@
+"""The documentation's code must run: execute every python block in
+docs/TUTORIAL.md and the README quickstart snippets."""
+
+import contextlib
+import io
+import os
+import re
+
+import pytest
+
+ROOT = os.path.join(os.path.dirname(__file__), "..")
+
+
+def _blocks(path):
+    with open(os.path.join(ROOT, path)) as f:
+        text = f.read()
+    return re.findall(r"```python\n(.*?)```", text, re.S)
+
+
+def test_tutorial_blocks_execute():
+    blocks = _blocks("docs/TUTORIAL.md")
+    assert len(blocks) >= 4
+    env = {}
+    for i, code in enumerate(blocks):
+        with contextlib.redirect_stdout(io.StringIO()):
+            exec(compile(code, f"<tutorial-{i}>", "exec"), env)
+
+
+def test_readme_blocks_execute():
+    blocks = _blocks("README.md")
+    python_blocks = [b for b in blocks if "import" in b]
+    assert python_blocks
+    for i, code in enumerate(python_blocks):
+        env = {}
+        with contextlib.redirect_stdout(io.StringIO()):
+            exec(compile(code, f"<readme-{i}>", "exec"), env)

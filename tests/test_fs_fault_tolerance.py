@@ -1,0 +1,261 @@
+"""Fault-tolerance tests: server failure, failover, and resync.
+
+The paper's Section 1 motivation for CEFT-PVFS: "PVFS ... does not
+provide any fault tolerance ... the failure of any single cluster node
+renders the entire file system service unavailable", while CEFT's
+RAID-10 redundancy keeps data available through single failures.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.params import KiB, MB, MiB
+from repro.fs.ceft import CEFT, MIRROR, PRIMARY, WriteProtocol
+from repro.fs.dataserver import RPC_TIMEOUT, ServerFailure
+from repro.fs.interface import FSError
+from repro.fs.pvfs import PVFS
+
+
+def run(c, gen, limit=1e12):
+    p = c.sim.process(gen)
+    c.sim.run_until_complete(p, limit=limit)
+    if p.failed:
+        raise p.value
+    return p.value
+
+
+def make_pvfs(n=4):
+    c = Cluster(n_nodes=n + 1)
+    fs = PVFS(c[0], list(c)[1:1 + n])
+    return c, fs
+
+
+def make_ceft(group=2, monitor_load=False, **kw):
+    c = Cluster(n_nodes=2 * group + 1)
+    nodes = list(c)
+    fs = CEFT(nodes[0], nodes[1:1 + group], nodes[1 + group:1 + 2 * group],
+              monitor_load=monitor_load, **kw)
+    return c, fs
+
+
+# ---------------------------------------------------------------- PVFS
+def test_pvfs_read_fails_when_any_server_dies():
+    c, fs = make_pvfs(4)
+    fs.populate("db", 8 * MiB)
+    client = fs.client(c[0])
+    fs.servers[2].fail()
+
+    def proc():
+        yield from client.read("db", 0, 8 * MiB)
+
+    with pytest.raises(FSError, match="unavailable"):
+        run(c, proc())
+
+
+def test_pvfs_write_fails_when_any_server_dies():
+    c, fs = make_pvfs(2)
+    client = fs.client(c[0])
+    fs.servers[0].fail()
+
+    def proc():
+        yield from client.create("out")
+        yield from client.write("out", 0, 1 * MiB)
+
+    with pytest.raises(FSError, match="unavailable"):
+        run(c, proc())
+
+
+def test_pvfs_failure_detection_takes_rpc_timeout():
+    c, fs = make_pvfs(2)
+    fs.populate("db", 1 * MiB)
+    client = fs.client(c[0])
+    fs.servers[1].fail()
+
+    def proc():
+        try:
+            yield from client.read("db", 0, 1 * MiB)
+        except FSError:
+            return c.sim.now
+
+    t = run(c, proc())
+    assert t >= RPC_TIMEOUT
+
+
+def test_pvfs_recovered_server_serves_again():
+    c, fs = make_pvfs(2)
+    fs.populate("db", 1 * MiB)
+    client = fs.client(c[0])
+    fs.servers[0].fail()
+    fs.servers[0].recover()
+
+    def proc():
+        yield from client.read("db", 0, 1 * MiB)
+
+    run(c, proc())  # no exception
+    assert fs.servers[0].bytes_served > 0
+
+
+# ---------------------------------------------------------------- CEFT
+def test_ceft_read_survives_primary_failure():
+    c, fs = make_ceft(group=2)
+    fs.populate("db", 8 * MiB, mirrored=True)
+    client = fs.client(c[0])
+    fs.fail_server(PRIMARY, 0)
+
+    def proc():
+        n = yield from client.read("db", 0, 8 * MiB)
+        return n
+
+    assert run(c, proc()) == 8 * MiB
+    # The failed server's share came from its mirror instead.
+    assert fs.mirror[0].bytes_served > 0
+    assert fs.is_failed(PRIMARY, 0)
+
+
+def test_ceft_read_survives_mirror_failure():
+    c, fs = make_ceft(group=2)
+    fs.populate("db", 8 * MiB, mirrored=True)
+    client = fs.client(c[0])
+    fs.fail_server(MIRROR, 1)
+
+    def proc():
+        return (yield from client.read("db", 0, 8 * MiB))
+
+    assert run(c, proc()) == 8 * MiB
+    assert fs.primary[1].bytes_served > 0
+
+
+def test_ceft_read_fails_when_whole_pair_is_down():
+    c, fs = make_ceft(group=2)
+    fs.populate("db", 8 * MiB, mirrored=True)
+    client = fs.client(c[0])
+    fs.fail_server(PRIMARY, 0)
+    fs.fail_server(MIRROR, 0)
+
+    def proc():
+        yield from client.read("db", 0, 8 * MiB)
+
+    with pytest.raises(FSError, match="both copies"):
+        run(c, proc())
+
+
+def test_ceft_unmirrored_file_lost_with_primary():
+    c, fs = make_ceft(group=2)
+    fs.populate("db", 8 * MiB, mirrored=False)
+    client = fs.client(c[0])
+    fs.fail_server(PRIMARY, 1)
+
+    def proc():
+        yield from client.read("db", 0, 8 * MiB)
+
+    with pytest.raises(FSError):
+        run(c, proc())
+
+
+def test_ceft_known_failures_are_routed_around_without_timeout():
+    """Once the failure is known (marked), later reads avoid the dead
+    server entirely — no RPC timeout on every read."""
+    c, fs = make_ceft(group=2)
+    fs.populate("db", 8 * MiB, mirrored=True)
+    client = fs.client(c[0])
+    fs.fail_server(PRIMARY, 0)
+
+    def proc():
+        yield from client.read("db", 0, 8 * MiB)  # pays one timeout
+        t1 = c.sim.now
+        yield from client.read("db", 0, 8 * MiB)  # routed around
+        return t1, c.sim.now - t1
+
+    t_first, t_second = run(c, proc())
+    assert t_first >= RPC_TIMEOUT
+    assert t_second < RPC_TIMEOUT
+
+
+def test_ceft_heartbeat_detects_failure():
+    c, fs = make_ceft(group=2, monitor_load=True, load_period=1.0)
+    fs.fail_server(PRIMARY, 1)
+    c.sim.run(until=3.0)
+    assert fs.is_failed(PRIMARY, 1)
+    fs.stop_monitoring()
+
+
+def test_ceft_client_sync_write_survives_one_group_failure():
+    c, fs = make_ceft(group=2, protocol=WriteProtocol.CLIENT_SYNC)
+    client = fs.client(c[0])
+    fs.fail_server(MIRROR, 0)
+
+    def proc():
+        yield from client.create("out", mirrored=True)
+        yield from client.write("out", 0, 1 * MiB)
+
+    run(c, proc())
+    meta = fs.lookup("out")
+    assert meta.resident[PRIMARY]
+    assert not meta.resident[MIRROR]
+
+
+def test_ceft_server_sync_write_fails_on_dead_primary():
+    c, fs = make_ceft(group=2, protocol=WriteProtocol.SERVER_SYNC)
+    client = fs.client(c[0])
+    fs.fail_server(PRIMARY, 0)
+
+    def proc():
+        yield from client.create("out")
+        yield from client.write("out", 0, 1 * MiB)
+
+    with pytest.raises(FSError, match="primary server down"):
+        run(c, proc())
+
+
+def test_ceft_resync_restores_failed_server():
+    c, fs = make_ceft(group=2)
+    fs.populate("db", 8 * MiB, mirrored=True)
+    client = fs.client(c[0])
+    fs.fail_server(PRIMARY, 0)
+
+    def fail_then_resync():
+        yield from client.read("db", 0, 8 * MiB)  # discovers the failure
+        assert fs.is_failed(PRIMARY, 0)
+        nbytes = yield c.sim.process(fs.resync(PRIMARY, 0))
+        return nbytes
+
+    nbytes = run(c, fail_then_resync())
+    # The recovering server got its local share of the file back.
+    assert nbytes == fs.layout.local_size(8 * MiB, 0)
+    assert not fs.is_failed(PRIMARY, 0)
+    assert fs.primary[0].alive
+
+    def read_after():
+        before = fs.primary[0].bytes_served
+        yield from client.read("db", 0, 8 * MiB)
+        return fs.primary[0].bytes_served - before
+
+    assert run(c, read_after()) > 0  # serving again
+
+
+def test_ceft_resync_requires_healthy_pair():
+    c, fs = make_ceft(group=2)
+    fs.populate("db", 8 * MiB, mirrored=True)
+    fs.fail_server(PRIMARY, 0)
+    fs.fail_server(MIRROR, 0)
+
+    def proc():
+        yield c.sim.process(fs.resync(PRIMARY, 0))
+
+    with pytest.raises(FSError, match="resync"):
+        run(c, proc())
+
+
+def test_ceft_resync_moves_data_over_network():
+    c, fs = make_ceft(group=2)
+    fs.populate("db", 8 * MiB, mirrored=True)
+    fs.fail_server(PRIMARY, 0)
+    fs.mark_failed(PRIMARY, 0)
+    target_node = fs.primary[0].node
+
+    def proc():
+        return (yield c.sim.process(fs.resync(PRIMARY, 0)))
+
+    nbytes = run(c, proc())
+    assert target_node.nic.bytes_received >= nbytes
+    assert target_node.disk.bytes_written >= nbytes

@@ -1,0 +1,161 @@
+"""Unit tests for the local file system."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.params import KiB, MB, MiB
+from repro.fs.interface import FSError
+from repro.fs.localfs import LocalFS
+from repro.trace import TraceCollector, analyze
+
+
+def setup():
+    c = Cluster(n_nodes=1)
+    fs = LocalFS(c[0], tracer=TraceCollector())
+    return c, fs
+
+
+def test_populate_and_lookup():
+    c, fs = setup()
+    fs.populate("db.nsq", 10 * MB)
+    assert fs.lookup("db.nsq").size == 10 * MB
+    assert fs.exists("db.nsq")
+    assert not fs.exists("other")
+    assert fs.list_files() == ["db.nsq"]
+
+
+def test_lookup_missing_raises():
+    c, fs = setup()
+    with pytest.raises(FSError):
+        fs.lookup("nope")
+
+
+def test_read_past_eof_raises():
+    c, fs = setup()
+    fs.populate("f", 100)
+
+    def proc():
+        yield from fs.read(c[0], "f", 50, 100)
+
+    p = c.sim.process(proc())
+    c.sim.run()
+    assert p.failed
+    assert isinstance(p.value, FSError)
+
+
+def test_cold_read_hits_disk():
+    c, fs = setup()
+    fs.populate("f", 10 * MB)
+
+    def proc():
+        yield from fs.read(c[0], "f", 0, 10 * MB)
+        return c.sim.now
+
+    p = c.sim.process(proc())
+    c.sim.run_until_complete(p)
+    assert c[0].disk.bytes_read == 10 * MB
+    # Roughly the Bonnie read rate.
+    assert p.value == pytest.approx(10 * MB / (26 * MB), rel=0.2)
+
+
+def test_warm_read_served_from_cache():
+    c, fs = setup()
+    fs.populate("f", 10 * MB)
+
+    def proc():
+        yield from fs.read(c[0], "f", 0, 10 * MB)
+        t_cold = c.sim.now
+        yield from fs.read(c[0], "f", 0, 10 * MB)
+        return t_cold, c.sim.now - t_cold
+
+    p = c.sim.process(proc())
+    c.sim.run_until_complete(p)
+    t_cold, t_warm = p.value
+    assert t_warm < t_cold / 10
+    assert c[0].disk.bytes_read == 10 * MB  # no extra disk traffic
+
+
+def test_read_uses_readahead_granularity():
+    c, fs = setup()
+    fs.populate("f", 1 * MiB)
+
+    def proc():
+        yield from fs.read(c[0], "f", 0, 1 * MiB)
+
+    p = c.sim.process(proc())
+    c.sim.run_until_complete(p)
+    # 1 MiB / 128 KiB readahead clusters = 8 disk requests.
+    assert c[0].disk.reads_serviced == 8
+
+
+def test_write_extends_file_and_is_synchronous():
+    c, fs = setup()
+    fs.populate("f", 0)
+
+    def proc():
+        yield from fs.write(c[0], "f", 0, 4 * KiB)
+        return c.sim.now
+
+    p = c.sim.process(proc())
+    c.sim.run_until_complete(p)
+    assert fs.lookup("f").size == 4 * KiB
+    assert c[0].disk.bytes_written == 4 * KiB
+    assert p.value > 0  # took simulated time
+
+
+def test_async_write_skips_disk():
+    c, fs = setup()
+    fs.populate("f", 0)
+
+    def proc():
+        yield from fs.write(c[0], "f", 0, 4 * KiB, sync=False)
+
+    p = c.sim.process(proc())
+    c.sim.run_until_complete(p)
+    assert c[0].disk.bytes_written == 0
+    assert fs.lookup("f").size == 4 * KiB
+
+
+def test_truncate_and_unlink():
+    c, fs = setup()
+    fs.populate("f", 100)
+
+    def proc():
+        yield from fs.truncate(c[0], "f")
+        assert fs.lookup("f").size == 0
+        yield from fs.unlink(c[0], "f")
+
+    p = c.sim.process(proc())
+    c.sim.run_until_complete(p)
+    assert not fs.exists("f")
+
+
+def test_open_returns_meta():
+    c, fs = setup()
+    fs.populate("f", 123)
+
+    def proc():
+        meta = yield from fs.open(c[0], "f")
+        return meta.size
+
+    p = c.sim.process(proc())
+    c.sim.run_until_complete(p)
+    assert p.value == 123
+
+
+def test_trace_records_application_ops():
+    c, fs = setup()
+    fs.populate("f", 1 * MB)
+
+    def proc():
+        yield from fs.read(c[0], "f", 0, 1 * MB)
+        yield from fs.write(c[0], "f", 0, 100)
+
+    p = c.sim.process(proc())
+    c.sim.run_until_complete(p)
+    stats = analyze(fs.tracer)
+    assert stats.operations == 2
+    assert stats.reads.count == 1
+    assert stats.reads.total_bytes == 1 * MB
+    assert stats.writes.count == 1
+    assert stats.writes.max_bytes == 100

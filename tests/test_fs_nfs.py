@@ -1,0 +1,140 @@
+"""Tests for the NFS model and the simulated copy phase."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.params import KiB, MB
+from repro.core import ExperimentConfig, Variant
+from repro.core.experiment import measure_copy_phase, run_experiment
+from repro.fs.interface import FSError
+from repro.fs.localfs import LocalFS
+from repro.fs.nfs import NFS
+
+
+def run(c, gen, limit=1e12):
+    p = c.sim.process(gen)
+    c.sim.run_until_complete(p, limit=limit)
+    if p.failed:
+        raise p.value
+    return p.value
+
+
+def test_nfs_read_goes_through_server():
+    c = Cluster(n_nodes=2)
+    nfs = NFS(c[0])
+    nfs.populate("f", 10 * MB)
+    client = nfs.client(c[1])
+
+    def proc():
+        yield from client.read("f", 0, 10 * MB)
+        return c.sim.now
+
+    t = run(c, proc())
+    assert nfs.server.bytes_served == 10 * MB
+    # Disk I/O is page-granular: whole covering pages are fetched.
+    assert 10 * MB <= c[0].disk.bytes_read < 10 * MB + 2 * 64 * KiB
+    # Single remote stream: roughly the server's disk read rate.
+    assert 10 * MB / t == pytest.approx(26 * MB, rel=0.25)
+
+
+def test_nfs_concurrent_clients_serialise_on_server():
+    c = Cluster(n_nodes=5)
+    nfs = NFS(c[0])
+    nfs.populate("f", 20 * MB)
+    times = []
+
+    def reader(node):
+        client = nfs.client(node)
+        yield from client.read("f", 0, 20 * MB)
+        times.append(c.sim.now)
+
+    procs = [c.sim.process(reader(c[i])) for i in range(1, 5)]
+    c.sim.run_until_complete(*procs)
+    # First pass is disk-bound; later clients ride the server cache, so
+    # aggregate must beat a pure 4x-serialised disk estimate but the
+    # makespan is still far beyond a single solo read.
+    solo = 20 * MB / (26 * MB)
+    assert max(times) > 1.5 * solo
+
+
+def test_nfs_write():
+    c = Cluster(n_nodes=2)
+    nfs = NFS(c[0])
+    nfs.populate("f", 0)
+    client = nfs.client(c[1])
+
+    def proc():
+        yield from client.write("f", 0, 1 * MB)
+
+    run(c, proc())
+    assert nfs.lookup("f").size == 1 * MB
+    assert c[0].disk.bytes_written == 1 * MB
+
+
+def test_nfs_read_past_eof():
+    c = Cluster(n_nodes=2)
+    nfs = NFS(c[0])
+    nfs.populate("f", 100)
+    client = nfs.client(c[1])
+
+    def proc():
+        yield from client.read("f", 0, 200)
+
+    with pytest.raises(FSError):
+        run(c, proc())
+
+
+def test_nfs_server_failure_surfaces():
+    c = Cluster(n_nodes=2)
+    nfs = NFS(c[0])
+    nfs.populate("f", 1 * MB)
+    nfs.server.fail()
+    client = nfs.client(c[1])
+
+    def proc():
+        yield from client.read("f", 0, 1 * MB)
+
+    with pytest.raises(FSError, match="unavailable"):
+        run(c, proc())
+
+
+def test_copy_to_local_stages_file():
+    c = Cluster(n_nodes=2)
+    nfs = NFS(c[0])
+    nfs.populate("frag", 5 * MB)
+    local = LocalFS(c[1])
+    client = nfs.client(c[1])
+
+    def proc():
+        n = yield from client.copy_to_local(local, "frag")
+        return n
+
+    assert run(c, proc()) == 5 * MB
+    assert local.lookup("frag").size == 5 * MB
+    assert c[1].disk.bytes_written == 5 * MB
+
+
+def test_measure_copy_phase_reflects_contention():
+    """Concurrent staging through one NFS server is much slower than
+    the per-worker single-stream estimate."""
+    cfg1 = ExperimentConfig(variant=Variant.ORIGINAL, n_workers=1).scaled(1 / 50)
+    cfg8 = ExperimentConfig(variant=Variant.ORIGINAL, n_workers=8).scaled(1 / 50)
+    t1 = measure_copy_phase(cfg1)
+    t8 = measure_copy_phase(cfg8)
+    # 8 workers each copy 1/8 of the data, but share one server: the
+    # per-worker copy time shrinks far less than 8x.
+    assert t8 > t1 / 4
+    assert t1 > 0
+
+
+def test_simulate_copy_flag_in_experiment():
+    cfg = ExperimentConfig(variant=Variant.ORIGINAL, n_workers=2,
+                           simulate_copy=True).scaled(1 / 50)
+    res = run_experiment(cfg)
+    est = run_experiment(ExperimentConfig(
+        variant=Variant.ORIGINAL, n_workers=2).scaled(1 / 50))
+    # The simulated (contended, disk-to-disk) copy is slower than the
+    # analytic single-stream bound.
+    assert res.copy_time > est.copy_time
+    # Search-phase timing is unchanged by how the copy was accounted.
+    assert res.execution_time == pytest.approx(est.execution_time)

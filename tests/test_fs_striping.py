@@ -1,0 +1,144 @@
+"""Unit + property tests for the stripe layout arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fs.striping import StripeLayout
+
+KiB = 1 << 10
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        StripeLayout(0)
+    with pytest.raises(ValueError):
+        StripeLayout(4, 0)
+    with pytest.raises(ValueError):
+        list(StripeLayout(4).units(-1, 10))
+
+
+def test_server_of_round_robin():
+    lay = StripeLayout(4, stripe_size=64 * KiB)
+    assert lay.server_of(0) == 0
+    assert lay.server_of(64 * KiB - 1) == 0
+    assert lay.server_of(64 * KiB) == 1
+    assert lay.server_of(4 * 64 * KiB) == 0  # wraps
+
+
+def test_server_offset():
+    lay = StripeLayout(4, stripe_size=64 * KiB)
+    # Byte at file offset 5 stripes + 100 lives on server 1, local unit 1.
+    off = 5 * 64 * KiB + 100
+    assert lay.server_of(off) == 1
+    assert lay.server_offset(off) == 64 * KiB + 100
+
+
+def test_units_single_stripe():
+    lay = StripeLayout(4, stripe_size=64 * KiB)
+    units = list(lay.units(10, 100))
+    assert units == [(0, 10, 100, 10)]
+
+
+def test_units_cross_stripe_boundary():
+    lay = StripeLayout(2, stripe_size=100)
+    units = list(lay.units(50, 100))
+    assert units == [(0, 50, 50, 50), (1, 0, 50, 100)]
+
+
+def test_extents_merge_contiguous():
+    lay = StripeLayout(2, stripe_size=100)
+    # Range covering stripes 0..3: server 0 gets stripes 0 and 2, which
+    # are contiguous in its local space (local offsets 0..100, 100..200).
+    per = lay.extents(0, 400)
+    assert per[0] == [(0, 0, 200)]
+    assert per[1] == [(1, 0, 200)]
+
+
+def test_extents_empty_range():
+    lay = StripeLayout(3)
+    assert lay.extents(0, 0) == [[], [], []]
+
+
+def test_server_bytes_balanced_for_full_cycles():
+    lay = StripeLayout(4, stripe_size=100)
+    totals = lay.server_bytes(0, 800)
+    assert totals == [200, 200, 200, 200]
+
+
+def test_local_size_with_remainder():
+    lay = StripeLayout(3, stripe_size=100)
+    # 350 bytes: server0 gets 100+50? No: units 0,1,2 (100 each) then
+    # unit 3 (50) lands back on server 0.
+    assert lay.local_size(350, 0) == 150
+    assert lay.local_size(350, 1) == 100
+    assert lay.local_size(350, 2) == 100
+
+
+# ---------------------------------------------------------------- property
+@settings(max_examples=200, deadline=None)
+@given(
+    n=st.integers(1, 16),
+    stripe=st.integers(256, 1 << 18),
+    offset=st.integers(0, 1 << 30),
+    size=st.integers(0, 1 << 18),
+)
+def test_units_partition_the_range(n, stripe, offset, size):
+    """Units exactly tile [offset, offset+size) in file order."""
+    lay = StripeLayout(n, stripe)
+    pos = offset
+    total = 0
+    for server, soff, length, fpos in lay.units(offset, size):
+        assert fpos == pos
+        assert 0 < length <= stripe
+        assert 0 <= server < n
+        assert lay.server_of(fpos) == server
+        assert lay.server_offset(fpos) == soff
+        pos += length
+        total += length
+    assert total == size
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    n=st.integers(1, 16),
+    stripe=st.integers(256, 1 << 16),
+    offset=st.integers(0, 1 << 24),
+    size=st.integers(0, 1 << 17),
+)
+def test_extents_conserve_bytes(n, stripe, offset, size):
+    lay = StripeLayout(n, stripe)
+    per = lay.extents(offset, size)
+    assert len(per) == n
+    assert sum(e[2] for bucket in per for e in bucket) == size
+    # Extents never overlap in server-local space.
+    for s, bucket in enumerate(per):
+        spans = sorted((e[1], e[1] + e[2]) for e in bucket)
+        for (a1, a2), (b1, b2) in zip(spans, spans[1:]):
+            assert a2 <= b1
+        for e in bucket:
+            assert e[0] == s
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(1, 12),
+    stripe=st.integers(1, 1 << 16),
+    fsize=st.integers(0, 1 << 26),
+)
+def test_local_sizes_sum_to_file_size(n, stripe, fsize):
+    lay = StripeLayout(n, stripe)
+    assert sum(lay.local_size(fsize, s) for s in range(n)) == fsize
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(1, 8),
+    stripe=st.integers(128, 1 << 14),
+    fsize=st.integers(1, 1 << 19),
+)
+def test_local_size_matches_units(n, stripe, fsize):
+    lay = StripeLayout(n, stripe)
+    per_unit = lay.server_bytes(0, fsize)
+    for s in range(n):
+        assert lay.local_size(fsize, s) == per_unit[s]

@@ -1,0 +1,100 @@
+"""Tests for the BLAST I/O access-pattern model (paper Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import default_cost_model
+from repro.parallel.iomodel import (
+    FragmentSpec,
+    fragment_files,
+    fragment_steps,
+    steps_summary,
+)
+
+MB = 1_000_000
+
+
+def paper_fragment(i=0):
+    """One of 8 nt fragments: 337.5 MB on disk, ~322 M residues."""
+    return FragmentSpec(i, 337_500_000, 322_500_000)
+
+
+def test_fragment_files_split():
+    files = fragment_files(paper_fragment())
+    assert len(files) == 3
+    total = sum(files.values())
+    assert total == pytest.approx(337_500_000, rel=0.01)
+    nsq = files["nt.000.nsq"]
+    assert nsq == pytest.approx(0.65 * 337_500_000, rel=0.01)
+
+
+def test_steps_match_figure4_op_counts():
+    """Per worker: 16 reads + 2 writes (144 ops for 8 workers, 89% reads)."""
+    s = steps_summary(fragment_steps(paper_fragment(), default_cost_model()))
+    assert s["n_reads"] == 16
+    assert s["n_writes"] == 2
+    total_ops = 8 * (s["n_reads"] + s["n_writes"])
+    assert total_ops == 144
+    read_frac = s["n_reads"] / (s["n_reads"] + s["n_writes"])
+    assert read_frac == pytest.approx(0.89, abs=0.01)
+
+
+def test_steps_match_figure4_read_sizes():
+    """Reads span 13 B to ~220 MB."""
+    s = steps_summary(fragment_steps(paper_fragment(), default_cost_model()))
+    assert s["min_read"] == 13
+    assert s["max_read"] == pytest.approx(220 * MB, rel=0.01)
+    mean = s["read_bytes"] / s["n_reads"]
+    assert 5 * MB < mean < 40 * MB  # "large reads", tens of MB
+
+
+def test_steps_match_figure4_write_sizes():
+    steps = fragment_steps(paper_fragment(), default_cost_model())
+    writes = [st.size for st in steps if st.kind == "write"]
+    assert len(writes) == 2
+    assert all(50 <= w <= 778 for w in writes)
+
+
+def test_compute_matches_cost_model_within_variance():
+    cost = default_cost_model()
+    spec = paper_fragment()
+    s = steps_summary(fragment_steps(spec, cost))
+    expected = cost.compute_seconds(spec.residues) + cost.setup_cpu + cost.result_cpu
+    assert s["compute_seconds"] == pytest.approx(expected, rel=0.35)
+
+
+def test_steps_deterministic_per_fragment():
+    cost = default_cost_model()
+    a = fragment_steps(paper_fragment(3), cost)
+    b = fragment_steps(paper_fragment(3), cost)
+    assert a == b
+    c = fragment_steps(paper_fragment(4), cost)
+    assert a != c
+
+
+def test_reads_stay_within_files():
+    spec = paper_fragment()
+    files = fragment_files(spec)
+    for st in fragment_steps(spec, default_cost_model()):
+        if st.kind in ("read", "scan"):
+            assert st.offset >= 0
+            assert st.offset + st.size <= files[st.path], st
+
+
+def test_tiny_fragment_still_valid():
+    spec = FragmentSpec(0, 10_000, 9_000)
+    steps = fragment_steps(spec, default_cost_model())
+    s = steps_summary(steps)
+    assert s["n_writes"] == 2
+    assert s["read_bytes"] > 0
+    files = fragment_files(spec)
+    for st in steps:
+        if st.kind in ("read", "scan"):
+            assert st.offset + st.size <= files[st.path]
+
+
+def test_scan_is_single_app_level_read():
+    steps = fragment_steps(paper_fragment(), default_cost_model())
+    scans = [st for st in steps if st.kind == "scan"]
+    assert len(scans) == 1
+    assert scans[0].seconds > 0

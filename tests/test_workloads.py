@@ -1,0 +1,111 @@
+"""Tests for synthetic database and query generation."""
+
+import numpy as np
+import pytest
+
+from repro.blast import blastn
+from repro.workloads import (
+    NT_DATABASE_SPEC,
+    DatabaseSpec,
+    PAPER_QUERY_LENGTH,
+    extract_query,
+    sample_query_length,
+    synthetic_nt_db,
+    synthetic_nt_fasta,
+    synthetic_query,
+)
+
+
+def test_nt_spec_matches_paper():
+    assert NT_DATABASE_SPEC.n_sequences == 1_760_000
+    assert NT_DATABASE_SPEC.total_bytes == 2_700_000_000
+    assert 1400 < NT_DATABASE_SPEC.mean_length < 1600
+
+
+def test_spec_scaling():
+    s = NT_DATABASE_SPEC.scaled(0.01)
+    assert s.total_bytes == 27_000_000
+    assert s.n_sequences == 17_600
+    with pytest.raises(ValueError):
+        NT_DATABASE_SPEC.scaled(0)
+
+
+def test_fragment_bytes_partition():
+    s = DatabaseSpec(10, 1000, 1003)
+    frags = s.fragment_bytes(4)
+    assert sum(frags) == 1003
+    assert max(frags) - min(frags) <= 1
+    with pytest.raises(ValueError):
+        s.fragment_bytes(0)
+
+
+def test_fragment_residues_partition():
+    s = DatabaseSpec(10, 997, 1000)
+    frags = s.fragment_residues(3)
+    assert sum(frags) == 997
+
+
+def test_synthetic_db_size_and_searchability():
+    db = synthetic_nt_db(100_000, seed=1)
+    assert abs(db.total_residues - 100_000) <= 1
+    assert len(db) > 10
+    # A query cut from the db must find its source.
+    q = extract_query(db, length=200, seed=2)
+    res = blastn(q, db)
+    assert res.hits
+    assert res.best().identity == 1.0
+
+
+def test_synthetic_db_deterministic():
+    a = synthetic_nt_db(10_000, seed=3)
+    b = synthetic_nt_db(10_000, seed=3)
+    assert len(a) == len(b)
+    assert a.sequence_str(0) == b.sequence_str(0)
+    c = synthetic_nt_db(10_000, seed=4)
+    assert a.sequence_str(0) != c.sequence_str(0)
+
+
+def test_synthetic_db_length_distribution_heavy_tailed():
+    db = synthetic_nt_db(500_000, seed=5)
+    lengths = db.lengths()
+    assert max(lengths) > 4 * (sum(lengths) / len(lengths))
+
+
+def test_synthetic_db_validation():
+    with pytest.raises(ValueError):
+        synthetic_nt_db(0)
+
+
+def test_synthetic_fasta_parses():
+    from repro.blast import parse_fasta
+
+    text = synthetic_nt_fasta(5_000, seed=6)
+    recs = parse_fasta(text)
+    assert sum(len(r) for r in recs) >= 5_000
+
+
+def test_sample_query_length_mostly_in_band():
+    rng = np.random.default_rng(0)
+    lengths = [sample_query_length(rng) for _ in range(1000)]
+    in_band = sum(300 <= n <= 600 for n in lengths)
+    assert in_band > 850
+    assert all(60 <= n <= 3000 for n in lengths)
+
+
+def test_extract_query_paper_length():
+    db = synthetic_nt_db(50_000, seed=7, mean_length=3000)
+    q = extract_query(db)
+    assert len(q) == PAPER_QUERY_LENGTH
+
+
+def test_extract_query_no_long_sequence():
+    db = synthetic_nt_db(500, seed=8, mean_length=100)
+    with pytest.raises(ValueError):
+        extract_query(db, length=100_000)
+
+
+def test_synthetic_query():
+    q = synthetic_query(100, seed=9)
+    assert len(q) == 100
+    assert set(q) <= set("ACGT")
+    assert synthetic_query(100, seed=9) == q

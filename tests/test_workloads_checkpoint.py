@@ -1,0 +1,63 @@
+"""Tests for the checkpoint workload generator."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.params import MB
+from repro.fs.localfs import LocalFS
+from repro.fs.pvfs import PVFS
+from repro.parallel.ioadapters import LocalIO, ParallelIO
+from repro.workloads.checkpoint import CheckpointSpec, run_checkpoint_workload
+
+
+def test_spec_totals():
+    spec = CheckpointSpec(4, 10 * MB, 5.0, 3)
+    assert spec.total_bytes == 120 * MB
+
+
+def test_local_checkpoints_write_everything():
+    c = Cluster(n_nodes=2)
+    nodes = [c[0], c[1]]
+    ios = [LocalIO(LocalFS(n), n) for n in nodes]
+    spec = CheckpointSpec(n_processes=2, bytes_per_process=4 * MB,
+                          compute_between=1.0, n_checkpoints=2,
+                          shared_file=False)
+    out = run_checkpoint_workload(nodes, ios, spec)
+    written = sum(n.disk.bytes_written for n in nodes)
+    assert written == spec.total_bytes
+    assert out["makespan"] > 2.0  # at least the compute phases
+    assert 0 < out["write_fraction"] < 1
+
+
+def test_shared_file_stripes_over_servers():
+    c = Cluster(n_nodes=5)
+    fs = PVFS(c[0], list(c)[1:3])
+    compute = list(c)[3:5]
+    ios = [ParallelIO(fs.client(n)) for n in compute]
+    spec = CheckpointSpec(n_processes=2, bytes_per_process=4 * MB,
+                          compute_between=0.5, n_checkpoints=1)
+    run_checkpoint_workload(compute, ios, spec)
+    stored = [s.bytes_stored for s in fs.servers]
+    assert sum(stored) == spec.total_bytes
+    assert min(stored) > 0  # both servers participated
+
+
+def test_more_processes_than_nodes_round_robin():
+    c = Cluster(n_nodes=2)
+    nodes = [c[0], c[1]]
+    ios = [LocalIO(LocalFS(n), n) for n in nodes]
+    spec = CheckpointSpec(n_processes=5, bytes_per_process=1 * MB,
+                          compute_between=0.1, n_checkpoints=1,
+                          shared_file=False)
+    out = run_checkpoint_workload(nodes, ios, spec)
+    assert sum(n.disk.bytes_written for n in nodes) == spec.total_bytes
+
+
+def test_validation():
+    c = Cluster(n_nodes=1)
+    with pytest.raises(ValueError):
+        run_checkpoint_workload([], [],
+                                CheckpointSpec(1, 1, 1.0, 1))
+    with pytest.raises(ValueError):
+        run_checkpoint_workload([c[0]], [],
+                                CheckpointSpec(1, 1, 1.0, 1))
