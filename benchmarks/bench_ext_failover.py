@@ -10,6 +10,12 @@ injects one mid-run: a data server dies 30 simulated seconds into an
 * over CEFT-PVFS: clients fail over to the mirror group and the job
   completes, paying only the failover + lost-parallelism cost;
 * a subsequent resync restores the failed server from its mirror.
+
+Extended with a fail-time x scheme sweep (the verdict must not depend
+on *when* the server dies), a worker-kill case (CEFT's degraded mode:
+the master requeues the dead worker's fragment and finishes on the
+survivors), and no-orphan assertions: after every failure the event
+heap drains with zero abandoned simulation processes.
 """
 
 import pytest
@@ -30,8 +36,14 @@ SCALE = 1 / 4
 CRASH_AT = 30.0
 
 
-def _job(variant_fs_builder):
-    """Run an 8-worker job with a server crash at CRASH_AT seconds."""
+def _job(variant_fs_builder, crash_at=CRASH_AT, kill_worker=None):
+    """Run an 8-worker job with a server crash at *crash_at* seconds.
+
+    *kill_worker* instead interrupts that worker rank at *crash_at*
+    (a worker-node crash rather than a data-server crash).  Returns
+    ``(job, cluster)`` so callers can drain the simulation and assert
+    no orphaned processes survive the failure.
+    """
     from repro.workloads.synthdb import NT_DATABASE_SPEC
 
     db = NT_DATABASE_SPEC.scaled(SCALE)
@@ -45,46 +57,68 @@ def _job(variant_fs_builder):
                  for i in range(8)]
 
     def crasher():
-        yield cluster.sim.timeout(CRASH_AT)
-        crash()
+        yield cluster.sim.timeout(crash_at)
+        if kill_worker is not None:
+            proc = cluster.sim.find_process(f"worker{kill_worker}")
+            if proc is not None:
+                proc.interrupt("worker node crashed")
+        else:
+            crash()
 
-    cluster.sim.process(crasher())
-    job = run_parallel_blast(nodes[0], nodes[1:9], ios, fragments,
-                             default_cost_model(), time_limit=1e7)
-    if hasattr(fs, "stop_monitoring"):
-        fs.stop_monitoring()
-    return job
+    cluster.sim.process(crasher(), daemon=True)
+    try:
+        job = run_parallel_blast(nodes[0], nodes[1:9], ios, fragments,
+                                 default_cost_model(), time_limit=1e7)
+    finally:
+        if hasattr(fs, "stop_monitoring"):
+            fs.stop_monitoring()
+    return job, cluster
+
+
+def _drain_and_check(cluster):
+    """After the job: drain everything in flight; no orphans allowed."""
+    cluster.sim.run()
+    orphans = cluster.sim.orphans()
+    assert orphans == [], f"orphaned processes: {orphans}"
+
+
+def _pvfs_builder(nodes):
+    from repro.fs.pvfs import PVFS
+
+    fs = PVFS(nodes[0], nodes[1:9])
+    return fs, fs.servers[3].fail
+
+
+def _ceft_builder(nodes):
+    from repro.fs.ceft import CEFT
+
+    fs = CEFT(nodes[0], nodes[1:5], nodes[5:9], load_period=5.0)
+    return fs, fs.primary[3].fail
+
+
+def _ceft_nocrash(nodes):
+    from repro.fs.ceft import CEFT
+
+    fs = CEFT(nodes[0], nodes[1:5], nodes[5:9], load_period=5.0)
+    return fs, (lambda: None)
 
 
 def _run():
-    from repro.fs.ceft import CEFT
-    from repro.fs.pvfs import PVFS
-
     out = {}
-
-    def pvfs_builder(nodes):
-        fs = PVFS(nodes[0], nodes[1:9])
-        return fs, fs.servers[3].fail
-
-    def ceft_builder(nodes):
-        fs = CEFT(nodes[0], nodes[1:5], nodes[5:9], load_period=5.0)
-        return fs, fs.primary[3].fail
-
     try:
-        job = _job(pvfs_builder)
+        job, cluster = _job(_pvfs_builder)
         out["pvfs"] = ("completed", job.makespan)
     except JobAborted as exc:
         out["pvfs"] = ("ABORTED: " + exc.cause[:36], float("nan"))
 
-    job = _job(ceft_builder)
+    job, cluster = _job(_ceft_builder)
+    _drain_and_check(cluster)
     out["ceft"] = ("completed", job.makespan)
 
     # Clean CEFT baseline for the overhead comparison.
-    def ceft_nocrash(nodes):
-        fs = CEFT(nodes[0], nodes[1:5], nodes[5:9], load_period=5.0)
-        return fs, (lambda: None)
-
-    out["ceft-clean"] = ("completed", _job(ceft_nocrash).makespan)
+    job, cluster = _job(_ceft_nocrash)
+    _drain_and_check(cluster)
+    out["ceft-clean"] = ("completed", job.makespan)
     return out
 
 
@@ -136,3 +170,64 @@ def test_ext_resync_bandwidth(once):
         f"(disk write limit: 32 MB/s)"))
     assert nbytes > 0
     assert 10 < rate <= 32.5
+
+
+def test_ext_failover_sweep(once):
+    """The verdict must not depend on when the server dies: PVFS
+    aborts and CEFT completes at every injection time, and no failure
+    leaves an orphaned simulation process behind."""
+    def run():
+        rows = []
+        ceft_clean, cluster = _job(_ceft_nocrash)
+        _drain_and_check(cluster)
+        # Injection times strictly inside the search (a crash after the
+        # last read completes is invisible to either scheme).
+        for fail_at in (10.0, 20.0, 35.0):
+            try:
+                job, cluster = _job(_pvfs_builder, crash_at=fail_at)
+                pvfs_outcome = "completed"
+            except JobAborted:
+                pvfs_outcome = "ABORTED"
+            job, cluster = _job(_ceft_builder, crash_at=fail_at)
+            _drain_and_check(cluster)
+            rows.append([fail_at, pvfs_outcome, "completed",
+                         round(job.makespan, 1)])
+        return rows, ceft_clean.makespan
+
+    rows, clean = once(run)
+    save_report("ext_failover_sweep", format_table(
+        "E2c: crash-time sweep (8 workers, 1/4 scale); "
+        f"clean CEFT makespan {clean:.1f} s",
+        ["crash at (s)", "pvfs", "ceft", "ceft makespan (s)"],
+        rows, col_width=18))
+    for fail_at, pvfs_outcome, ceft_outcome, makespan in rows:
+        assert pvfs_outcome == "ABORTED"
+        assert ceft_outcome == "completed"
+        assert makespan < 2.0 * clean
+
+
+def test_ext_worker_kill_degraded_mode(once):
+    """A worker-node crash over CEFT: the master requeues the dead
+    worker's fragment and the job finishes degraded on 7 workers."""
+    def run():
+        job, cluster = _job(_ceft_nocrash, crash_at=CRASH_AT,
+                            kill_worker=3)
+        _drain_and_check(cluster)
+        clean, cluster = _job(_ceft_nocrash, crash_at=1e6)
+        _drain_and_check(cluster)
+        return job, clean.makespan
+
+    job, clean = once(run)
+    save_report("ext_worker_kill", (
+        f"E2d: worker 3 killed at t={CRASH_AT:.0f} s: job completed "
+        f"degraded in {job.makespan:.1f} s (clean: {clean:.1f} s), "
+        f"{job.requeues} fragment(s) requeued, "
+        f"aborted workers: {job.aborted_workers}"))
+    assert job.fragments_done == 8
+    assert job.aborted_workers == [3]
+    assert job.requeues >= 1
+    done = sorted(f for w in job.workers for f in w.fragments)
+    assert done == list(range(8))
+    assert len(job.workers) == 8          # dead worker still accounted
+    assert job.makespan >= clean * 0.9    # no free lunch...
+    assert job.makespan < 3.0 * clean     # ...but bounded degradation

@@ -18,12 +18,31 @@ from typing import Dict, Optional
 from repro.sim import Event, Simulator, TimeWeightedMonitor, Timeout
 
 
+class _TaskCompletion(Event):
+    """Completion event of one CPU task.  Withdrawing it (the waiting
+    process was cancelled) removes the task from the active set so the
+    surviving tasks speed back up."""
+
+    __slots__ = ("cpu", "tid")
+
+    def __init__(self, cpu: "CPU", tid: int):
+        super().__init__(cpu.sim)
+        self.cpu = cpu
+        self.tid = tid
+
+    def withdraw(self) -> None:
+        if self.triggered:
+            return
+        self.cancelled = True
+        self.cpu._cancel_task(self.tid)
+
+
 class _Task:
     __slots__ = ("remaining", "done")
 
-    def __init__(self, sim: Simulator, work: float):
+    def __init__(self, cpu: "CPU", tid: int, work: float):
         self.remaining = float(work)
-        self.done = Event(sim)
+        self.done = _TaskCompletion(cpu, tid)
 
 
 class CPU:
@@ -67,11 +86,11 @@ class CPU:
         if work < 0:
             raise ValueError("work must be >= 0")
         self._advance()
-        task = _Task(self.sim, work)
+        tid = next(self._ids)
+        task = _Task(self, tid, work)
         if work == 0:
             task.done.succeed()
             return task.done
-        tid = next(self._ids)
         self._tasks[tid] = task
         self._update_monitors()
         self._reschedule()
@@ -119,6 +138,14 @@ class CPU:
         timer = Timeout(self.sim, delay)
         timer.add_callback(self._on_timer)
         self._timer = timer
+
+    def _cancel_task(self, tid: int) -> None:
+        """Drop a task whose waiter was cancelled; remaining work is
+        abandoned and the other tasks' share grows accordingly."""
+        self._advance()
+        if self._tasks.pop(tid, None) is not None:
+            self._update_monitors()
+            self._reschedule()
 
     def _on_timer(self, event: Event) -> None:
         if event.cancelled:  # pragma: no cover - cancelled timers are skipped upstream

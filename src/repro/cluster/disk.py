@@ -30,12 +30,35 @@ READ = "read"
 WRITE = "write"
 
 
+class _DiskCompletion(Event):
+    """The completion event of a :class:`DiskRequest`.
+
+    Withdrawing it (the waiting process was cancelled) pulls the
+    request back out of the disk queue, so a cancelled reader stops
+    consuming spindle time instead of silently perturbing every later
+    measurement.
+    """
+
+    __slots__ = ("disk", "request")
+
+    def __init__(self, disk: "Disk", request: "DiskRequest"):
+        super().__init__(disk.sim)
+        self.disk = disk
+        self.request = request
+
+    def withdraw(self) -> None:
+        if self.triggered:
+            return
+        self.cancelled = True
+        self.disk._cancel_request(self.request)
+
+
 class DiskRequest:
     """One block-level request."""
 
     __slots__ = ("kind", "offset", "size", "stream", "done", "submitted")
 
-    def __init__(self, sim: Simulator, kind: str, offset: int, size: int, stream: str):
+    def __init__(self, disk: "Disk", kind: str, offset: int, size: int, stream: str):
         if kind not in (READ, WRITE):
             raise ValueError(f"bad request kind {kind!r}")
         if size <= 0:
@@ -46,8 +69,12 @@ class DiskRequest:
         self.offset = int(offset)
         self.size = int(size)
         self.stream = stream
-        self.done = Event(sim)
-        self.submitted = sim.now
+        self.done = _DiskCompletion(disk, self)
+        self.submitted = disk.sim.now
+
+    @property
+    def cancelled(self) -> bool:
+        return self.done.cancelled
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<DiskRequest {self.kind} off={self.offset} size={self.size} stream={self.stream!r}>"
@@ -76,14 +103,14 @@ class Disk:
         self._util_checkpoint_time = sim.now
         self._util_checkpoint_area = 0.0
         self._last_write_time = float("-inf")
-        sim.process(self._scheduler(), name=f"{name}.sched")
+        sim.process(self._scheduler(), name=f"{name}.sched", daemon=True)
 
     # ------------------------------------------------------------------
     # Submission API
     # ------------------------------------------------------------------
     def submit(self, kind: str, offset: int, size: int, stream: str = "") -> Event:
         """Queue a request; the returned event fires on completion."""
-        req = DiskRequest(self.sim, kind, offset, size, stream)
+        req = DiskRequest(self, kind, offset, size, stream)
         if kind == READ:
             self._reads.append(req)
         else:
@@ -102,6 +129,19 @@ class Disk:
 
     def write(self, offset: int, size: int, stream: str = "") -> Event:
         return self.submit(WRITE, offset, size, stream)
+
+    def _cancel_request(self, req: DiskRequest) -> None:
+        """Retract a queued request (its waiter was cancelled).
+
+        A request already being serviced cannot be retracted — the
+        spindle finishes it, but its completion event never fires.
+        """
+        queue = self._reads if req.kind == READ else self._writes
+        try:
+            queue.remove(req)
+        except ValueError:
+            return  # in service (or already done): nothing to retract
+        self.queue_len.add(-1)
 
     # ------------------------------------------------------------------
     # Introspection

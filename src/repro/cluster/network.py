@@ -85,24 +85,38 @@ class Network:
             snic, dnic = self._nics[src.name], self._nics[dst.name]
             remaining = size
             first = True
-            while remaining > 0:
-                seg = min(remaining, p.segment_size)
-                txreq = snic.tx.request()
-                yield txreq
-                snic.tx_busy.set(1)
-                rxreq = dnic.rx.request()
-                yield rxreq
-                dnic.rx_busy.set(1)
-                wire = seg / p.bandwidth
-                if first:
-                    wire += p.latency
-                    first = False
-                yield Timeout(self.sim, wire)
-                snic.tx_busy.set(0 if snic.tx.queue_length == 0 else 1)
-                dnic.rx_busy.set(0 if dnic.rx.queue_length == 0 else 1)
-                txreq.release()
-                rxreq.release()
-                remaining -= seg
+            txreq = rxreq = None
+            try:
+                while remaining > 0:
+                    seg = min(remaining, p.segment_size)
+                    txreq = snic.tx.request()
+                    yield txreq
+                    snic.tx_busy.set(1)
+                    rxreq = dnic.rx.request()
+                    yield rxreq
+                    dnic.rx_busy.set(1)
+                    wire = seg / p.bandwidth
+                    if first:
+                        wire += p.latency
+                        first = False
+                    yield Timeout(self.sim, wire)
+                    snic.tx_busy.set(0 if snic.tx.queue_length == 0 else 1)
+                    dnic.rx_busy.set(0 if dnic.rx.queue_length == 0 else 1)
+                    txreq.release()
+                    rxreq.release()
+                    txreq = rxreq = None
+                    remaining -= seg
+            finally:
+                # Cancelled mid-segment: give the channels back so the
+                # dead flow stops serialising everyone else's traffic.
+                # ``release`` is idempotent, so the normal path's own
+                # releases above are unaffected.
+                if txreq is not None:
+                    txreq.release()
+                    snic.tx_busy.set(1 if snic.tx.count else 0)
+                if rxreq is not None:
+                    rxreq.release()
+                    dnic.rx_busy.set(1 if dnic.rx.count else 0)
             snic.bytes_sent += size
             dnic.bytes_received += size
         if charge_cpu:

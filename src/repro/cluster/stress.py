@@ -60,7 +60,7 @@ def cpu_stressor(node: "Node", tasks: int = 1, slice_seconds: float = 0.1):
             yield node.cpu.consume(slice_seconds)
 
     for _ in range(tasks):
-        node.sim.process(hog(node))
+        node.sim.process(hog(node), daemon=True)
     # Keep this process alive as a handle.
     while True:
         yield node.sim.timeout(3600.0)

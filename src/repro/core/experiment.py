@@ -255,7 +255,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
 
     # --- background load ----------------------------------------------
     for node in stressed_nodes:
-        sim.process(disk_stressor(node), name=f"stressor@{node.name}")
+        sim.process(disk_stressor(node), name=f"stressor@{node.name}", daemon=True)
 
     # --- run ------------------------------------------------------------
     if config.n_queries < 1:

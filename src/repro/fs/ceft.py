@@ -47,6 +47,12 @@ CLIENT_SCHED_CPU = 200e-6
 HB_SIZE = 64
 #: Notification message pushed to each client when the hot set changes.
 NOTIFY_SIZE = 128
+#: Failover bound: a read range is re-issued at most this many times
+#: before the client gives up.  One round reaches the mirror of every
+#: failed pair; the second absorbs a mirror dying mid-failover; a third
+#: round would mean both copies of some pair vanished, which the
+#: residency checks already turn into an :class:`FSError`.
+MAX_RETRY_ROUNDS = 3
 
 
 class WriteProtocol(enum.Enum):
@@ -111,6 +117,28 @@ class LoadCollector:
     def stop(self) -> None:
         self.enabled = False
 
+    def recompute_hot(self, utils: Dict[Tuple[int, int], float]
+                      ) -> Set[Tuple[int, int]]:
+        """Apply one round of samples; returns the new hot set.
+
+        A server is compared against the median utilisation of the
+        *other* servers: including the candidate itself would let a
+        single hot server drag the median up and mask its own spike —
+        with four servers (group_size=2) one server at 90% pushes the
+        median past ``util / hot_factor`` and is never flagged.
+        """
+        new_hot = set(self.hot)
+        for key, util in utils.items():
+            if key in new_hot:
+                if util < self.clear_threshold:
+                    new_hot.discard(key)
+                continue
+            others = [u for k, u in utils.items() if k != key]
+            baseline = statistics.median(others) if others else 0.0
+            if util > self.hot_threshold and util > self.hot_factor * baseline:
+                new_hot.add(key)
+        return new_hot
+
     def run(self):
         """Simulation process (spawned by :class:`CEFT`)."""
         fs = self.fs
@@ -139,14 +167,7 @@ class LoadCollector:
             if not utils:
                 continue
             self.samples += 1
-            median = statistics.median(utils.values())
-            new_hot = set(self.hot)
-            for key, util in utils.items():
-                if key in new_hot:
-                    if util < self.clear_threshold:
-                        new_hot.discard(key)
-                elif util > self.hot_threshold and util > self.hot_factor * median:
-                    new_hot.add(key)
+            new_hot = self.recompute_hot(utils)
             if new_hot != self.hot:
                 self.hot = new_hot
                 for client in fs.clients:
@@ -192,7 +213,7 @@ class CEFT(FileSystem):
         self._collector_proc = None
         if monitor_load:
             self._collector_proc = self.sim.process(
-                self.collector.run(), name="ceft.loadcollector")
+                self.collector.run(), name="ceft.loadcollector", daemon=True)
 
     # ------------------------------------------------------------------
     @property
@@ -263,15 +284,17 @@ class CEFT(FileSystem):
         return total
 
     # ------------------------------------------------------------------
+    def _new_meta(self, path: str, size: int = 0,
+                  mirrored: bool = True) -> _CEFTFile:
+        return _CEFTFile(path, size, mirrored)
+
     def populate(self, path: str, size: int, mirrored: bool = True) -> _CEFTFile:
         if self.exists(path):
             meta = self.lookup(path)
             meta.size = size
             meta.mirrored = mirrored
             return meta
-        meta = _CEFTFile(path, size, mirrored)
-        self._files[path] = meta
-        return meta
+        return self._create_meta(path, size, mirrored=mirrored)
 
     def client(self, node: "Node") -> "CEFTClient":
         c = CEFTClient(self, node)
@@ -296,10 +319,9 @@ class CEFTClient:
         return meta
 
     def create(self, path: str, size: int = 0, mirrored: bool = False):
-        meta = _CEFTFile(path, size, mirrored)
-        if self.fs.exists(path):
-            raise FSError(f"ceft-pvfs: file exists {path!r}")
-        self.fs._files[path] = meta
+        # Same check-then-create helper as PVFS: a duplicate create
+        # raises before the metadata RPC is paid, on both schemes.
+        meta = self.fs._create_meta(path, size, mirrored=mirrored)
         yield from self.fs.mds.rpc(self.node)
         self._opened.add(path)
         return meta
@@ -369,7 +391,13 @@ class CEFTClient:
         if size > 0:
             yield self.node.cpu.consume(CLIENT_SCHED_CPU)
             pending = self._route(meta, offset, size)
+            rounds = 0
             while pending:
+                rounds += 1
+                if rounds > MAX_RETRY_ROUNDS:
+                    raise FSError(
+                        f"read of {path!r} still failing after "
+                        f"{MAX_RETRY_ROUNDS} failover rounds")
                 procs = {
                     key: self.sim.process(
                         self.fs.group(key[0])[key[1]].serve_read(
@@ -378,21 +406,30 @@ class CEFTClient:
                     for key, extents in pending.items()
                 }
                 retry: Dict[Tuple[int, int], List[Tuple[int, int, int]]] = {}
-                for key, proc in procs.items():
-                    try:
-                        yield proc
-                    except ServerFailure:
-                        group, index = key
-                        self.fs.mark_failed(group, index)
-                        other = MIRROR if group == PRIMARY else PRIMARY
-                        if (not meta.resident[other]
-                                or self.fs.is_failed(other, index)
-                                or not self.fs.group(other)[index].alive):
-                            raise FSError(
-                                f"pair {index}: both copies unavailable "
-                                f"for {path!r}")
-                        retry.setdefault((other, index), []).extend(
-                            pending[key])
+                try:
+                    for key, proc in procs.items():
+                        try:
+                            yield proc
+                        except ServerFailure:
+                            group, index = key
+                            self.fs.mark_failed(group, index)
+                            other = MIRROR if group == PRIMARY else PRIMARY
+                            if (not meta.resident[other]
+                                    or self.fs.is_failed(other, index)
+                                    or not self.fs.group(other)[index].alive):
+                                raise FSError(
+                                    f"pair {index}: both copies unavailable "
+                                    f"for {path!r}")
+                            retry.setdefault((other, index), []).extend(
+                                pending[key])
+                finally:
+                    # Fatal exit (both copies gone, retry bound hit, or
+                    # this client cancelled): reap the per-server reads
+                    # still streaming, so the failure leaves no orphan
+                    # pinning disk and NIC time.  No-op when the round
+                    # completed: every proc has finished.
+                    for proc in procs.values():
+                        proc.cancel()
                 pending = retry
         self.fs._trace(self.node, "read", path, size, start, self.sim.now)
         return size

@@ -161,7 +161,15 @@ class DataServer:
 
         rp = self.sim.process(reader(), name=f"iod{self.index}.read")
         sp = self.sim.process(sender(), name=f"iod{self.index}.send")
-        yield AllOf(self.sim, [rp, sp])
+        try:
+            yield AllOf(self.sim, [rp, sp])
+        finally:
+            # If this request is abandoned (client cancelled, sibling
+            # server failed), reap both pipeline stages so no reader
+            # keeps issuing disk requests for a dead transfer.  No-op
+            # on the normal path: both have finished.
+            rp.cancel()
+            sp.cancel()
         self.bytes_served += total
         self.requests_served += 1
         return total

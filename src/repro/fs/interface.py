@@ -59,10 +59,16 @@ class FileSystem:
     def exists(self, path: str) -> bool:
         return path in self._files
 
-    def _create_meta(self, path: str, size: int = 0) -> FileMeta:
+    def _new_meta(self, path: str, size: int = 0, **kwargs) -> FileMeta:
+        """Factory hook: subclasses return their richer metadata record
+        (CEFT adds per-group residency) without re-implementing the
+        check-then-create logic of :meth:`_create_meta`."""
+        return FileMeta(path, size)
+
+    def _create_meta(self, path: str, size: int = 0, **kwargs) -> FileMeta:
         if path in self._files:
             raise FSError(f"{self.scheme}: file exists {path!r}")
-        meta = FileMeta(path, size)
+        meta = self._new_meta(path, size, **kwargs)
         self._files[path] = meta
         return meta
 

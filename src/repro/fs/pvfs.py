@@ -112,6 +112,9 @@ class PVFSClient:
                     name=f"pvfs.read.s{server.index}"))
             try:
                 if procs:
+                    # AllOf fails fast on the first ServerFailure and
+                    # cancels the sibling stripe reads, so the surviving
+                    # servers stop streaming data nobody will consume.
                     yield AllOf(self.sim, procs)
             except ServerFailure as exc:
                 # No redundancy: one dead server takes the whole file
@@ -119,6 +122,9 @@ class PVFSClient:
                 raise FSError(
                     f"pvfs: data server {exc.index} failed; "
                     f"{path!r} is unavailable") from exc
+            finally:
+                for p in procs:  # belt and braces: no-op if finished
+                    p.cancel()
         self.fs._trace(self.node, "read", path, size, start, self.sim.now)
         return size
 
@@ -145,6 +151,9 @@ class PVFSClient:
                 raise FSError(
                     f"pvfs: data server {exc.index} failed; "
                     f"{path!r} is unavailable") from exc
+            finally:
+                for p in procs:
+                    p.cancel()
         meta.size = max(meta.size, offset + size)
         self.fs._trace(self.node, "write", path, size, start, self.sim.now)
         return size

@@ -4,6 +4,17 @@ The master keeps a queue of un-searched fragments, hands one to each
 worker that announces itself idle, merges results as they arrive
 (a CPU cost per merge, as the real master sorts worker hits by
 alignment score), and stops every worker once all fragments are done.
+
+Failure handling depends on the file system underneath (the crux of
+the paper's fault-tolerance argument).  A worker that hits an
+unrecoverable I/O error sends an ``abort`` and dies.  Over plain PVFS
+there is no second copy of the data, so the master drains the
+surviving workers and raises :class:`JobAborted`.  Over CEFT-PVFS
+(``degraded_mode=True``) the fragment the dead worker was holding is
+requeued and the job completes on the survivors — degraded but done.
+The requeue loop is naturally bounded: every abort permanently removes
+a worker, so at most ``n_workers`` aborts can happen before the master
+runs out of workers and gives up with :class:`JobAborted`.
 """
 
 from __future__ import annotations
@@ -57,6 +68,11 @@ class JobResult:
     total_time: float
     workers: List[WorkerStats] = field(default_factory=list)
     fragments_done: int = 0
+    #: Fragments that had to be re-issued after their worker aborted
+    #: (only ever non-zero in degraded mode).
+    requeues: int = 0
+    #: Ranks of workers that died on an I/O error.
+    aborted_workers: List[int] = field(default_factory=list)
 
     @property
     def io_time_max(self) -> float:
@@ -75,8 +91,14 @@ class JobResult:
 
 def master_proc(node: "Node", messenger: Messenger,
                 fragments: Sequence[FragmentSpec], n_workers: int,
-                cost: "BlastCostModel"):
-    """Simulation process for the master.  Returns :class:`JobResult`."""
+                cost: "BlastCostModel", degraded_mode: bool = False):
+    """Simulation process for the master.  Returns :class:`JobResult`.
+
+    With ``degraded_mode`` (set when the I/O scheme is fault tolerant,
+    i.e. CEFT-PVFS) a worker abort requeues its fragment and the job
+    continues on the surviving workers; otherwise the first abort
+    drains the survivors and raises :class:`JobAborted`.
+    """
     sim = node.sim
     # Broadcast the query to every worker first (query replication is
     # the database-segmentation approach's cheap half, Section 2.2).
@@ -86,21 +108,44 @@ def master_proc(node: "Node", messenger: Messenger,
     queue = deque(f.fragment_id for f in fragments)
     outstanding: Dict[int, int] = {}      # rank -> fragment id
     done = 0
-    stopped = 0
+    stats: Dict[int, object] = {}         # rank -> StepTotals
+    finish_times: Dict[int, float] = {}
+    requeues = 0
+    aborted: List[int] = []
+    last_abort: JobAborted | None = None
     abort: JobAborted | None = None
+    active = set(range(1, n_workers + 1))
     start = sim.now
 
-    while stopped < n_workers:
+    while active:
         src, msg = yield from messenger.recv(MASTER_RANK)
         kind = msg[0]
+        if kind == "stopped":
+            # Stop ack: carries the worker's final accounting.
+            active.discard(src)
+            stats[src] = msg[2]
+            finish_times[src] = sim.now
+            continue
+        if kind == "abort":
+            # The worker is dead — never reply to it.  Its fragment is
+            # either requeued (degraded mode) or the whole job aborts.
+            frag = outstanding.pop(src, None)
+            active.discard(src)
+            aborted.append(src)
+            stats[src] = msg[4]
+            finish_times[src] = sim.now
+            last_abort = JobAborted(msg[1], msg[2], msg[3])
+            if degraded_mode:
+                if frag is not None:
+                    queue.appendleft(frag)
+                    requeues += 1
+            elif abort is None:
+                abort = last_abort
+            continue
         if kind == "result":
             done += 1
             outstanding.pop(src, None)
             yield node.cpu.consume(cost.merge_cpu)
-        elif kind == "abort":
-            outstanding.pop(src, None)
-            if abort is None:
-                abort = JobAborted(msg[1], msg[2], msg[3])
         elif kind != "ready":  # pragma: no cover - protocol error
             raise RuntimeError(f"master: unexpected message {msg!r}")
         # The sender is now idle: assign more work or stop it.
@@ -112,12 +157,30 @@ def master_proc(node: "Node", messenger: Messenger,
         else:
             yield from messenger.send(MASTER_RANK, src, ("stop",),
                                       cost.control_msg_bytes)
-            stopped += 1
 
     if abort is not None:
         raise abort
-    return JobResult(
+    if queue or outstanding:
+        # Degraded mode ran out of workers with fragments unsearched.
+        if last_abort is not None:
+            raise last_abort
+        raise JobAborted(-1, -1, "no workers left")  # pragma: no cover
+    result = JobResult(
         makespan=sim.now - start,
         total_time=sim.now,
         fragments_done=done,
+        requeues=requeues,
+        aborted_workers=sorted(aborted),
     )
+    for rank in sorted(stats):
+        t = stats[rank]
+        result.workers.append(WorkerStats(
+            rank=rank,
+            io_time=t.io_time,
+            compute_time=t.compute_time,
+            read_bytes=t.read_bytes,
+            write_bytes=t.write_bytes,
+            fragments=t.fragments,
+            finish_time=finish_times[rank],
+        ))
+    return result

@@ -11,10 +11,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-from repro.sim import AllOf
 from repro.parallel.iomodel import FragmentSpec, fragment_files
 from repro.parallel.ioadapters import WorkerIO
-from repro.parallel.master import MASTER_RANK, JobResult, WorkerStats, master_proc
+from repro.parallel.master import MASTER_RANK, JobResult, master_proc
 from repro.parallel.mpi import Messenger
 from repro.parallel.worker import worker_proc
 
@@ -29,17 +28,26 @@ def run_parallel_blast(master_node: "Node", worker_nodes: Sequence["Node"],
                        fragments: Sequence[FragmentSpec],
                        cost: "BlastCostModel",
                        time_limit: float = 1e9,
-                       tracer: Optional["TraceCollector"] = None) -> JobResult:
+                       tracer: Optional["TraceCollector"] = None,
+                       degraded_mode: Optional[bool] = None) -> JobResult:
     """Run one job to completion and return its result.
 
     ``worker_ios[i]`` is the I/O adapter for ``worker_nodes[i]``.  The
     fragment files are created in each adapter's file system before the
     job starts.
+
+    ``degraded_mode`` controls whether a worker abort requeues its
+    fragment (CEFT-PVFS can serve the data from the mirror group) or
+    aborts the whole job (PVFS/local have no second copy).  Left as
+    ``None``, it is inferred from the I/O scheme.
     """
     if len(worker_nodes) != len(worker_ios):
         raise ValueError("need one WorkerIO per worker node")
     if not worker_nodes:
         raise ValueError("need at least one worker")
+    if degraded_mode is None:
+        degraded_mode = all(
+            getattr(io, "scheme", None) == "ceft-pvfs" for io in worker_ios)
     sim = master_node.sim
 
     # Pre-place the database fragments.  Shared (parallel) file systems
@@ -67,7 +75,8 @@ def run_parallel_blast(master_node: "Node", worker_nodes: Sequence["Node"],
         for i, (node, io) in enumerate(zip(worker_nodes, worker_ios))
     ]
     mproc = sim.process(
-        master_proc(master_node, messenger, fragments, len(worker_nodes), cost),
+        master_proc(master_node, messenger, fragments, len(worker_nodes),
+                    cost, degraded_mode=degraded_mode),
         name="master")
 
     sim.run_until_complete(mproc, *wprocs, limit=time_limit)
@@ -77,18 +86,10 @@ def run_parallel_blast(master_node: "Node", worker_nodes: Sequence["Node"],
         if p.failed:
             raise p.value
 
+    # The master assembles per-worker stats itself, from the totals
+    # each worker sends with its final message — so even a worker that
+    # aborted mid-job is accounted for.
     result: JobResult = mproc.value
-    for i, p in enumerate(wprocs):
-        totals = p.value
-        result.workers.append(WorkerStats(
-            rank=i + 1,
-            io_time=totals.io_time,
-            compute_time=totals.compute_time,
-            read_bytes=totals.read_bytes,
-            write_bytes=totals.write_bytes,
-            fragments=totals.fragments,
-            finish_time=sim.now,
-        ))
     return result
 
 

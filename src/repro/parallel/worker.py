@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 import numpy as np
 
 from repro.fs.interface import FSError
+from repro.sim import Interrupt
 from repro.parallel.iomodel import SCAN_CHUNK, FragmentSpec, Step, fragment_steps
 from repro.parallel.ioadapters import WorkerIO
 from repro.parallel.mpi import Messenger
@@ -111,35 +112,58 @@ def worker_proc(rank: int, node: "Node", io: WorkerIO, messenger: Messenger,
                 tracer: Optional["TraceCollector"] = None):
     """Simulation process for one worker.
 
-    Returns the worker's :class:`StepTotals` (the process value).
+    Returns the worker's :class:`StepTotals` (the process value).  The
+    same totals travel to the master inside the final protocol message
+    (``stopped`` ack or ``abort``), so the master can account for every
+    worker — including ones that died mid-job.
     """
     totals = StepTotals()
     yield from messenger.send(rank, MASTER_RANK, ("ready", rank),
                               cost.control_msg_bytes)
-    while True:
-        src, msg = yield from messenger.recv(rank)
-        kind = msg[0]
-        if kind == "stop":
-            return totals
-        if kind == "query":
-            continue  # the query broadcast; nothing to do yet
-        if kind != "task":  # pragma: no cover - protocol error
-            raise RuntimeError(f"worker {rank}: unexpected message {msg!r}")
-        frag_id = msg[1]
-        spec = fragments[frag_id]
-        steps = fragment_steps(spec, cost)
-        rng = np.random.default_rng(7000 + 131 * rank + frag_id)
-        try:
-            yield from execute_steps(node, io, steps, totals, rng=rng,
-                                     tracer=tracer)
-        except FSError as exc:
-            # I/O failure (e.g. a dead PVFS server): report it to the
-            # master, which aborts the whole job — mpiBLAST's behaviour
-            # when the file system goes away underneath it.
+    current: Optional[int] = None
+    try:
+        while True:
+            src, msg = yield from messenger.recv(rank)
+            kind = msg[0]
+            if kind == "stop":
+                yield from messenger.send(rank, MASTER_RANK,
+                                          ("stopped", rank, totals),
+                                          cost.control_msg_bytes)
+                return totals
+            if kind == "query":
+                continue  # the query broadcast; nothing to do yet
+            if kind != "task":  # pragma: no cover - protocol error
+                raise RuntimeError(f"worker {rank}: unexpected message {msg!r}")
+            frag_id = msg[1]
+            current = frag_id
+            spec = fragments[frag_id]
+            steps = fragment_steps(spec, cost)
+            rng = np.random.default_rng(7000 + 131 * rank + frag_id)
+            try:
+                yield from execute_steps(node, io, steps, totals, rng=rng,
+                                         tracer=tracer)
+            except FSError as exc:
+                # I/O failure (e.g. a dead data server): report the
+                # fragment back and die, as the real worker process
+                # does when the file system goes away underneath it.
+                # The master decides whether the job survives.
+                yield from messenger.send(
+                    rank, MASTER_RANK,
+                    ("abort", rank, frag_id, str(exc), totals),
+                    cost.control_msg_bytes)
+                return totals
+            current = None
+            totals.fragments.append(frag_id)
             yield from messenger.send(rank, MASTER_RANK,
-                                      ("abort", rank, frag_id, str(exc)),
-                                      cost.control_msg_bytes)
-            continue
-        totals.fragments.append(frag_id)
-        yield from messenger.send(rank, MASTER_RANK, ("result", rank, frag_id),
-                                  cost.result_msg_bytes)
+                                      ("result", rank, frag_id),
+                                      cost.result_msg_bytes)
+    except Interrupt as exc:
+        # Killed from outside (crashed worker node).  Get a last-gasp
+        # abort out so the master is not left waiting forever on a
+        # fragment nobody is searching.
+        yield from messenger.send(
+            rank, MASTER_RANK,
+            ("abort", rank, current if current is not None else -1,
+             f"worker killed: {exc.cause}", totals),
+            cost.control_msg_bytes)
+        return totals

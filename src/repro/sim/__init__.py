@@ -25,6 +25,7 @@ from repro.sim.events import (
     AnyOf,
     Event,
     Interrupt,
+    ProcessCancelled,
     Timeout,
 )
 from repro.sim.process import Process
@@ -46,6 +47,7 @@ __all__ = [
     "Monitor",
     "PriorityResource",
     "Process",
+    "ProcessCancelled",
     "RandomStreams",
     "Resource",
     "Simulator",

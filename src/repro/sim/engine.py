@@ -54,6 +54,7 @@ class Simulator:
         self._heap: list = []
         self._seq = 0
         self._active: int = 0  # events on the heap that are not cancelled
+        self._processes: set = set()  # live Process objects (see orphans())
 
     # ------------------------------------------------------------------
     @property
@@ -74,15 +75,44 @@ class Simulator:
         self._active += 1
 
     # ------------------------------------------------------------------
-    def process(self, generator: Generator, name: Optional[str] = None) -> "Process":
+    def process(self, generator: Generator, name: Optional[str] = None,
+                daemon: bool = False) -> "Process":
         """Launch *generator* as a new simulation process.
 
         Returns the :class:`~repro.sim.process.Process`, which is itself
-        an event that fires when the process finishes.
+        an event that fires when the process finishes.  *daemon*
+        processes are infrastructure loops (disk schedulers, monitors)
+        that run forever by design and are excluded from the
+        :meth:`orphans` accounting.
         """
         from repro.sim.process import Process
 
-        return Process(self, generator, name=name)
+        return Process(self, generator, name=name, daemon=daemon)
+
+    # ------------------------------------------------------------------
+    def orphans(self) -> list:
+        """Non-daemon processes that are alive but have no way to make
+        progress.
+
+        Meaningful after the event heap has drained (``run()``
+        returned): any surviving non-daemon process is then blocked on
+        an event that can never fire — a leaked resource or an orphaned
+        fan-out branch.  The failure-injection tests assert this is
+        empty.
+        """
+        return [p for p in self._processes
+                if p.is_alive and not p.daemon]
+
+    def find_process(self, name: str) -> Optional["Process"]:
+        """First alive process with the given *name*, or ``None``.
+
+        Failure-injection harnesses use this to target a process
+        (e.g. a named worker) without threading handles through every
+        layer."""
+        for p in self._processes:
+            if p.name == name and p.is_alive:
+                return p
+        return None
 
     # ------------------------------------------------------------------
     def timeout(self, delay: float, value: Any = None) -> "Event":
@@ -100,7 +130,16 @@ class Simulator:
 
     # ------------------------------------------------------------------
     def step(self) -> None:
-        """Process the single next event on the heap."""
+        """Process the single next event on the heap.
+
+        Raises
+        ------
+        SimulationError
+            If the heap is empty (instead of leaking ``IndexError``
+            from the underlying ``heapq``).
+        """
+        if not self._heap:
+            raise SimulationError("step on empty heap")
         when, _prio, _seq, event = heapq.heappop(self._heap)
         self._active -= 1
         if event.cancelled:

@@ -15,6 +15,21 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+class ProcessCancelled(Exception):
+    """The value of a process that was cancelled before it finished.
+
+    Raised in any process that waits on a cancelled process.  Unlike
+    :class:`Interrupt`, cancellation is not delivered *into* the target
+    process — its generator is closed (``finally`` blocks still run)
+    and whatever it was waiting on is withdrawn, releasing the
+    underlying resource.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
 class Event:
     """A one-shot occurrence in simulated time.
 
@@ -72,6 +87,21 @@ class Event:
         """Prevent a scheduled event from firing."""
         self.cancelled = True
 
+    def withdraw(self) -> None:
+        """The (sole) waiter no longer wants this event.
+
+        Called when the process waiting on this event is cancelled or
+        interrupted.  Subclasses backed by a shared resource override
+        this to release their claim (dequeue a disk request, give back
+        a NIC slot, leave a store's waiter queue); the base class just
+        makes sure the event can never fire.
+
+        Withdrawal assumes exclusive ownership: do not withdraw an
+        event that other waiters still hold callbacks on.
+        """
+        if not self.triggered:
+            self.cancelled = True
+
     # ------------------------------------------------------------------
     def fire(self) -> None:
         """Run callbacks.  Called by the simulator only."""
@@ -126,12 +156,34 @@ class _Condition(Event):
     def _check(self, event: Event) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def _release_pending(self, exclude: Optional[Event] = None) -> None:
+        """Detach from and withdraw every component that has not fired.
+
+        Withdrawn processes are cancelled and release their resources;
+        withdrawn plain events simply never fire.
+        """
+        for ev in self.events:
+            if ev is exclude or ev.triggered or ev.scheduled:
+                continue
+            ev.callbacks = [cb for cb in ev.callbacks
+                            if getattr(cb, "__self__", None) is not self]
+            ev.withdraw()
+
+    def withdraw(self) -> None:
+        """Cascade: the condition's waiter is gone, so nobody will ever
+        see the components either — cancel them too."""
+        super().withdraw()
+        self._release_pending()
+
 
 class AllOf(_Condition):
     """Fires when *all* component events have fired.
 
     The payload is the list of component values, in the original order.
-    If any component fails, the condition fails with that exception.
+    If any component fails, the condition fails with that exception
+    *and cancels the still-pending components*: a failed fan-out leaves
+    no sibling running to silently perturb later measurements (see
+    :meth:`repro.sim.process.Process.cancel`).
     """
 
     __slots__ = ()
@@ -141,6 +193,7 @@ class AllOf(_Condition):
             return
         if event.failed:
             self.fail(event.value)
+            self._release_pending(exclude=event)
             return
         self._count += 1
         if self._count == len(self.events):

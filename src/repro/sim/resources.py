@@ -31,6 +31,12 @@ class Request(Event):
         """Give the slot back (idempotent)."""
         self.resource.release(self)
 
+    def withdraw(self) -> None:
+        """Waiter cancelled: give up the queue position (or the slot,
+        if the grant was scheduled but not yet seen)."""
+        self.cancelled = True
+        self.release()
+
     # Context-manager sugar for the common acquire/release pattern:
     #     with (yield disk.request()):
     #         ...
@@ -143,6 +149,47 @@ class PriorityResource(Resource):
         super().release(req)
 
 
+class StoreGet(Event):
+    """The event returned by :meth:`Store.get`; withdrawing it leaves
+    the waiter queue so a later ``put`` is not silently swallowed."""
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: "Store"):
+        super().__init__(store.sim)
+        self.store = store
+
+    def withdraw(self) -> None:
+        if self.triggered:
+            return
+        self.cancelled = True
+        try:
+            self.store._getters.remove(self)
+        except ValueError:
+            pass
+
+
+class StorePut(Event):
+    """The event returned by :meth:`Store.put`; withdrawing it retracts
+    the pending item from a full store's waiter queue."""
+
+    __slots__ = ("store", "item")
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.sim)
+        self.store = store
+        self.item = item
+
+    def withdraw(self) -> None:
+        if self.triggered:
+            return
+        self.cancelled = True
+        try:
+            self.store._putters.remove(self)
+        except ValueError:
+            pass
+
+
 class Store:
     """An unbounded (or bounded) FIFO of Python objects.
 
@@ -155,8 +202,8 @@ class Store:
         self.capacity = capacity
         self.name = name
         self._items: Deque[Any] = deque()
-        self._getters: Deque[Event] = deque()
-        self._putters: Deque[Tuple[Event, Any]] = deque()
+        self._getters: Deque[StoreGet] = deque()
+        self._putters: Deque[StorePut] = deque()
 
     # ------------------------------------------------------------------
     @property
@@ -168,7 +215,7 @@ class Store:
 
     # ------------------------------------------------------------------
     def put(self, item: Any) -> Event:
-        ev = Event(self.sim)
+        ev = StorePut(self, item)
         if self._getters:
             getter = self._getters.popleft()
             getter.succeed(item)
@@ -177,24 +224,50 @@ class Store:
             self._items.append(item)
             ev.succeed()
         else:
-            self._putters.append((ev, item))
+            self._putters.append(ev)
         return ev
 
     def get(self) -> Event:
-        ev = Event(self.sim)
+        ev = StoreGet(self)
         if self._items:
             ev.succeed(self._items.popleft())
             if self._putters:
-                pev, item = self._putters.popleft()
-                self._items.append(item)
+                pev = self._putters.popleft()
+                self._items.append(pev.item)
                 pev.succeed()
         elif self._putters:
-            pev, item = self._putters.popleft()
+            pev = self._putters.popleft()
             pev.succeed()
-            ev.succeed(item)
+            ev.succeed(pev.item)
         else:
             self._getters.append(ev)
         return ev
+
+
+class ContainerOp(Event):
+    """A pending container get/put; withdrawing it leaves the waiter
+    queue (and unblocks anyone queued behind it)."""
+
+    __slots__ = ("container", "amount")
+
+    def __init__(self, container: "Container", amount: float):
+        super().__init__(container.sim)
+        self.container = container
+        self.amount = amount
+
+    def withdraw(self) -> None:
+        if self.triggered:
+            return
+        self.cancelled = True
+        for q in (self.container._getters, self.container._putters):
+            try:
+                q.remove(self)
+            except ValueError:
+                continue
+            break
+        # Our queue slot may have been head-of-line blocking.
+        self.container._drain_putters()
+        self.container._drain_getters()
 
 
 class Container:
@@ -212,8 +285,8 @@ class Container:
         self.capacity = capacity
         self.name = name
         self._level = float(init)
-        self._getters: Deque[Tuple[Event, float]] = deque()
-        self._putters: Deque[Tuple[Event, float]] = deque()
+        self._getters: Deque[ContainerOp] = deque()
+        self._putters: Deque[ContainerOp] = deque()
 
     @property
     def level(self) -> float:
@@ -222,13 +295,13 @@ class Container:
     def put(self, amount: float) -> Event:
         if amount < 0:
             raise ValueError("amount must be >= 0")
-        ev = Event(self.sim)
+        ev = ContainerOp(self, amount)
         if self._level + amount <= self.capacity:
             self._level += amount
             ev.succeed()
             self._drain_getters()
         else:
-            self._putters.append((ev, amount))
+            self._putters.append(ev)
         return ev
 
     def get(self, amount: float) -> Event:
@@ -236,24 +309,24 @@ class Container:
             raise ValueError("amount must be >= 0")
         if amount > self.capacity:
             raise SimulationError(f"get({amount}) exceeds capacity {self.capacity}")
-        ev = Event(self.sim)
+        ev = ContainerOp(self, amount)
         if not self._getters and self._level >= amount:
             self._level -= amount
             ev.succeed()
             self._drain_putters()
         else:
-            self._getters.append((ev, amount))
+            self._getters.append(ev)
         return ev
 
     def _drain_getters(self) -> None:
-        while self._getters and self._level >= self._getters[0][1]:
-            ev, amount = self._getters.popleft()
-            self._level -= amount
+        while self._getters and self._level >= self._getters[0].amount:
+            ev = self._getters.popleft()
+            self._level -= ev.amount
             ev.succeed()
 
     def _drain_putters(self) -> None:
-        while self._putters and self._level + self._putters[0][1] <= self.capacity:
-            ev, amount = self._putters.popleft()
-            self._level += amount
+        while self._putters and self._level + self._putters[0].amount <= self.capacity:
+            ev = self._putters.popleft()
+            self._level += ev.amount
             ev.succeed()
             self._drain_getters()

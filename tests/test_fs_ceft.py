@@ -264,3 +264,87 @@ def test_truncate_and_unlink():
 
     run(c, proc())
     assert not fs.exists("db")
+
+
+# ---------------------------------------------------------------- hot set
+def test_recompute_hot_uses_median_of_other_servers():
+    """Regression (group_size=2): with four servers and one lone spike,
+    a self-inclusive median let the hot server mask itself — 0.9 vs a
+    median of 0.5 fails the 2x-median test.  Against the *other*
+    servers' median (0.1) it is correctly flagged."""
+    c, fs = make_ceft(group=2)
+    utils = {
+        (PRIMARY, 0): 0.9,
+        (PRIMARY, 1): 0.1,
+        (MIRROR, 0): 0.1,
+        (MIRROR, 1): 0.1,
+    }
+    hot = fs.collector.recompute_hot(utils)
+    assert hot == {(PRIMARY, 0)}
+
+
+def test_recompute_hot_hysteresis_clears_below_threshold():
+    c, fs = make_ceft(group=2)
+    fs.collector.hot = {(PRIMARY, 0)}
+    # Still warm (above clear_threshold): stays flagged.
+    hot = fs.collector.recompute_hot({
+        (PRIMARY, 0): 0.6, (PRIMARY, 1): 0.5,
+        (MIRROR, 0): 0.5, (MIRROR, 1): 0.5,
+    })
+    assert hot == {(PRIMARY, 0)}
+    # Cooled off: cleared.
+    hot = fs.collector.recompute_hot({
+        (PRIMARY, 0): 0.2, (PRIMARY, 1): 0.5,
+        (MIRROR, 0): 0.5, (MIRROR, 1): 0.5,
+    })
+    assert hot == set()
+
+
+def test_recompute_hot_uniformly_busy_cluster_not_flagged():
+    """Everyone busy is load, not a hot spot: no server beats twice the
+    others' median."""
+    c, fs = make_ceft(group=2)
+    utils = {k: 0.95 for k in
+             [(PRIMARY, 0), (PRIMARY, 1), (MIRROR, 0), (MIRROR, 1)]}
+    assert fs.collector.recompute_hot(utils) == set()
+
+
+def test_recompute_hot_single_server_pair():
+    """Degenerate group_size=1: two servers, each compared against the
+    other alone."""
+    c, fs = make_ceft(group=1)
+    hot = fs.collector.recompute_hot({(PRIMARY, 0): 0.9, (MIRROR, 0): 0.1})
+    assert hot == {(PRIMARY, 0)}
+
+
+# ---------------------------------------------------------------- create
+def test_duplicate_create_raises_before_any_cost():
+    """CEFT uses the same check-then-create helper as PVFS: the second
+    create of a path raises FSError and pays no metadata RPC."""
+    c, fs = make_ceft(group=2)
+    client = fs.client(c[0])
+
+    def proc():
+        yield from client.create("dup", size=0, mirrored=True)
+        ops_before = fs.mds.ops_served
+        with pytest.raises(FSError, match="file exists"):
+            yield from client.create("dup")
+        assert fs.mds.ops_served == ops_before
+        return fs.lookup("dup")
+
+    meta = run(c, proc())
+    assert meta.mirrored  # the first create's metadata survived intact
+
+
+def test_create_mirrored_flag_round_trips():
+    c, fs = make_ceft(group=2)
+    client = fs.client(c[0])
+
+    def proc():
+        m1 = yield from client.create("plain", size=4 * KiB)
+        m2 = yield from client.create("both", size=4 * KiB, mirrored=True)
+        return m1, m2
+
+    m1, m2 = run(c, proc())
+    assert not m1.mirrored
+    assert m2.mirrored

@@ -1,0 +1,164 @@
+"""Worker-abort handling in the master/worker protocol.
+
+Over CEFT-PVFS the master runs in degraded mode: a dead worker's
+fragment is requeued and the job completes on the survivors.  Over
+PVFS (or local disks) there is no second copy of the data, so the
+first abort takes the whole job down with :class:`JobAborted`.
+Either way the master accounts for every worker — including the dead
+ones — and the simulation drains with no orphaned processes.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.params import MB
+from repro.core.calibration import default_cost_model
+from repro.fs.ceft import CEFT
+from repro.fs.localfs import LocalFS
+from repro.fs.pvfs import PVFS
+from repro.parallel import FragmentSpec, LocalIO, run_parallel_blast
+from repro.parallel.ioadapters import ParallelIO
+from repro.parallel.master import JobAborted
+
+
+def fragments(n, nbytes=2 * MB):
+    return [FragmentSpec(i, nbytes, nbytes) for i in range(n)]
+
+
+def make_ceft_cluster(n_workers=3, group=2):
+    c = Cluster(n_nodes=1 + n_workers + 2 * group)
+    nodes = list(c)
+    workers = nodes[1:1 + n_workers]
+    servers = nodes[1 + n_workers:]
+    fs = CEFT(nodes[0], servers[:group], servers[group:],
+              monitor_load=False)
+    ios = [ParallelIO(fs.client(w)) for w in workers]
+    return c, nodes[0], workers, ios, fs
+
+
+def kill_worker_at(sim, rank, at):
+    """Interrupt the named worker process at simulated time *at*."""
+    def killer():
+        yield sim.timeout(at)
+        proc = sim.find_process(f"worker{rank}")
+        if proc is not None:
+            proc.interrupt("node crashed")
+
+    sim.process(killer(), daemon=True)
+
+
+# ---------------------------------------------------------------- degraded
+def test_worker_kill_over_ceft_completes_degraded():
+    c, master, workers, ios, fs = make_ceft_cluster(n_workers=3)
+    kill_worker_at(c.sim, rank=2, at=5.0)
+    job = run_parallel_blast(master, workers, ios, fragments(6),
+                             default_cost_model())
+    assert job.fragments_done == 6
+    done = sorted(f for w in job.workers for f in w.fragments)
+    assert done == list(range(6))       # every fragment searched once
+    assert job.aborted_workers == [2]
+    assert job.requeues >= 1            # the dead worker's fragment
+    assert len(job.workers) == 3        # the dead worker is accounted
+    c.sim.run()
+    assert c.sim.orphans() == []
+
+
+def test_worker_kill_over_local_aborts_job():
+    c = Cluster(n_nodes=4)
+    workers = list(c)[1:]
+    ios = [LocalIO(LocalFS(n), n) for n in workers]
+    kill_worker_at(c.sim, rank=1, at=5.0)
+    with pytest.raises(JobAborted) as info:
+        run_parallel_blast(c[0], workers, ios, fragments(6),
+                           default_cost_model())
+    assert info.value.rank == 1
+    c.sim.run()
+    assert c.sim.orphans() == []
+
+
+def test_server_crash_over_pvfs_aborts_job():
+    c = Cluster(n_nodes=8)
+    nodes = list(c)
+    workers, servers = nodes[1:4], nodes[4:8]
+    fs = PVFS(nodes[0], servers)
+    ios = [ParallelIO(fs.client(w)) for w in workers]
+
+    def crasher():
+        yield c.sim.timeout(5.0)
+        fs.servers[1].fail()
+
+    c.sim.process(crasher(), daemon=True)
+    with pytest.raises(JobAborted):
+        run_parallel_blast(nodes[0], workers, ios, fragments(6),
+                           default_cost_model())
+    c.sim.run()
+    assert c.sim.orphans() == []
+
+
+def test_server_crash_over_ceft_is_invisible_to_the_job():
+    """A data-server crash is absorbed below the worker (client-side
+    failover), so no worker aborts at all."""
+    c, master, workers, ios, fs = make_ceft_cluster(n_workers=3)
+
+    def crasher():
+        yield c.sim.timeout(5.0)
+        fs.primary[0].fail()
+
+    c.sim.process(crasher(), daemon=True)
+    job = run_parallel_blast(master, workers, ios, fragments(6),
+                             default_cost_model())
+    assert job.fragments_done == 6
+    assert job.aborted_workers == []
+    assert job.requeues == 0
+    c.sim.run()
+    assert c.sim.orphans() == []
+
+
+def test_all_workers_dead_raises_job_aborted_even_degraded():
+    c, master, workers, ios, fs = make_ceft_cluster(n_workers=2)
+    kill_worker_at(c.sim, rank=1, at=5.0)
+    kill_worker_at(c.sim, rank=2, at=6.0)
+    with pytest.raises(JobAborted):
+        run_parallel_blast(master, workers, ios, fragments(8),
+                           default_cost_model())
+    c.sim.run()
+    assert c.sim.orphans() == []
+
+
+def test_degraded_mode_override():
+    """Explicit degraded_mode=False turns a CEFT worker kill into a
+    job abort (the auto-detection is just a default)."""
+    c, master, workers, ios, fs = make_ceft_cluster(n_workers=3)
+    kill_worker_at(c.sim, rank=2, at=5.0)
+    with pytest.raises(JobAborted):
+        run_parallel_blast(master, workers, ios, fragments(6),
+                           default_cost_model(), degraded_mode=False)
+
+
+# ---------------------------------------------------------------- accounting
+def test_worker_stats_collected_by_master():
+    """JobResult.workers comes from the stop acks now: one entry per
+    worker, finish times within the job, totals consistent."""
+    c = Cluster(n_nodes=4)
+    workers = list(c)[1:]
+    ios = [LocalIO(LocalFS(n), n) for n in workers]
+    job = run_parallel_blast(c[0], workers, ios, fragments(6),
+                             default_cost_model())
+    assert len(job.workers) == 3
+    assert [w.rank for w in job.workers] == [1, 2, 3]
+    for w in job.workers:
+        assert 0 < w.finish_time <= job.total_time
+        assert w.read_bytes > 0
+    assert sum(len(w.fragments) for w in job.workers) == 6
+
+
+def test_dead_worker_partial_stats_are_reported():
+    c, master, workers, ios, fs = make_ceft_cluster(n_workers=3)
+    kill_worker_at(c.sim, rank=2, at=5.0)
+    job = run_parallel_blast(master, workers, ios, fragments(6),
+                             default_cost_model())
+    dead = next(w for w in job.workers if w.rank == 2)
+    # It died mid-fragment: some I/O happened, its finish time is the
+    # abort time, well before the job's end.
+    assert dead.read_bytes > 0
+    assert dead.finish_time < job.total_time

@@ -1,0 +1,410 @@
+"""Cancellation semantics: Process.cancel, Event.withdraw, AllOf
+auto-cancel, and resource release on abandoned requests.
+
+These are the guarantees the failure path relies on: when a fan-out
+branch fails or a waiter is killed, everything downstream lets go of
+its disk, CPU, NIC, and queue claims, and the simulation drains with
+no orphaned processes.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Container,
+    Event,
+    Interrupt,
+    ProcessCancelled,
+    Resource,
+    SimulationError,
+    Simulator,
+    Store,
+    Timeout,
+)
+
+
+# ---------------------------------------------------------------- basics
+def test_cancel_runs_finally_blocks():
+    sim = Simulator()
+    cleaned = []
+
+    def victim():
+        try:
+            yield Timeout(sim, 100.0)
+        finally:
+            cleaned.append(sim.now)
+
+    p = sim.process(victim())
+    sim.run(until=1.0)
+    assert p.cancel() is True
+    assert cleaned == [1.0]
+
+
+def test_cancel_fails_process_with_process_cancelled():
+    sim = Simulator()
+
+    def victim():
+        yield Timeout(sim, 100.0)
+
+    def waiter(target):
+        try:
+            yield target
+        except ProcessCancelled as exc:
+            return ("cancelled", exc.cause)
+        return "finished"
+
+    v = sim.process(victim())
+    w = sim.process(waiter(v))
+    sim.run(until=1.0)
+    v.cancel("test says so")
+    sim.run()
+    assert w.value == ("cancelled", "test says so")
+
+
+def test_cancel_finished_process_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield Timeout(sim, 1.0)
+        return 42
+
+    p = sim.process(quick())
+    sim.run()
+    assert p.cancel() is False
+    assert p.value == 42
+
+
+def test_cancel_before_first_resume():
+    sim = Simulator()
+    ran = []
+
+    def victim():
+        ran.append(True)
+        yield Timeout(sim, 1.0)
+
+    p = sim.process(victim())
+    assert p.cancel() is True  # before the bootstrap event fires
+    sim.run()
+    assert ran == []
+    assert not p.is_alive
+
+
+def test_cancel_cascades_through_waited_process():
+    """Cancelling a parent cancels the child it is waiting on, which
+    releases the child's resource claim."""
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    hold = res.request()  # take the only slot
+
+    def child():
+        req = res.request()
+        try:
+            yield req
+        finally:
+            req.release()
+
+    def parent():
+        yield sim.process(child(), name="child")
+
+    p = sim.process(parent(), name="parent")
+    sim.run(until=1.0)
+    assert res.queue_length == 1
+    p.cancel()
+    assert res.queue_length == 0  # the child's queued request was withdrawn
+    sim.run()
+    assert sim.orphans() == []
+
+
+# ---------------------------------------------------------------- AllOf
+def test_allof_failure_cancels_siblings():
+    sim = Simulator()
+    survived = []
+
+    def failing():
+        yield Timeout(sim, 1.0)
+        raise RuntimeError("boom")
+
+    def slow():
+        yield Timeout(sim, 100.0)
+        survived.append(True)
+
+    f = sim.process(failing())
+    s = sim.process(slow())
+
+    def waiter():
+        try:
+            yield AllOf(sim, [f, s])
+        except RuntimeError:
+            return "failed"
+
+    w = sim.process(waiter())
+    sim.run()
+    assert w.value == "failed"
+    assert survived == []          # the slow sibling never completed...
+    assert not s.is_alive          # ...because it was cancelled
+    assert sim.orphans() == []
+
+
+def test_allof_withdraw_cascades_to_components():
+    sim = Simulator()
+
+    def slow(delay):
+        yield Timeout(sim, delay)
+
+    a = sim.process(slow(50.0))
+    b = sim.process(slow(60.0))
+
+    def waiter():
+        yield AllOf(sim, [a, b])
+
+    w = sim.process(waiter())
+    sim.run(until=1.0)
+    w.cancel()
+    sim.run()
+    assert not a.is_alive and not b.is_alive
+    assert sim.orphans() == []
+
+
+def test_anyof_losers_keep_running():
+    """AnyOf must NOT cancel the losing components: infrastructure
+    (e.g. the disk scheduler's wakeup) shares those events."""
+    sim = Simulator()
+    done = []
+
+    def racer(delay, tag):
+        yield Timeout(sim, delay)
+        done.append(tag)
+
+    a = sim.process(racer(1.0, "fast"))
+    b = sim.process(racer(5.0, "slow"))
+
+    def waiter():
+        yield AnyOf(sim, [a, b])
+
+    sim.process(waiter())
+    sim.run()
+    assert done == ["fast", "slow"]
+
+
+# ---------------------------------------------------------------- resources
+def test_cancelled_waiter_releases_resource_queue_slot():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    holder = res.request()
+    assert res.count == 1
+
+    def waiter():
+        req = res.request()
+        try:
+            yield req
+        finally:
+            req.release()
+
+    p = sim.process(waiter())
+    sim.run(until=1.0)
+    assert res.queue_length == 1
+    p.cancel()
+    assert res.queue_length == 0
+    holder.release()
+    assert res.count == 0  # nobody phantom-holds the slot
+
+
+def test_cancelled_store_getter_does_not_swallow_put():
+    sim = Simulator()
+    store = Store(sim)
+
+    def getter():
+        item = yield store.get()
+        return item
+
+    doomed = sim.process(getter(), name="doomed")
+    lucky = sim.process(getter(), name="lucky")
+    sim.run(until=1.0)
+    doomed.cancel()
+    store.put("msg")
+    sim.run()
+    assert lucky.value == "msg"  # not eaten by the dead getter
+
+
+def test_cancelled_container_getter_unblocks_queue():
+    sim = Simulator()
+    box = Container(sim, capacity=10, init=3)
+
+    def take(amount):
+        yield box.get(amount)
+        return amount
+
+    big = sim.process(take(8), name="big")       # blocks (needs 8, has 3)
+    small = sim.process(take(2), name="small")   # queued behind big
+    sim.run(until=1.0)
+    assert box.level == 3
+    big.cancel()
+    sim.run()
+    assert small.value == 2
+    assert box.level == 1
+
+
+def test_interrupt_releases_resource_claim():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    holder = res.request()
+
+    def waiter():
+        req = res.request()
+        try:
+            yield req
+        except Interrupt:
+            return "interrupted"
+
+    p = sim.process(waiter())
+    sim.run(until=1.0)
+    assert res.queue_length == 1
+    p.interrupt()
+    sim.run()
+    assert p.value == "interrupted"
+    assert res.queue_length == 0
+    holder.release()
+    assert res.count == 0
+
+
+# ---------------------------------------------------------------- cluster
+def test_cancelled_disk_request_leaves_the_queue():
+    c = Cluster(n_nodes=1)
+    node = c[0]
+    sim = c.sim
+
+    def reader(offset):
+        yield node.disk.read(offset, 1 << 20, stream="t")
+
+    # Saturate the disk so the victim's request sits queued.
+    sim.process(reader(0))
+    victim = sim.process(reader(1 << 20))
+    sim.run(until=1e-4)  # give both time to enqueue
+    victim.cancel()
+    t_end = sim.run()
+    # Only the survivor's request was serviced.
+    assert node.disk.reads_serviced == 1
+    assert node.disk.queue_length == 0
+    assert t_end < 1.0
+
+
+def test_cancelled_transfer_releases_nic():
+    c = Cluster(n_nodes=3)
+    sim = c.sim
+    net = c.network
+
+    def move(src, dst, size):
+        yield from net.transfer(src, dst, size)
+        return sim.now
+
+    blocker = sim.process(move(c[0], c[1], 64 << 20), name="blocker")
+    rider = sim.process(move(c[0], c[2], 1 << 20), name="rider")
+    sim.run(until=0.01)
+    blocker.cancel()
+    sim.run()
+    # The rider finishes promptly once the tx channel is freed.
+    assert rider.ok
+    assert net.nic(c[0].name).tx.count == 0
+    assert net.nic(c[1].name).rx.count == 0
+    assert sim.orphans() == []
+
+
+def test_cancelled_cpu_task_leaves_active_set():
+    c = Cluster(n_nodes=1)
+    node, sim = c[0], c.sim
+
+    def burn(seconds):
+        yield node.cpu.consume(seconds)
+        return sim.now
+
+    doomed = sim.process(burn(1000.0))
+    quick = sim.process(burn(1.0))
+    sim.run(until=0.1)
+    doomed.cancel()
+    assert node.cpu.active_tasks == 1
+    sim.run()
+    # With the hog gone the quick task runs at full rate again.
+    assert quick.value < 2.0
+
+
+# ---------------------------------------------------------------- no orphans
+def test_no_orphans_after_pvfs_server_failure():
+    """The acceptance check of the tentpole: a dead server fails the
+    read, and the failure leaves zero orphaned processes behind."""
+    from repro.fs.interface import FSError
+    from repro.fs.pvfs import PVFS
+
+    c = Cluster(n_nodes=5)
+    nodes = list(c)
+    fs = PVFS(nodes[0], nodes[1:5])
+    fs.populate("db.nsq", 8 << 20)
+    client = fs.client(nodes[0])
+    fs.servers[2].fail()
+
+    def app():
+        try:
+            yield from client.read("db.nsq", 0, 8 << 20)
+        except FSError:
+            return "failed"
+        return "ok"  # pragma: no cover
+
+    p = c.sim.process(app())
+    c.sim.run_until_complete(p)
+    assert p.value == "failed"
+    c.sim.run()  # drain everything still in flight
+    assert c.sim.orphans() == []
+
+
+def test_no_orphans_after_ceft_failover():
+    from repro.fs.ceft import CEFT
+
+    c = Cluster(n_nodes=5)
+    nodes = list(c)
+    fs = CEFT(nodes[0], nodes[1:3], nodes[3:5], monitor_load=False)
+    fs.populate("db.nsq", 8 << 20)
+    client = fs.client(nodes[0])
+    fs.primary[0].fail()
+
+    def app():
+        n = yield from client.read("db.nsq", 0, 8 << 20)
+        return n
+
+    p = c.sim.process(app())
+    c.sim.run_until_complete(p)
+    assert p.value == 8 << 20  # failover served the whole range
+    c.sim.run()
+    assert c.sim.orphans() == []
+
+
+def test_daemon_processes_are_not_orphans():
+    sim = Simulator()
+
+    def loop():
+        while True:
+            yield Timeout(sim, 1.0)
+
+    sim.process(loop(), daemon=True)
+    sim.run(until=5.0)
+    assert sim.orphans() == []
+
+
+def test_find_process_by_name():
+    sim = Simulator()
+
+    def loop():
+        while True:
+            yield Timeout(sim, 1.0)
+
+    p = sim.process(loop(), name="target")
+    assert sim.find_process("target") is p
+    assert sim.find_process("nonesuch") is None
+    p.cancel()
+    assert sim.find_process("target") is None
+
+
+def test_step_on_empty_heap_raises_simulation_error():
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="empty heap"):
+        sim.step()
