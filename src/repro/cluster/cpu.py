@@ -61,6 +61,7 @@ class CPU:
         self.load = TimeWeightedMonitor(sim, name=f"{name}.load")
         self.busy_cores = TimeWeightedMonitor(sim, name=f"{name}.busy")
         self.total_work_done = 0.0
+        sim.check.register(self)
 
     # ------------------------------------------------------------------
     @property
@@ -146,6 +147,34 @@ class CPU:
         if self._tasks.pop(tid, None) is not None:
             self._update_monitors()
             self._reschedule()
+
+    # ------------------------------------------------------------------
+    # Invariant hooks (see repro.sim.check)
+    # ------------------------------------------------------------------
+    def invariant_errors(self, strict: bool) -> list:
+        errs = []
+        k = len(self._tasks)
+        if self.load.level != k:
+            errs.append(f"cpu {self.name!r}: load monitor {self.load.level} "
+                        f"!= {k} active task(s)")
+        if self.busy_cores.level != min(k, self.cores):
+            errs.append(f"cpu {self.name!r}: busy monitor "
+                        f"{self.busy_cores.level} != min({k}, {self.cores})")
+        if strict:
+            # Stored remaining-work values are stale-high between lazy
+            # advances but must never be meaningfully negative.
+            for tid, task in self._tasks.items():
+                if task.remaining < -1e-9:
+                    errs.append(f"cpu {self.name!r}: task {tid} has negative "
+                                f"remaining work {task.remaining}")
+        return errs
+
+    def drain_errors(self) -> list:
+        errs = []
+        if self._tasks:
+            errs.append(f"cpu {self.name!r}: {len(self._tasks)} task(s) "
+                        f"still active at drain")
+        return errs
 
     def _on_timer(self, event: Event) -> None:
         if event.cancelled:  # pragma: no cover - cancelled timers are skipped upstream

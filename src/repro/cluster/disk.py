@@ -103,6 +103,8 @@ class Disk:
         self._util_checkpoint_time = sim.now
         self._util_checkpoint_area = 0.0
         self._last_write_time = float("-inf")
+        self._in_service = 0
+        sim.check.register(self)
         sim.process(self._scheduler(), name=f"{name}.sched", daemon=True)
 
     # ------------------------------------------------------------------
@@ -119,6 +121,11 @@ class Disk:
                 self._write_arrival.succeed()
                 self._write_arrival = None
         self.queue_len.add(1)
+        if self.queue_len.level != self.queue_length + self._in_service:
+            self.sim.check.fail(
+                f"disk {self.name!r}: queue accounting out of sync "
+                f"(monitor={self.queue_len.level} queued={self.queue_length} "
+                f"in_service={self._in_service})")
         if self._wakeup is not None and not self._wakeup.scheduled:
             self._wakeup.succeed()
             self._wakeup = None
@@ -142,6 +149,11 @@ class Disk:
         except ValueError:
             return  # in service (or already done): nothing to retract
         self.queue_len.add(-1)
+        if self.queue_len.level != self.queue_length + self._in_service:
+            self.sim.check.fail(
+                f"disk {self.name!r}: queue accounting out of sync after "
+                f"cancel (monitor={self.queue_len.level} "
+                f"queued={self.queue_length} in_service={self._in_service})")
 
     # ------------------------------------------------------------------
     # Introspection
@@ -277,6 +289,7 @@ class Disk:
             if req is None:  # pragma: no cover - defensive
                 continue
             may_anticipate_read = True
+            self._in_service = 1
             sequential = self._last_pos == (req.kind, req.stream, req.offset)
             svc = self.service_time(req.kind, req.size, sequential)
             self.busy.set(1)
@@ -284,6 +297,7 @@ class Disk:
             self.busy.set(0)
             self._last_pos = (req.kind, req.stream, req.offset + req.size)
             self.queue_len.add(-1)
+            self._in_service = 0
             if req.kind == READ:
                 self.bytes_read += req.size
                 self.reads_serviced += 1
@@ -293,6 +307,34 @@ class Disk:
                 self.writes_serviced += 1
                 self._last_write_time = self.sim.now
             req.done.succeed(req)
+
+    # ------------------------------------------------------------------
+    # Invariant hooks (see repro.sim.check)
+    # ------------------------------------------------------------------
+    def invariant_errors(self, strict: bool) -> list:
+        errs = []
+        if self.queue_len.level != self.queue_length + self._in_service:
+            errs.append(f"disk {self.name!r}: queue monitor "
+                        f"{self.queue_len.level} != queued "
+                        f"{self.queue_length} + in-service {self._in_service}")
+        if self.busy.level not in (0, 1):
+            errs.append(f"disk {self.name!r}: busy level {self.busy.level} "
+                        f"outside {{0, 1}}")
+        if strict and (self.bytes_read < 0 or self.bytes_written < 0):
+            errs.append(f"disk {self.name!r}: negative byte counters")
+        return errs
+
+    def drain_errors(self) -> list:
+        errs = []
+        if self._reads or self._writes:
+            errs.append(f"disk {self.name!r}: {self.queue_length} "
+                        f"request(s) still queued at drain")
+        if self._in_service:
+            errs.append(f"disk {self.name!r}: request still in service "
+                        f"at drain")
+        if self.busy.level != 0:
+            errs.append(f"disk {self.name!r}: spindle busy at drain")
+        return errs
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Disk {self.name!r} queue={self.queue_length}>"

@@ -38,6 +38,24 @@ class NIC:
         self.bytes_received = 0
         self.tx_busy = TimeWeightedMonitor(sim, name=f"{name}.tx_busy")
         self.rx_busy = TimeWeightedMonitor(sim, name=f"{name}.rx_busy")
+        sim.check.register(self)
+
+    # ------------------------------------------------------------------
+    # Invariant hooks (see repro.sim.check); the tx/rx channel Resources
+    # register themselves, so only the NIC-level stats need checking.
+    # ------------------------------------------------------------------
+    def invariant_errors(self, strict: bool) -> list:
+        errs = []
+        if strict and (self.bytes_sent < 0 or self.bytes_received < 0):
+            errs.append(f"nic {self.name!r}: negative byte counters")
+        return errs
+
+    def drain_errors(self) -> list:
+        errs = []
+        if self.tx_busy.level != 0 or self.rx_busy.level != 0:
+            errs.append(f"nic {self.name!r}: channel busy at drain "
+                        f"(tx={self.tx_busy.level} rx={self.rx_busy.level})")
+        return errs
 
 
 class Network:

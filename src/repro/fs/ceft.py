@@ -392,6 +392,7 @@ class CEFTClient:
             yield self.node.cpu.consume(CLIENT_SCHED_CPU)
             pending = self._route(meta, offset, size)
             rounds = 0
+            served = 0
             while pending:
                 rounds += 1
                 if rounds > MAX_RETRY_ROUNDS:
@@ -409,7 +410,7 @@ class CEFTClient:
                 try:
                     for key, proc in procs.items():
                         try:
-                            yield proc
+                            served += yield proc
                         except ServerFailure:
                             group, index = key
                             self.fs.mark_failed(group, index)
@@ -431,6 +432,10 @@ class CEFTClient:
                     for proc in procs.values():
                         proc.cancel()
                 pending = retry
+            # A server failure is all-or-nothing per request (extents
+            # that failed were re-issued whole), so completed requests
+            # must add up to exactly the range read.
+            self.sim.check.bytes_conserved("ceft.read", path, size, served)
         self.fs._trace(self.node, "read", path, size, start, self.sim.now)
         return size
 
@@ -469,22 +474,30 @@ class CEFTClient:
                     mserver.store_local(self.node, path, extents))
 
             def wait_group(tagged):
-                """Wait all of a group's procs; True if all succeeded."""
-                ok = True
+                """Wait all of a group's procs; returns (all succeeded,
+                bytes stored by the ones that did)."""
+                ok, stored = True, 0
                 for group, index, proc in tagged:
                     try:
-                        yield proc
+                        stored += yield proc
                     except ServerFailure:
                         fs.mark_failed(group, index)
                         ok = False
-                return ok
+                return ok, stored
 
+            check = self.sim.check
             if proto in (WriteProtocol.CLIENT_SYNC, WriteProtocol.CLIENT_ASYNC):
                 pprocs = group_writes(PRIMARY)
                 mprocs = group_writes(MIRROR)
-                p_ok = yield from wait_group(pprocs)
+                p_ok, p_stored = yield from wait_group(pprocs)
+                if p_ok:
+                    check.bytes_conserved("ceft.write.primary", path,
+                                          size, p_stored)
                 if proto is WriteProtocol.CLIENT_SYNC or not p_ok:
-                    m_ok = yield from wait_group(mprocs)
+                    m_ok, m_stored = yield from wait_group(mprocs)
+                    if m_ok:
+                        check.bytes_conserved("ceft.write.mirror", path,
+                                              size, m_stored)
                 else:
                     m_ok = True  # mirror completes in the background
                 if not p_ok and not m_ok:
@@ -495,7 +508,10 @@ class CEFTClient:
                     meta.resident[MIRROR] = False
             else:
                 pprocs = group_writes(PRIMARY)
-                p_ok = yield from wait_group(pprocs)
+                p_ok, p_stored = yield from wait_group(pprocs)
+                if p_ok:
+                    check.bytes_conserved("ceft.write.primary", path,
+                                          size, p_stored)
                 if not p_ok:
                     # Server-push protocols route everything through the
                     # primaries; a dead primary fails the write.

@@ -115,7 +115,9 @@ class PVFSClient:
                     # AllOf fails fast on the first ServerFailure and
                     # cancels the sibling stripe reads, so the surviving
                     # servers stop streaming data nobody will consume.
-                    yield AllOf(self.sim, procs)
+                    served = yield AllOf(self.sim, procs)
+                    self.sim.check.bytes_conserved(
+                        "pvfs.read", path, size, sum(served))
             except ServerFailure as exc:
                 # No redundancy: one dead server takes the whole file
                 # system down (paper Section 1).
@@ -146,7 +148,9 @@ class PVFSClient:
                     name=f"pvfs.write.s{server.index}"))
             try:
                 if procs:
-                    yield AllOf(self.sim, procs)
+                    stored = yield AllOf(self.sim, procs)
+                    self.sim.check.bytes_conserved(
+                        "pvfs.write", path, size, sum(stored))
             except ServerFailure as exc:
                 raise FSError(
                     f"pvfs: data server {exc.index} failed; "

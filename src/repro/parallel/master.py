@@ -165,6 +165,15 @@ def master_proc(node: "Node", messenger: Messenger,
         if last_abort is not None:
             raise last_abort
         raise JobAborted(-1, -1, "no workers left")  # pragma: no cover
+    # Work conservation: every fragment was searched exactly once, even
+    # across requeues — a duplicate or a drop here means the assignment
+    # bookkeeping above lost track of a fragment.
+    searched = sorted(f for t in stats.values() for f in t.fragments)
+    expected = sorted(f.fragment_id for f in fragments)
+    if searched != expected:
+        sim.check.fail(
+            f"master: fragment conservation violated "
+            f"(searched {searched}, expected {expected})")
     result = JobResult(
         makespan=sim.now - start,
         total_time=sim.now,

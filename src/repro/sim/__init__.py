@@ -20,6 +20,15 @@ Quick example::
 """
 
 from repro.sim.engine import Simulator, SimulationError, StopProcess
+from repro.sim.check import InvariantMonitor, InvariantViolation
+from repro.sim.fuzz import (
+    FuzzReport,
+    ScheduleDivergence,
+    ScheduleFuzzer,
+    job_fingerprint,
+    perturbed,
+    strict_checking,
+)
 from repro.sim.events import (
     AllOf,
     AnyOf,
@@ -43,17 +52,25 @@ __all__ = [
     "AnyOf",
     "Container",
     "Event",
+    "FuzzReport",
     "Interrupt",
+    "InvariantMonitor",
+    "InvariantViolation",
     "Monitor",
     "PriorityResource",
     "Process",
     "ProcessCancelled",
     "RandomStreams",
     "Resource",
+    "ScheduleDivergence",
+    "ScheduleFuzzer",
     "Simulator",
     "SimulationError",
     "StopProcess",
     "Store",
     "TimeWeightedMonitor",
     "Timeout",
+    "job_fingerprint",
+    "perturbed",
+    "strict_checking",
 ]

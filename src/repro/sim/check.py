@@ -1,0 +1,150 @@
+"""Runtime invariant checking for the simulation kernel.
+
+Every :class:`~repro.sim.engine.Simulator` owns an
+:class:`InvariantMonitor` (``sim.check``).  Components that manage a
+conserved quantity — counted resources, continuous containers, stores,
+disk queues, CPU task sets, NIC channels — register themselves at
+construction and expose two audit hooks:
+
+``invariant_errors(strict)``
+    Steady-state consistency: capacity never exceeded, no negative
+    levels, internal counters in agreement.  Safe to call at any time;
+    must not mutate simulation state.
+
+``drain_errors()``
+    Quiescence: once the event heap has drained, every acquire must
+    have been balanced by a release, every queue must be empty.  A
+    non-empty queue at drain is a leaked slot — exactly the class of
+    bug PR 1 fixed by hand.
+
+Cheap O(1) checks (capacity, level bounds, queue accounting) are always
+on and raise :class:`InvariantViolation` at the mutation that breaks
+them.  ``strict=True`` (or ``REPRO_STRICT_INVARIANTS=1`` in the
+environment) additionally verifies the conservation ledgers
+(acquires == releases + holders, container level == init + put - got,
+store occupancy == puts - gets) on every audit.
+
+The byte-conservation hooks (:meth:`InvariantMonitor.bytes_conserved`)
+are called by the PVFS/CEFT clients after each striped read/write so a
+routing or failover bug that drops or duplicates a stripe unit fails
+loudly instead of silently skewing a measurement — the same
+conservation-checking discipline used to validate the systematic I/O
+stacks in PAPERS.md (Ching et al.; Thakur et al.).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List
+
+from repro.sim.engine import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class InvariantViolation(SimulationError):
+    """An internal conservation or consistency invariant was broken.
+
+    This always indicates a bug in the simulation kernel or a model
+    built on it, never a legitimate simulated outcome (those surface as
+    :class:`~repro.fs.interface.FSError`, :class:`JobAborted`, ...).
+    """
+
+
+class InvariantMonitor:
+    """Per-simulator registry and audit driver for invariant checks."""
+
+    def __init__(self, sim: "Simulator", strict: bool = False):
+        self.sim = sim
+        self.strict = bool(strict)
+        self._components: List[Any] = []
+        #: Count of violations raised through :meth:`fail`.
+        self.violations = 0
+        #: Messages of those violations.  A violation raised inside a
+        #: process generator kills that process but is otherwise easy
+        #: to swallow (the master sees only a dead worker); the ledger
+        #: makes it resurface in :meth:`drain_audit`.
+        self.violation_log: List[str] = []
+        #: Monotonic count of fired events (see ``Simulator.step``).
+        self.events_fired = 0
+        self._max_fire_time = float("-inf")
+
+    # ------------------------------------------------------------------
+    def register(self, component: Any) -> None:
+        """Track *component* for :meth:`audit` / :meth:`assert_drained`.
+
+        The component must implement ``invariant_errors(strict)`` and
+        ``drain_errors()`` (both returning lists of message strings).
+        """
+        self._components.append(component)
+
+    # ------------------------------------------------------------------
+    def fail(self, message: str) -> None:
+        """Raise :class:`InvariantViolation` (single choke point, so the
+        hot-path call sites stay one-line ``if`` statements)."""
+        self.violations += 1
+        msg = f"t={self.sim.now:.6f}: {message}"
+        self.violation_log.append(msg)
+        raise InvariantViolation(msg)
+
+    def note_fire(self, when: float) -> None:
+        """Record one event firing; virtual time must be monotonic."""
+        self.events_fired += 1
+        if when < self._max_fire_time:
+            self.fail(f"virtual time ran backwards: {when} after "
+                      f"{self._max_fire_time}")
+        self._max_fire_time = when
+
+    def bytes_conserved(self, tag: str, path: str,
+                        expected: int, actual: int) -> None:
+        """Assert a striped transfer moved exactly the requested bytes."""
+        if actual != expected:
+            self.fail(f"{tag}: byte conservation violated for {path!r}: "
+                      f"expected {expected}, got {actual}")
+
+    # ------------------------------------------------------------------
+    def audit(self) -> List[str]:
+        """Steady-state sweep: collect (do not raise) every consistency
+        error across registered components."""
+        errors: List[str] = []
+        for c in self._components:
+            errors.extend(c.invariant_errors(self.strict))
+        return errors
+
+    def drain_audit(self) -> List[str]:
+        """Quiescence sweep: steady-state errors plus balanced
+        acquire/release and empty-queue checks, plus orphaned
+        processes.  Only meaningful after ``sim.run()`` has drained."""
+        errors = list(self.violation_log)
+        errors.extend(self.audit())
+        if self.sim.peek() != float("inf"):
+            errors.append("event heap is not drained")
+        for c in self._components:
+            errors.extend(c.drain_errors())
+        for p in self.sim.orphans():
+            errors.append(f"orphaned process {p.name!r} still alive at drain")
+        return errors
+
+    def assert_consistent(self) -> None:
+        """Raise on any steady-state inconsistency."""
+        errors = self.audit()
+        if errors:
+            self.violations += 1
+            raise InvariantViolation(
+                "; ".join(errors[:10])
+                + (f" (+{len(errors) - 10} more)" if len(errors) > 10 else ""))
+
+    def assert_drained(self) -> None:
+        """Raise unless the simulation reached a clean quiescent state:
+        no held slots, no queued waiters, no orphaned processes."""
+        errors = self.drain_audit()
+        if errors:
+            self.violations += 1
+            raise InvariantViolation(
+                "; ".join(errors[:10])
+                + (f" (+{len(errors) - 10} more)" if len(errors) > 10 else ""))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<InvariantMonitor strict={self.strict} "
+                f"components={len(self._components)} "
+                f"events={self.events_fired}>")

@@ -1,20 +1,53 @@
 """The event loop at the heart of the simulation.
 
 The :class:`Simulator` owns virtual time and an event heap.  Events are
-scheduled with a (time, priority, sequence) key so that simultaneous
-events fire in a deterministic order: first by priority (lower first),
-then by insertion order.
+scheduled with a (time, priority, rank, sequence) key so that
+simultaneous events fire in a deterministic order: first by priority
+(lower first), then by insertion order.  ``rank`` is 0 in normal runs;
+under schedule perturbation (``tie_break_seed``, see
+:mod:`repro.sim.fuzz`) it is a seeded random draw, which permutes the
+firing order of same-(time, priority) events while leaving the time and
+priority semantics untouched — a race detector for models that silently
+depend on insertion order.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+import random
 from typing import Any, Callable, Generator, Iterable, Optional
 
 #: Priority used for ordinary events.
 NORMAL = 1
 #: Priority used for "urgent" bookkeeping events (fire before NORMAL).
 URGENT = 0
+
+#: Process-wide overrides installed by :func:`repro.sim.fuzz.perturbed`
+#: / :func:`repro.sim.fuzz.strict_checking`; ``None`` means "consult
+#: the environment".  Simulators read these once, at construction.
+_TIE_BREAK_OVERRIDE: Optional[int] = None
+_STRICT_OVERRIDE: Optional[bool] = None
+
+
+def default_tie_break_seed() -> Optional[int]:
+    """The tie-break seed new simulators pick up when none is given:
+    the active :func:`repro.sim.fuzz.perturbed` context, else the
+    ``REPRO_TIE_BREAK_SEED`` environment variable, else ``None``
+    (insertion order)."""
+    if _TIE_BREAK_OVERRIDE is not None:
+        return _TIE_BREAK_OVERRIDE
+    env = os.environ.get("REPRO_TIE_BREAK_SEED", "")
+    return int(env) if env else None
+
+
+def default_strict() -> bool:
+    """Whether new simulators run their invariant monitor in strict
+    mode: the active :func:`repro.sim.fuzz.strict_checking` context,
+    else the ``REPRO_STRICT_INVARIANTS`` environment variable."""
+    if _STRICT_OVERRIDE is not None:
+        return _STRICT_OVERRIDE
+    return os.environ.get("REPRO_STRICT_INVARIANTS", "") not in ("", "0")
 
 
 class SimulationError(RuntimeError):
@@ -40,6 +73,14 @@ class Simulator:
     ----------
     start:
         Initial value of the simulation clock, in seconds.
+    tie_break_seed:
+        When given, same-(time, priority) events fire in a seeded
+        pseudo-random order instead of insertion order (schedule
+        perturbation, see :mod:`repro.sim.fuzz`).  Still fully
+        deterministic for a fixed seed.
+    strict:
+        Run the :class:`~repro.sim.check.InvariantMonitor` in strict
+        mode (extra conservation-ledger checks during audits).
 
     Notes
     -----
@@ -49,12 +90,25 @@ class Simulator:
     :class:`repro.sim.process.Process`).
     """
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0,
+                 tie_break_seed: Optional[int] = None,
+                 strict: Optional[bool] = None):
+        from repro.sim.check import InvariantMonitor
+
         self._now = float(start)
         self._heap: list = []
         self._seq = 0
         self._active: int = 0  # events on the heap that are not cancelled
         self._processes: set = set()  # live Process objects (see orphans())
+        if tie_break_seed is None:
+            tie_break_seed = default_tie_break_seed()
+        self.tie_break_seed = tie_break_seed
+        self._tie_rng = (random.Random(tie_break_seed)
+                         if tie_break_seed is not None else None)
+        if strict is None:
+            strict = default_strict()
+        #: Runtime invariant checker (see :mod:`repro.sim.check`).
+        self.check = InvariantMonitor(self, strict=strict)
 
     # ------------------------------------------------------------------
     @property
@@ -71,7 +125,9 @@ class Simulator:
             raise SimulationError(f"event {event!r} scheduled twice")
         event.scheduled = True
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        rank = self._tie_rng.getrandbits(32) if self._tie_rng is not None else 0
+        heapq.heappush(self._heap,
+                       (self._now + delay, priority, rank, self._seq, event))
         self._active += 1
 
     # ------------------------------------------------------------------
@@ -140,13 +196,14 @@ class Simulator:
         """
         if not self._heap:
             raise SimulationError("step on empty heap")
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+        when, _prio, _rank, _seq, event = heapq.heappop(self._heap)
         self._active -= 1
         if event.cancelled:
             return
         if when < self._now:
             raise SimulationError("time ran backwards")
         self._now = when
+        self.check.note_fire(when)
         event.fire()
 
     # ------------------------------------------------------------------

@@ -66,6 +66,10 @@ class Resource:
         self.name = name
         self._users: List[Request] = []
         self._queue: Deque[Request] = deque()
+        #: Conservation ledger: slots handed out / given back.
+        self.acquires = 0
+        self.releases = 0
+        sim.check.register(self)
 
     # ------------------------------------------------------------------
     @property
@@ -83,6 +87,7 @@ class Resource:
         req = Request(self, priority)
         if len(self._users) < self.capacity:
             self._users.append(req)
+            self.acquires += 1
             req.succeed(req)
         else:
             self._enqueue(req)
@@ -101,6 +106,7 @@ class Resource:
         req.released = True
         if req in self._users:
             self._users.remove(req)
+            self.releases += 1
         elif req in self._queue:
             self._queue.remove(req)
             req.cancelled = True
@@ -108,7 +114,36 @@ class Resource:
         nxt = self._dequeue()
         if nxt is not None:
             self._users.append(nxt)
+            self.acquires += 1
+            if len(self._users) > self.capacity:
+                self.sim.check.fail(
+                    f"resource {self.name!r}: {len(self._users)} holders "
+                    f"exceed capacity {self.capacity}")
             nxt.succeed(nxt)
+
+    # ------------------------------------------------------------------
+    # Invariant hooks (see repro.sim.check)
+    # ------------------------------------------------------------------
+    def invariant_errors(self, strict: bool) -> List[str]:
+        errs: List[str] = []
+        if len(self._users) > self.capacity:
+            errs.append(f"resource {self.name!r}: {len(self._users)} holders "
+                        f"exceed capacity {self.capacity}")
+        if strict and self.acquires - self.releases != len(self._users):
+            errs.append(f"resource {self.name!r}: ledger out of balance "
+                        f"(acquires={self.acquires} releases={self.releases} "
+                        f"holders={len(self._users)})")
+        return errs
+
+    def drain_errors(self) -> List[str]:
+        errs: List[str] = []
+        if self._users:
+            errs.append(f"resource {self.name!r}: {len(self._users)} "
+                        f"slot(s) still held at drain")
+        if self.queue_length:
+            errs.append(f"resource {self.name!r}: {self.queue_length} "
+                        f"waiter(s) still queued at drain")
+        return errs
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<{type(self).__name__} {self.name!r} {self.count}/{self.capacity}"
@@ -147,6 +182,19 @@ class PriorityResource(Resource):
             req.cancelled = True
             return
         super().release(req)
+
+    def drain_errors(self) -> List[str]:
+        errs: List[str] = []
+        if self._users:
+            errs.append(f"resource {self.name!r}: {len(self._users)} "
+                        f"slot(s) still held at drain")
+        # Lazily-deleted (withdrawn) entries still sit on the heap; only
+        # live waiters count as leaks.
+        pending = sum(1 for _, _, req in self._pqueue if not req.released)
+        if pending:
+            errs.append(f"resource {self.name!r}: {pending} "
+                        f"waiter(s) still queued at drain")
+        return errs
 
 
 class StoreGet(Event):
@@ -204,6 +252,10 @@ class Store:
         self._items: Deque[Any] = deque()
         self._getters: Deque[StoreGet] = deque()
         self._putters: Deque[StorePut] = deque()
+        #: Conservation ledger: items accepted / items handed out.
+        self.puts_accepted = 0
+        self.gets_served = 0
+        sim.check.register(self)
 
     # ------------------------------------------------------------------
     @property
@@ -219,9 +271,12 @@ class Store:
         if self._getters:
             getter = self._getters.popleft()
             getter.succeed(item)
+            self.puts_accepted += 1
+            self.gets_served += 1
             ev.succeed()
         elif len(self._items) < self.capacity:
             self._items.append(item)
+            self.puts_accepted += 1
             ev.succeed()
         else:
             self._putters.append(ev)
@@ -231,17 +286,47 @@ class Store:
         ev = StoreGet(self)
         if self._items:
             ev.succeed(self._items.popleft())
+            self.gets_served += 1
             if self._putters:
                 pev = self._putters.popleft()
                 self._items.append(pev.item)
+                self.puts_accepted += 1
                 pev.succeed()
         elif self._putters:
             pev = self._putters.popleft()
             pev.succeed()
             ev.succeed(pev.item)
+            self.puts_accepted += 1
+            self.gets_served += 1
         else:
             self._getters.append(ev)
         return ev
+
+    # ------------------------------------------------------------------
+    # Invariant hooks (see repro.sim.check)
+    # ------------------------------------------------------------------
+    def invariant_errors(self, strict: bool) -> List[str]:
+        errs: List[str] = []
+        if len(self._items) > self.capacity:
+            errs.append(f"store {self.name!r}: {len(self._items)} items "
+                        f"exceed capacity {self.capacity}")
+        if strict and self.puts_accepted - self.gets_served != len(self._items):
+            errs.append(f"store {self.name!r}: ledger out of balance "
+                        f"(puts={self.puts_accepted} gets={self.gets_served} "
+                        f"items={len(self._items)})")
+        return errs
+
+    def drain_errors(self) -> List[str]:
+        # Leftover *items* are legal (an abandoned pipeline buffer);
+        # leftover *waiters* mean a process is blocked forever.
+        errs: List[str] = []
+        if self._getters:
+            errs.append(f"store {self.name!r}: {len(self._getters)} "
+                        f"getter(s) still waiting at drain")
+        if self._putters:
+            errs.append(f"store {self.name!r}: {len(self._putters)} "
+                        f"putter(s) still waiting at drain")
+        return errs
 
 
 class ContainerOp(Event):
@@ -285,8 +370,13 @@ class Container:
         self.capacity = capacity
         self.name = name
         self._level = float(init)
+        self._init = float(init)
         self._getters: Deque[ContainerOp] = deque()
         self._putters: Deque[ContainerOp] = deque()
+        #: Conservation ledger: amount accepted / amount withdrawn.
+        self.total_put = 0.0
+        self.total_got = 0.0
+        sim.check.register(self)
 
     @property
     def level(self) -> float:
@@ -298,6 +388,7 @@ class Container:
         ev = ContainerOp(self, amount)
         if self._level + amount <= self.capacity:
             self._level += amount
+            self.total_put += amount
             ev.succeed()
             self._drain_getters()
         else:
@@ -312,6 +403,11 @@ class Container:
         ev = ContainerOp(self, amount)
         if not self._getters and self._level >= amount:
             self._level -= amount
+            self.total_got += amount
+            if self._level < -1e-9:
+                self.sim.check.fail(
+                    f"container {self.name!r}: level went negative "
+                    f"({self._level})")
             ev.succeed()
             self._drain_putters()
         else:
@@ -322,11 +418,45 @@ class Container:
         while self._getters and self._level >= self._getters[0].amount:
             ev = self._getters.popleft()
             self._level -= ev.amount
+            self.total_got += ev.amount
             ev.succeed()
 
     def _drain_putters(self) -> None:
         while self._putters and self._level + self._putters[0].amount <= self.capacity:
             ev = self._putters.popleft()
             self._level += ev.amount
+            self.total_put += ev.amount
+            if self._level > self.capacity + 1e-9:
+                self.sim.check.fail(
+                    f"container {self.name!r}: level {self._level} exceeds "
+                    f"capacity {self.capacity}")
             ev.succeed()
             self._drain_getters()
+
+    # ------------------------------------------------------------------
+    # Invariant hooks (see repro.sim.check)
+    # ------------------------------------------------------------------
+    def invariant_errors(self, strict: bool) -> List[str]:
+        errs: List[str] = []
+        if self._level < -1e-9:
+            errs.append(f"container {self.name!r}: negative level {self._level}")
+        if self._level > self.capacity + 1e-9:
+            errs.append(f"container {self.name!r}: level {self._level} "
+                        f"exceeds capacity {self.capacity}")
+        if strict:
+            expect = self._init + self.total_put - self.total_got
+            scale = max(1.0, abs(self.total_put), abs(self.total_got))
+            if abs(self._level - expect) > 1e-9 * scale:
+                errs.append(f"container {self.name!r}: ledger out of balance "
+                            f"(level={self._level} expected={expect})")
+        return errs
+
+    def drain_errors(self) -> List[str]:
+        errs: List[str] = []
+        if self._getters:
+            errs.append(f"container {self.name!r}: {len(self._getters)} "
+                        f"getter(s) still waiting at drain")
+        if self._putters:
+            errs.append(f"container {self.name!r}: {len(self._putters)} "
+                        f"putter(s) still waiting at drain")
+        return errs

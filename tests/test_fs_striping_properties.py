@@ -1,0 +1,131 @@
+"""Property-based tests for the stripe layout arithmetic.
+
+Seeded random (offset, size, stripe_size, n_servers) combinations
+exercise the algebraic contracts the file systems rely on: the
+offset ↔ (server, server_offset) mapping round-trips, every byte of a
+range is covered exactly once, per-server extents never overlap, and
+the three byte-accounting views (units, extents, server_bytes,
+local_size) agree with each other.
+"""
+
+import random
+
+import pytest
+
+from repro.fs.striping import StripeLayout
+
+SEED = 20260805
+N_CASES = 200
+
+
+def random_cases(seed=SEED, n=N_CASES):
+    """Deterministic stream of (layout, offset, size) cases spanning
+    aligned, unaligned, tiny, and multi-cycle ranges."""
+    rng = random.Random(seed)
+    cases = []
+    for _ in range(n):
+        n_servers = rng.randint(1, 9)
+        stripe = rng.choice([1, 7, 512, 4096, 64 * 1024])
+        layout = StripeLayout(n_servers, stripe)
+        cycle = stripe * n_servers
+        offset = rng.choice([
+            0,
+            rng.randrange(stripe),
+            rng.randrange(4 * cycle + 1),
+            rng.randrange(stripe) + cycle * rng.randrange(3),
+        ])
+        size = rng.choice([
+            0, 1, stripe - 1 if stripe > 1 else 1, stripe, stripe + 1,
+            rng.randrange(6 * cycle + 1),
+        ])
+        cases.append((layout, offset, size))
+    return cases
+
+
+CASES = random_cases()
+
+
+def case_id(case):
+    layout, offset, size = case
+    return f"s{layout.n_servers}x{layout.stripe_size}+{offset}:{size}"
+
+
+# ---------------------------------------------------------------- pointwise
+@pytest.mark.parametrize("layout,offset,size", CASES, ids=map(case_id, CASES))
+def test_units_cover_range_exactly_once(layout, offset, size):
+    """The unit decomposition is a gap-free, overlap-free partition of
+    [offset, offset + size) in file-offset order."""
+    pos = offset
+    total = 0
+    for server, soff, length, foff in layout.units(offset, size):
+        assert foff == pos                     # contiguous, in order
+        assert 0 < length <= layout.stripe_size
+        assert 0 <= server < layout.n_servers
+        # round-trip: the file offset maps back to this (server, soff)
+        assert layout.server_of(foff) == server
+        assert layout.server_offset(foff) == soff
+        pos += length
+        total += length
+    assert pos == offset + size
+    assert total == size
+
+
+@pytest.mark.parametrize("layout,offset,size", CASES, ids=map(case_id, CASES))
+def test_extents_conserve_bytes_and_never_overlap(layout, offset, size):
+    per_server = layout.extents(offset, size)
+    assert len(per_server) == layout.n_servers
+    assert sum(length for bucket in per_server
+               for _, _, length in bucket) == size
+    for server, bucket in enumerate(per_server):
+        last_end = -1
+        for srv, soff, length in bucket:
+            assert srv == server
+            assert length > 0
+            assert soff > last_end             # sorted and disjoint
+            last_end = soff + length - 1
+
+
+@pytest.mark.parametrize("layout,offset,size", CASES, ids=map(case_id, CASES))
+def test_server_bytes_agrees_with_extents(layout, offset, size):
+    per_server = layout.extents(offset, size)
+    assert layout.server_bytes(offset, size) == [
+        sum(length for _, _, length in bucket) for bucket in per_server]
+
+
+# ---------------------------------------------------------------- whole-file
+@pytest.mark.parametrize("layout,offset,size", CASES, ids=map(case_id, CASES))
+def test_local_size_matches_full_file_scan(layout, offset, size):
+    """local_size's closed form equals brute-force accounting of a file
+    read from byte 0 (reusing the case's offset + size as the length)."""
+    file_size = offset + size
+    scanned = layout.server_bytes(0, file_size)
+    assert [layout.local_size(file_size, s)
+            for s in range(layout.n_servers)] == scanned
+    assert sum(scanned) == file_size
+
+
+def test_round_trip_every_byte_small_exhaustive():
+    """Exhaustive check on a small layout: byte → (server, local) is
+    injective and dense per server."""
+    layout = StripeLayout(n_servers=3, stripe_size=4)
+    seen = {}
+    for offset in range(96):
+        key = (layout.server_of(offset), layout.server_offset(offset))
+        assert key not in seen, f"bytes {seen.get(key)} and {offset} collide"
+        seen[key] = offset
+    # per server, local offsets are 0..31 with no holes
+    for server in range(3):
+        locals_ = sorted(l for (s, l) in seen if s == server)
+        assert locals_ == list(range(32))
+
+
+def test_degenerate_layouts():
+    one = StripeLayout(n_servers=1, stripe_size=64)
+    assert one.server_bytes(13, 1000) == [1000]
+    assert one.local_size(1000, 0) == 1000
+    with pytest.raises(ValueError):
+        StripeLayout(n_servers=0)
+    with pytest.raises(ValueError):
+        StripeLayout(n_servers=2, stripe_size=0)
+    with pytest.raises(ValueError):
+        list(StripeLayout(2).units(-1, 10))

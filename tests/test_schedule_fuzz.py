@@ -1,0 +1,301 @@
+"""Schedule-perturbation fuzzing (:mod:`repro.sim.fuzz`).
+
+Three layers of coverage:
+
+* mechanics — perturbed tie-breaking really permutes same-time events,
+  is deterministic per seed, and restores insertion order outside the
+  context;
+* mutation tests — deliberately order-dependent and leaky models are
+  flagged (:class:`ScheduleDivergence` / :class:`InvariantViolation`),
+  proving the tooling catches the bug class it exists for;
+* regression battery — the failure scenarios PR 1 fixed by hand
+  (worker aborts, CEFT failover, simultaneous deaths) hold their end
+  state under perturbed schedules with strict invariants on.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.params import MB
+from repro.core.calibration import default_cost_model
+from repro.fs.ceft import CEFT
+from repro.fs.pvfs import PVFS
+from repro.parallel import FragmentSpec, run_parallel_blast
+from repro.parallel.ioadapters import ParallelIO
+from repro.parallel.master import JobAborted
+from repro.sim import (
+    InvariantViolation,
+    Resource,
+    ScheduleDivergence,
+    ScheduleFuzzer,
+    Simulator,
+    job_fingerprint,
+    perturbed,
+)
+from repro.sim.engine import default_tie_break_seed
+
+SEEDS = range(8)
+
+
+def fragments(n, nbytes=2 * MB):
+    return [FragmentSpec(i, nbytes, nbytes) for i in range(n)]
+
+
+def make_ceft_cluster(n_workers=3, group=2):
+    c = Cluster(n_nodes=1 + n_workers + 2 * group)
+    nodes = list(c)
+    workers = nodes[1:1 + n_workers]
+    servers = nodes[1 + n_workers:]
+    fs = CEFT(nodes[0], servers[:group], servers[group:],
+              monitor_load=False)
+    ios = [ParallelIO(fs.client(w)) for w in workers]
+    return c, nodes[0], workers, ios, fs
+
+
+def kill_worker_at(sim, rank, at):
+    def killer():
+        yield sim.timeout(at)
+        proc = sim.find_process(f"worker{rank}")
+        if proc is not None:
+            proc.interrupt("node crashed")
+
+    sim.process(killer(), daemon=True)
+
+
+def _race_order(seed):
+    """Firing order of three same-time processes under one seed."""
+    with perturbed(seed):
+        sim = Simulator()
+        order = []
+
+        def racer(tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        for tag in "abc":
+            sim.process(racer(tag))
+        sim.run()
+    return tuple(order)
+
+
+# ---------------------------------------------------------------- mechanics
+def test_perturbed_context_sets_and_restores_default():
+    assert default_tie_break_seed() is None
+    with perturbed(7):
+        assert default_tie_break_seed() == 7
+        assert Simulator().tie_break_seed == 7
+    assert default_tie_break_seed() is None
+
+
+def test_unperturbed_ties_fire_in_insertion_order():
+    assert _race_order(None) == ("a", "b", "c")
+
+
+def test_perturbation_permutes_ties_deterministically():
+    orders = {seed: _race_order(seed) for seed in range(20)}
+    # each seed is reproducible ...
+    for seed, order in orders.items():
+        assert _race_order(seed) == order
+    # ... and at least one seed deviates from insertion order
+    assert any(o != ("a", "b", "c") for o in orders.values())
+    # every order is still a permutation of the same events
+    assert all(sorted(o) == ["a", "b", "c"] for o in orders.values())
+
+
+def test_env_seed_picked_up(monkeypatch):
+    monkeypatch.setenv("REPRO_TIE_BREAK_SEED", "42")
+    assert Simulator().tie_break_seed == 42
+
+
+# ---------------------------------------------------------------- mutation
+def test_fuzzer_catches_order_dependent_model():
+    """Mutation test: a model whose result is whichever same-time
+    process fires first must be flagged as a schedule race."""
+
+    def racy():
+        sim = Simulator()
+        order = []
+
+        def racer(tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        for tag in "abc":
+            sim.process(racer(tag))
+        sim.run()
+        sim.check.assert_drained()
+        return {"winner": order[0]}
+
+    with pytest.raises(ScheduleDivergence) as info:
+        ScheduleFuzzer(racy, seeds=range(20)).run()
+    assert info.value.seed in range(20)          # failure is replayable
+    assert "winner" in str(info.value)
+
+
+def test_fuzzer_report_collects_divergent_seeds():
+    def racy():
+        sim = Simulator()
+        first = []
+
+        def racer(tag):
+            yield sim.timeout(1.0)
+            if not first:
+                first.append(tag)
+
+        for tag in "ab":
+            sim.process(racer(tag))
+        sim.run()
+        return {"winner": first[0]}
+
+    report = ScheduleFuzzer(racy, seeds=range(20)).run(
+        raise_on_divergence=False)
+    assert not report.ok
+    assert report.failures                       # some seed flipped the tie
+    assert report.seeds_passed                   # and some did not
+    seeds = [s for s, _ in report.failures]
+    assert all(isinstance(e, ScheduleDivergence) for _, e in report.failures)
+    assert set(seeds).isdisjoint(report.seeds_passed)
+
+
+def test_fuzzer_surfaces_invariant_violation_with_seed():
+    """A leak that only shows up under a perturbed schedule is
+    reported with the seed that exposed it."""
+
+    def leaky():
+        sim = Simulator()
+        res = Resource(sim, capacity=1, name="slot")
+
+        def leaker():
+            req = res.request()
+            yield req
+            yield sim.timeout(1.0)
+            if sim.tie_break_seed is None:       # clean in the baseline,
+                res.release(req)                 # leaks under every seed
+
+        sim.process(leaker())
+        sim.run()
+        sim.check.assert_drained()
+        return {}
+
+    with pytest.raises(InvariantViolation, match="perturbation seed=0"):
+        ScheduleFuzzer(leaky, seeds=range(3)).run()
+
+
+# ---------------------------------------------------------------- battery
+def scenario_pvfs_happy():
+    c = Cluster(n_nodes=8)
+    nodes = list(c)
+    fs = PVFS(nodes[0], nodes[4:8])
+    ios = [ParallelIO(fs.client(w)) for w in nodes[1:4]]
+    job = run_parallel_blast(nodes[0], nodes[1:4], ios, fragments(6),
+                             default_cost_model())
+    c.sim.run()
+    c.sim.check.assert_drained()
+    return job_fingerprint(job)
+
+
+def scenario_ceft_worker_kill():
+    c, master, workers, ios, fs = make_ceft_cluster(n_workers=3)
+    kill_worker_at(c.sim, rank=2, at=5.0)
+    job = run_parallel_blast(master, workers, ios, fragments(6),
+                             default_cost_model())
+    c.sim.run()
+    c.sim.check.assert_drained()
+    return job_fingerprint(job)
+
+
+def scenario_ceft_server_crash():
+    c, master, workers, ios, fs = make_ceft_cluster(n_workers=3)
+
+    def crasher():
+        yield c.sim.timeout(5.0)
+        fs.primary[1].fail()
+
+    c.sim.process(crasher(), daemon=True)
+    job = run_parallel_blast(master, workers, ios, fragments(6),
+                             default_cost_model())
+    c.sim.run()
+    c.sim.check.assert_drained()
+    return job_fingerprint(job)
+
+
+def scenario_pvfs_server_crash_aborts():
+    c = Cluster(n_nodes=8)
+    nodes = list(c)
+    fs = PVFS(nodes[0], nodes[4:8])
+    ios = [ParallelIO(fs.client(w)) for w in nodes[1:4]]
+
+    def crasher():
+        yield c.sim.timeout(5.0)
+        fs.servers[1].fail()
+
+    c.sim.process(crasher(), daemon=True)
+    try:
+        run_parallel_blast(nodes[0], nodes[1:4], ios, fragments(6),
+                           default_cost_model())
+        outcome = "completed"
+    except JobAborted as exc:
+        outcome = f"aborted:{exc.rank is not None}"
+    c.sim.run()
+    c.sim.check.assert_drained()
+    return {"outcome": outcome}
+
+
+def scenario_simultaneous_worker_deaths():
+    c, master, workers, ios, fs = make_ceft_cluster(n_workers=3)
+    for rank in range(3):                        # all die in the same tick
+        kill_worker_at(c.sim, rank=rank, at=5.0)
+    try:
+        job = run_parallel_blast(master, workers, ios, fragments(6),
+                                 default_cost_model())
+        fp = job_fingerprint(job)
+        fp["outcome"] = "completed"
+    except JobAborted:
+        fp = {"outcome": "aborted"}
+    c.sim.run()
+    c.sim.check.assert_drained()
+    return fp
+
+
+def scenario_kill_and_crash_tie():
+    c, master, workers, ios, fs = make_ceft_cluster(n_workers=3)
+    kill_worker_at(c.sim, rank=2, at=5.0)
+
+    def crasher():                               # same instant as the kill
+        yield c.sim.timeout(5.0)
+        fs.primary[0].fail()
+
+    c.sim.process(crasher(), daemon=True)
+    job = run_parallel_blast(master, workers, ios, fragments(6),
+                             default_cost_model())
+    c.sim.run()
+    c.sim.check.assert_drained()
+    return job_fingerprint(job)
+
+
+BATTERY = [
+    scenario_pvfs_happy,
+    scenario_ceft_worker_kill,
+    scenario_ceft_server_crash,
+    scenario_pvfs_server_crash_aborts,
+    scenario_simultaneous_worker_deaths,
+    scenario_kill_and_crash_tie,
+]
+
+
+@pytest.mark.parametrize("scenario", BATTERY, ids=lambda s: s.__name__)
+def test_end_state_stable_under_perturbation(scenario):
+    report = ScheduleFuzzer(scenario, seeds=SEEDS).run()
+    assert report.ok
+    assert report.seeds_passed == list(SEEDS)
+
+
+def test_degraded_fingerprint_values_pinned():
+    """Regression pin: the CEFT worker-kill scenario conserves exactly
+    these totals (one requeue, worker 2 dead, all six fragments done)."""
+    fp = scenario_ceft_worker_kill()
+    assert fp["fragments_done"] == 6
+    assert fp["fragments_searched"] == list(range(6))
+    assert fp["aborted_workers"] == [2]
+    assert fp["requeues"] >= 1
+    assert fp["workers_accounted"] == 3

@@ -1,0 +1,274 @@
+"""The runtime invariant checker (:mod:`repro.sim.check`).
+
+Two kinds of coverage: the monitor itself (registration, audits, the
+violation ledger) and the component hooks it drives — resources,
+stores, containers, disk queues, CPU task sets — including mutation
+tests that inject a deliberate bug and assert the checker flags it.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.params import MB
+from repro.core.calibration import default_cost_model
+from repro.fs.pvfs import PVFS
+from repro.fs.striping import StripeLayout
+from repro.parallel import FragmentSpec, run_parallel_blast
+from repro.parallel.ioadapters import ParallelIO
+from repro.sim import (
+    Container,
+    InvariantViolation,
+    PriorityResource,
+    Resource,
+    SimulationError,
+    Simulator,
+    Store,
+)
+
+
+# ---------------------------------------------------------------- monitor
+def test_monitor_counts_fired_events():
+    sim = Simulator()
+
+    def ticker():
+        yield sim.timeout(1.0)
+        yield sim.timeout(2.0)
+
+    sim.process(ticker())
+    sim.run()
+    assert sim.check.events_fired > 0
+    assert sim.check.violations == 0
+
+
+def test_monitor_rejects_backwards_time():
+    sim = Simulator()
+    sim.check.note_fire(5.0)
+    with pytest.raises(InvariantViolation, match="backwards"):
+        sim.check.note_fire(4.0)
+
+
+def test_bytes_conserved_passes_and_fails():
+    sim = Simulator()
+    sim.check.bytes_conserved("t", "/f", 100, 100)  # no raise
+    with pytest.raises(InvariantViolation, match="byte conservation"):
+        sim.check.bytes_conserved("t", "/f", 100, 99)
+    assert sim.check.violations == 1
+    assert any("byte conservation" in m for m in sim.check.violation_log)
+
+
+def test_fail_records_in_violation_log():
+    sim = Simulator()
+    with pytest.raises(InvariantViolation):
+        sim.check.fail("synthetic problem")
+    # A violation swallowed mid-run (e.g. it only killed one worker
+    # process) must resurface in the drain audit.
+    with pytest.raises(InvariantViolation, match="synthetic problem"):
+        sim.check.assert_drained()
+
+
+def test_strict_flag_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_STRICT_INVARIANTS", "1")
+    assert Simulator().check.strict
+    monkeypatch.setenv("REPRO_STRICT_INVARIANTS", "0")
+    assert not Simulator().check.strict
+
+
+def test_clean_empty_sim_drains():
+    sim = Simulator()
+    sim.run()
+    sim.check.assert_consistent()
+    sim.check.assert_drained()
+
+
+# ---------------------------------------------------------------- resources
+def test_resource_balanced_use_is_clean():
+    sim = Simulator(strict=True)
+    res = Resource(sim, capacity=2, name="slots")
+
+    def user():
+        req = res.request()
+        yield req
+        yield sim.timeout(1.0)
+        res.release(req)
+
+    for _ in range(5):
+        sim.process(user())
+    sim.run()
+    sim.check.assert_drained()
+    assert res.acquires == res.releases == 5
+
+
+def test_resource_leak_flagged_at_drain():
+    sim = Simulator()
+    res = Resource(sim, capacity=1, name="slot")
+
+    def leaker():
+        yield res.request()          # never released
+        yield sim.timeout(1.0)
+
+    def waiter():
+        yield sim.timeout(0.5)
+        yield res.request()          # blocks forever
+
+    sim.process(leaker(), name="leaker")
+    sim.process(waiter(), name="waiter")
+    sim.run()
+    with pytest.raises(InvariantViolation) as info:
+        sim.check.assert_drained()
+    msg = str(info.value)
+    assert "still held at drain" in msg
+    assert "waiter(s) still queued" in msg
+    assert "orphaned process" in msg
+
+
+def test_priority_resource_released_heap_entries_not_flagged():
+    """Lazy deletion: a withdrawn PriorityResource request stays on the
+    heap but must not count as a queued waiter at drain."""
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1, name="pq")
+
+    def holder():
+        req = res.request(priority=0)
+        yield req
+        yield sim.timeout(2.0)
+        res.release(req)
+
+    def impatient():
+        yield sim.timeout(0.1)
+        req = res.request(priority=1)
+        res.release(req)             # withdraw before grant
+        yield sim.timeout(0.1)
+
+    sim.process(holder())
+    sim.process(impatient())
+    sim.run()
+    sim.check.assert_drained()
+
+
+def test_store_leftover_getter_is_a_leak():
+    sim = Simulator()
+    store = Store(sim, capacity=4, name="buf")
+
+    def starved():
+        yield store.get()            # nothing ever put
+
+    sim.process(starved(), name="starved")
+    sim.run()
+    with pytest.raises(InvariantViolation, match="getter"):
+        sim.check.assert_drained()
+
+
+def test_store_leftover_items_are_legal():
+    """Abandoned pipeline buffers (a cancelled reader's prefetched
+    blocks) may leave items behind; only waiting processes leak."""
+    sim = Simulator()
+    store = Store(sim, capacity=4, name="buf")
+
+    def producer():
+        yield store.put("block")
+
+    sim.process(producer())
+    sim.run()
+    sim.check.assert_drained()       # item left behind: fine
+
+
+def test_container_ledger_strict():
+    sim = Simulator(strict=True)
+    tank = Container(sim, capacity=10.0, init=5.0, name="tank")
+
+    def mover():
+        yield tank.get(3.0)
+        yield tank.put(2.0)
+
+    sim.process(mover())
+    sim.run()
+    sim.check.assert_consistent()
+    sim.check.assert_drained()
+    # Corrupt the ledger behind the container's back: strict audit
+    # must notice the level no longer matches init + put - got.
+    tank._level += 1.0
+    errs = sim.check.audit()
+    assert any("ledger" in e or "level" in e for e in errs)
+
+
+def test_container_waiter_at_drain_is_flagged():
+    sim = Simulator()
+    tank = Container(sim, capacity=10.0, init=0.0, name="tank")
+
+    def thirsty():
+        yield tank.get(1.0)          # never satisfied
+
+    sim.process(thirsty(), name="thirsty")
+    sim.run()
+    with pytest.raises(InvariantViolation):
+        sim.check.assert_drained()
+
+
+# ---------------------------------------------------------------- cluster
+def test_cluster_models_clean_after_real_job():
+    """A full master/worker job over PVFS leaves every registered
+    component (disks, NICs, CPUs, server stores) in a quiescent state."""
+    c = Cluster(n_nodes=8)
+    nodes = list(c)
+    fs = PVFS(nodes[0], nodes[4:8])
+    ios = [ParallelIO(fs.client(w)) for w in nodes[1:4]]
+    frags = [FragmentSpec(i, 2 * MB, 2 * MB) for i in range(6)]
+    job = run_parallel_blast(nodes[0], nodes[1:4], ios, frags,
+                             default_cost_model())
+    assert job.fragments_done == 6
+    c.sim.run()
+    c.sim.check.assert_consistent()
+    c.sim.check.assert_drained()
+
+
+def test_disk_queue_monitor_desync_detected():
+    c = Cluster(n_nodes=2)
+    disk = c[1].disk
+    errs = disk.invariant_errors(strict=True)
+    assert errs == []
+    disk.queue_len.set(disk.queue_len.level + 1)   # corrupt the monitor
+    errs = disk.invariant_errors(strict=True)
+    assert any("queue" in e for e in errs)
+
+
+def test_cpu_monitor_desync_detected():
+    c = Cluster(n_nodes=2)
+    cpu = c[1].cpu
+    assert cpu.invariant_errors(strict=True) == []
+    cpu.load.set(3)                                # corrupt the monitor
+    assert any("load" in e for e in cpu.invariant_errors(strict=True))
+
+
+# ---------------------------------------------------------------- mutation
+def test_striping_mutation_breaks_byte_conservation():
+    """Mutation test: a striping-math bug that silently drops the last
+    extent of one server must be flagged by the conservation check —
+    first at the faulting read, and again in the drain audit even
+    though the job wrapper swallowed the original exception."""
+    orig = StripeLayout.extents
+
+    def truncated(self, offset, size):
+        per = orig(self, offset, size)
+        for lst in reversed(per):
+            if lst:
+                lst.pop()
+                break
+        return per
+
+    c = Cluster(n_nodes=8)
+    nodes = list(c)
+    fs = PVFS(nodes[0], nodes[4:8])
+    ios = [ParallelIO(fs.client(w)) for w in nodes[1:4]]
+    frags = [FragmentSpec(i, 2 * MB, 2 * MB) for i in range(6)]
+    StripeLayout.extents = truncated
+    try:
+        with pytest.raises(SimulationError):
+            # The violation kills the readers; the master then
+            # deadlocks waiting for results that never come.
+            run_parallel_blast(nodes[0], nodes[1:4], ios, frags,
+                               default_cost_model())
+    finally:
+        StripeLayout.extents = orig
+    c.sim.run()
+    with pytest.raises(InvariantViolation, match="byte conservation"):
+        c.sim.check.assert_drained()

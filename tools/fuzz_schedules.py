@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Run the schedule-perturbation battery from the command line.
+
+Replays every scenario in the battery (the protocol-level failure
+scenarios from ``tests/test_schedule_fuzz.py`` plus scaled
+experiment-pipeline runs) under N perturbation seeds with strict
+invariant checking, and reports the first divergent seed so it can be
+replayed with ``REPRO_TIE_BREAK_SEED=<seed>``::
+
+    PYTHONPATH=src python tools/fuzz_schedules.py            # 25 seeds
+    PYTHONPATH=src python tools/fuzz_schedules.py --seeds 100
+    PYTHONPATH=src python tools/fuzz_schedules.py --list
+"""
+
+import argparse
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "tests"))
+
+
+def battery():
+    """(name, scenario) pairs: protocol scenarios + experiment runs."""
+    import test_schedule_fuzz as tsf
+    from repro.core.experiment import (
+        ExperimentConfig, Placement, Variant, run_experiment)
+    from repro.sim.fuzz import job_fingerprint
+
+    def experiment(variant, **kw):
+        def run():
+            cfg = ExperimentConfig(variant=variant, **kw).scaled(1 / 100)
+            return job_fingerprint(run_experiment(cfg).job)
+        return run
+
+    scenarios = [(fn.__name__, fn) for fn in tsf.BATTERY]
+    scenarios += [
+        ("experiment_pvfs_w4_s4",
+         experiment(Variant.PVFS, n_workers=4, n_servers=4)),
+        ("experiment_ceft_w3_s8_dedicated",
+         experiment(Variant.CEFT_PVFS, n_workers=3, n_servers=8,
+                    placement=Placement.DEDICATED)),
+    ]
+    return scenarios
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--seeds", type=int, default=25,
+                        help="perturbation seeds per scenario (default 25)")
+    parser.add_argument("--only", metavar="NAME",
+                        help="run a single scenario by name")
+    parser.add_argument("--list", action="store_true",
+                        help="list scenario names and exit")
+    args = parser.parse_args(argv)
+
+    from repro.sim.fuzz import ScheduleFuzzer
+
+    scenarios = battery()
+    if args.list:
+        for name, _ in scenarios:
+            print(name)
+        return 0
+    if args.only:
+        scenarios = [(n, f) for n, f in scenarios if n == args.only]
+        if not scenarios:
+            parser.error(f"unknown scenario {args.only!r} (see --list)")
+
+    failed = 0
+    for name, scenario in scenarios:
+        t0 = time.time()
+        try:
+            report = ScheduleFuzzer(scenario, seeds=range(args.seeds)).run()
+        except Exception as exc:  # divergence or invariant violation
+            failed += 1
+            print(f"FAIL {name}: {exc}")
+            print(f"     replay with REPRO_TIE_BREAK_SEED and "
+                  f"REPRO_STRICT_INVARIANTS=1")
+            continue
+        print(f"ok   {name}: {len(report.seeds_passed)} seeds, "
+              f"{time.time() - t0:.1f}s")
+    if failed:
+        print(f"{failed}/{len(scenarios)} scenario(s) diverged")
+        return 1
+    print(f"all {len(scenarios)} scenarios stable under "
+          f"{args.seeds} perturbed schedules")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
