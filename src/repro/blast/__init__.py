@@ -44,6 +44,9 @@ from repro.blast.render import render_hsp, render_results
 from repro.blast.filter import dust_mask, seg_mask
 from repro.blast.greedy import GreedyExtension, greedy_extend, megablast
 from repro.blast.lazydb import LazySequenceDB
+from repro.blast.scankernel import (ScanCache, ScanStructures,
+                                    build_scan_structures,
+                                    default_scan_cache, scan_fragment)
 from repro.blast.sw import SWAlignment, smith_waterman, smith_waterman_score
 from repro.blast.xdrop import xdrop_gapped_extend
 from repro.blast.translate import translate, six_frames
@@ -64,6 +67,11 @@ __all__ = [
     "GreedyExtension",
     "LazySequenceDB",
     "SWAlignment",
+    "ScanCache",
+    "ScanStructures",
+    "build_scan_structures",
+    "default_scan_cache",
+    "scan_fragment",
     "greedy_extend",
     "megablast",
     "load_volumes",

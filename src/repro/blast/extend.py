@@ -6,12 +6,19 @@ best score seen in that direction (Altschul et al. 1990).  Both
 directions are fully vectorised: the per-position substitution scores
 along the diagonal are cumulative-summed and the X-drop cut-off is found
 with a running maximum.
+
+:func:`batched_ungapped_extend` is the bulk form the scan kernel uses:
+seeds are grouped into runs per diagonal, each diagonal's substitution
+scores are gathered **once**, and every seed on the diagonal extends
+from slices of that shared array — including the per-diagonal coverage
+dedup (a seed inside an HSP already found on its diagonal is skipped).
+It produces exactly the candidates the one-call-per-seed path produced.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,24 +44,52 @@ class UngappedHSP:
         return self.s_start + self.length
 
 
+_CHUNK = 128
+
+
 def _best_prefix(scores: np.ndarray, xdrop: int) -> Tuple[int, int]:
     """Given per-position scores walking away from an anchor, return
-    (number of positions taken, their total score) under X-drop."""
-    if len(scores) == 0:
+    (number of positions taken, their total score) under X-drop.
+
+    Works through *scores* in geometrically growing chunks: the X-drop
+    rule almost always terminates within the first few dozen positions,
+    so the common case touches ``_CHUNK`` elements instead of the whole
+    diagonal.  Results are identical to a single full-length pass."""
+    total = len(scores)
+    if total == 0:
         return 0, 0
-    cum = np.cumsum(scores)
-    runmax = np.maximum.accumulate(np.maximum(cum, 0))
-    dropped = runmax - cum > xdrop
-    if dropped.any():
-        stop = int(np.argmax(dropped))  # first True
-    else:
-        stop = len(scores)
-    if stop == 0:
+    lo = 0
+    carry = 0           # cumulative score entering the chunk
+    carry_max = 0       # running max of max(cum, 0) entering the chunk
+    best_val = 0        # best positive cumulative score so far
+    best_idx = -1
+    chunk = _CHUNK
+    while lo < total:
+        hi = min(total, lo + chunk)
+        cum = np.cumsum(scores[lo:hi])
+        if carry:
+            cum += carry
+        runmax = np.maximum.accumulate(np.maximum(cum, carry_max))
+        dropped = runmax - cum > xdrop
+        if dropped.any():
+            stop = int(np.argmax(dropped))  # first True in this chunk
+        else:
+            stop = hi - lo
+        if stop:
+            head = cum[:stop]
+            b = int(np.argmax(head))
+            if head[b] > best_val:
+                best_val = int(head[b])
+                best_idx = lo + b
+        if stop < hi - lo:
+            break
+        carry = int(cum[-1])
+        carry_max = int(runmax[-1])
+        lo = hi
+        chunk *= 4
+    if best_idx < 0:
         return 0, 0
-    best = int(np.argmax(cum[:stop]))
-    if cum[best] <= 0:
-        return 0, 0
-    return best + 1, int(cum[best])
+    return best_idx + 1, best_val
 
 
 def ungapped_extend(query: np.ndarray, subject: np.ndarray,
@@ -87,3 +122,51 @@ def ungapped_extend(query: np.ndarray, subject: np.ndarray,
         length=left_len + right_len,
         score=left_score + right_score,
     )
+
+
+def batched_ungapped_extend(query: np.ndarray, subject: np.ndarray,
+                            seeds: Sequence[Tuple[int, int]],
+                            scheme: ScoringScheme,
+                            xdrop: int = 20) -> List[UngappedHSP]:
+    """Extend many seeds against one subject, batched per diagonal.
+
+    *seeds* are ``(query position, subject position)`` pairs as produced
+    by the seeding functions (grouped by diagonal, ascending subject
+    position within a diagonal).  For each diagonal run the full
+    diagonal's substitution scores are computed once; every seed on it
+    then extends from slices of that array.  Seeds falling inside an
+    HSP already extended on their diagonal are skipped, and only
+    positive-score HSPs are returned — the same coverage-dedup rule the
+    per-seed driver applied.
+    """
+    out: List[UngappedHSP] = []
+    covered: Dict[int, int] = {}
+    m, n = len(query), len(subject)
+    i, n_seeds = 0, len(seeds)
+    while i < n_seeds:
+        qp0, sp0 = seeds[i]
+        dg = sp0 - qp0
+        j = i
+        while j < n_seeds and seeds[j][1] - seeds[j][0] == dg:
+            j += 1
+        # Substitution scores of the whole diagonal, gathered once.
+        q_lo = max(0, -dg)
+        q_hi = min(m, n - dg)
+        diag_scores = scheme.pair_scores(query[q_lo:q_hi],
+                                         subject[q_lo + dg:q_hi + dg])
+        for t in range(i, j):
+            qp, sp = seeds[t]
+            if covered.get(dg, -1) >= sp:
+                continue
+            anchor = qp - q_lo
+            right_len, right_score = _best_prefix(diag_scores[anchor:], xdrop)
+            left_len, left_score = _best_prefix(diag_scores[:anchor][::-1],
+                                                xdrop)
+            hsp = UngappedHSP(q_start=qp - left_len, s_start=sp - left_len,
+                              length=left_len + right_len,
+                              score=left_score + right_score)
+            covered[dg] = hsp.s_end
+            if hsp.score > 0:
+                out.append(hsp)
+        i = j
+    return out

@@ -18,6 +18,18 @@ DP formulation (Gotoh): for query index i (1..m) and subject index j::
 Band slot b holds subject column j = i + diag - band + b, so cell
 (i-1, j-1) is slot b of the previous row, (i-1, j) is slot b+1 of the
 previous row, and (i, j-1) is slot b-1 of the same row.
+
+The within-row E recurrence ``E[b] = max(H[b-1] - open, E[b-1] - ext)``
+is a left-to-right scan, but it closes in one vectorised pass: with
+``T[a] = H[a] + ext * a`` and ``P`` its running maximum,
+``E[b] = P[b-1] - open - ext*(b-1)`` (each candidate opening point
+pays the open penalty once plus ``ext`` per slot travelled).  The
+identity requires ``open >= ext`` (otherwise re-opening a gap inside a
+gap could beat extending it, which the prefix maximum cannot see), and
+the open/extend traceback tie-break matches the scan's only for
+``open > ext`` — so the vectorised pass runs exactly when
+``gap_open > gap_extend`` (every standard scheme) and the reference
+scan loop handles the rest.
 """
 
 from __future__ import annotations
@@ -33,6 +45,59 @@ NEG = -(10 ** 9)
 
 # Traceback codes for the H matrix.
 _STOP, _DIAG, _FROM_F, _FROM_E = 0, 1, 2, 3
+
+_INT64_MIN = np.iinfo(np.int64).min
+
+
+def _e_scan_loop(H: np.ndarray, codes: np.ndarray, pe: np.ndarray,
+                 go: int, ge: int) -> np.ndarray:
+    """Reference within-row E scan: left-to-right, updating H in place.
+
+    ``H``/``codes`` are modified in place; returns E.  Kept as the
+    fallback for schemes with ``gap_open <= gap_extend`` and as the
+    equivalence oracle for the vectorised scan."""
+    w = len(H)
+    E = np.full(w, NEG, dtype=np.int64)
+    for b in range(1, w):
+        e_open = H[b - 1] - go
+        e_ext = E[b - 1] - ge
+        E[b] = e_open if e_open >= e_ext else e_ext
+        pe[b] = 0 if e_open >= e_ext else 1
+        if E[b] > H[b]:
+            H[b] = E[b]
+            codes[b] = _FROM_E
+    return E
+
+
+def _e_scan_vectorized(H: np.ndarray, codes: np.ndarray, pe: np.ndarray,
+                       go: int, ge: int, slot_ge: np.ndarray,
+                       open_cost: np.ndarray, scratch: np.ndarray
+                       ) -> np.ndarray:
+    """Closed-form E scan (requires ``go > ge``); same contract as
+    :func:`_e_scan_loop`.
+
+    ``slot_ge`` is the precomputed ``ge * arange(w)`` vector,
+    ``open_cost`` is ``go + slot_ge[:-1]``, and ``scratch`` is a
+    reusable ``(w,)`` int64 buffer.  Because ``go > ge``, opening a gap
+    from an E-derived H cell can never beat extending that E, so E
+    depends only on the pre-E H values — which makes it a prefix
+    maximum; the same inequality makes the open/extend tie-break of the
+    scan loop reproduce exactly."""
+    w = len(H)
+    T = H + slot_ge
+    P = np.maximum.accumulate(T, out=scratch)
+    E = np.empty(w, dtype=np.int64)
+    E[0] = NEG
+    np.subtract(P[:-1], open_cost, out=E[1:])
+    # pe[b] = 1 (extended) iff the best opening point lies before b-1.
+    prev_best = np.empty(w - 1, dtype=np.int64)
+    prev_best[0] = _INT64_MIN
+    prev_best[1:] = P[:-2]
+    np.less(T[:-1], prev_best, out=pe[1:].view(bool))
+    take_e = E > H
+    H[take_e] = E[take_e]
+    codes[take_e] = _FROM_E
+    return E
 
 
 @dataclass
@@ -76,9 +141,6 @@ def banded_local_align(query: np.ndarray, subject: np.ndarray,
     go = scheme.gap_open
     ge = scheme.gap_extend
 
-    H_prev = np.zeros(w, dtype=np.int64)
-    F_prev = np.full(w, NEG, dtype=np.int64)
-
     ptrH = np.zeros((m + 1, w), dtype=np.int8)
     # ptrE / ptrF: 1 if the gap state was *extended* (came from the same
     # gap matrix), 0 if freshly *opened* (came from H).
@@ -89,54 +151,72 @@ def banded_local_align(query: np.ndarray, subject: np.ndarray,
     best_pos = (0, 0)
     subject_idx = subject.astype(np.intp)
     band_arange = np.arange(w)
+    slot_ge = ge * band_arange
+    open_cost = go + slot_ge[:-1]
+    vector_scan = go > ge
+
+    # Per-row substitution gathers and validity masks, computed in one
+    # shot: row i uses slice i-1 of each.
+    cols = np.arange(1, m + 1)[:, None] + (diag - band) + band_arange
+    valid_all = (cols >= 1) & (cols <= n)
+    row_invalid = ~valid_all.all(axis=1)
+    safe_all = np.clip(cols - 1, 0, n - 1)
+    sub_all = scheme.matrix[query[:, None],
+                            subject_idx[safe_all]].astype(np.int64)
+
+    # Ping-pong row buffers (allocation per row is measurable at this
+    # band width); up_* carry a trailing NEG that never changes.
+    bufs = [np.zeros((2, w), dtype=np.int64),
+            np.full((2, w), NEG, dtype=np.int64)]
+    diag_score = np.empty(w, dtype=np.int64)
+    up_H = np.full(w, NEG, dtype=np.int64)
+    up_F = np.full(w, NEG, dtype=np.int64)
+    F_open = np.empty(w, dtype=np.int64)
+    F_ext = np.empty(w, dtype=np.int64)
+    scratch = np.empty(w, dtype=np.int64)
 
     for i in range(1, m + 1):
-        j = i + diag - band + band_arange        # 1-based subject column
-        valid = (j >= 1) & (j <= n)
-        safe = np.clip(j - 1, 0, n - 1)
-        sub = scheme.matrix[query[i - 1], subject_idx[safe]].astype(np.int64)
+        cur = i & 1
+        H_prev = bufs[0][1 - cur]
+        F_prev = bufs[1][1 - cur]
+        H = bufs[0][cur]
+        F = bufs[1][cur]
 
-        diag_score = H_prev + sub
+        np.add(H_prev, sub_all[i - 1], out=diag_score)
 
         # F: gap in subject, from row i-1 slot b+1.
-        up_H = np.concatenate([H_prev[1:], [NEG]])
-        up_F = np.concatenate([F_prev[1:], [NEG]])
-        F_open = up_H - go
-        F_ext = up_F - ge
-        F = np.maximum(F_open, F_ext)
-        ptrF[i] = (F_ext > F_open).astype(np.int8)
+        up_H[:-1] = H_prev[1:]
+        up_F[:-1] = F_prev[1:]
+        np.subtract(up_H, go, out=F_open)
+        np.subtract(up_F, ge, out=F_ext)
+        np.maximum(F_open, F_ext, out=F)
+        np.greater(F_ext, F_open, out=ptrF[i].view(bool))
 
-        # H before E (E needs H within the row, computed left to right).
-        H = np.maximum(diag_score, 0)
-        codes = np.where(diag_score >= H, _DIAG, _STOP).astype(np.int8)
+        # H before E (E needs H within the row, computed left to right);
+        # diag >= max(diag, 0) iff diag >= 0, and _DIAG/_STOP are 1/0.
+        codes = ptrH[i]
+        np.maximum(diag_score, 0, out=H)
+        np.greater_equal(diag_score, 0, out=codes.view(bool))
         take_f = F > H
-        H = np.maximum(H, F)
+        np.maximum(H, F, out=H)
         codes[take_f] = _FROM_F
 
-        E = np.full(w, NEG, dtype=np.int64)
-        pe = ptrE[i]
-        for b in range(1, w):
-            e_open = H[b - 1] - go
-            e_ext = E[b - 1] - ge
-            E[b] = e_open if e_open >= e_ext else e_ext
-            pe[b] = 0 if e_open >= e_ext else 1
-            if E[b] > H[b]:
-                H[b] = E[b]
-                codes[b] = _FROM_E
+        if vector_scan:
+            _e_scan_vectorized(H, codes, ptrE[i], go, ge, slot_ge,
+                               open_cost, scratch)
+        else:
+            _e_scan_loop(H, codes, ptrE[i], go, ge)
 
-        H[~valid] = 0
-        codes[~valid] = _STOP
-        E[~valid] = NEG
-        F[~valid] = NEG
-        ptrH[i] = codes
+        if row_invalid[i - 1]:
+            invalid = ~valid_all[i - 1]
+            H[invalid] = 0
+            codes[invalid] = _STOP
+            F[invalid] = NEG
 
         row_best = int(H.max())
         if row_best > best:
             best = row_best
             best_pos = (i, int(np.argmax(H)))
-
-        H_prev = H
-        F_prev = F
 
     if best <= 0:
         return GappedAlignment(0, 0, 0, 0, 0, 0, 0)

@@ -10,6 +10,7 @@ BLOSUM62 score against the query word is at least the threshold T
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Optional, Tuple
 
 import numpy as np
@@ -40,17 +41,27 @@ def protein_word_codes(encoded: np.ndarray, k: int = 3) -> np.ndarray:
     return word_codes(encoded, k, len(PROTEIN))
 
 
-_NEIGHBOR_CACHE: dict = {}
+#: LRU bound on the all-words cache.  Each entry is an
+#: ``(n_letters**k, k)`` int array — 25**3 × 3 × 8 B ≈ 375 KB for the
+#: standard protein case, but exotic (k, alphabet) pairs grow fast, so
+#: the cache holds at most this many entries.
+_NEIGHBOR_CACHE_MAX = 4
+
+_NEIGHBOR_CACHE: "OrderedDict[Tuple[int, int], np.ndarray]" = OrderedDict()
 
 
 def _all_words(k: int, n_letters: int) -> np.ndarray:
-    """(n_letters**k, k) array of every possible word, cached."""
+    """(n_letters**k, k) array of every possible word, LRU-cached."""
     key = (k, n_letters)
     cached = _NEIGHBOR_CACHE.get(key)
     if cached is None:
         grids = np.meshgrid(*[np.arange(n_letters)] * k, indexing="ij")
         cached = np.stack([g.ravel() for g in grids], axis=1)
         _NEIGHBOR_CACHE[key] = cached
+        while len(_NEIGHBOR_CACHE) > _NEIGHBOR_CACHE_MAX:
+            _NEIGHBOR_CACHE.popitem(last=False)
+    else:
+        _NEIGHBOR_CACHE.move_to_end(key)
     return cached
 
 

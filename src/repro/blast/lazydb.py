@@ -91,6 +91,35 @@ class LazySequenceDB:
             self._seq_cache[i] = seq
         return seq
 
+    def preload_sequences(self) -> int:
+        """Read the whole sequence payload in one pass, caching every
+        sequence not already cached; returns how many were newly read.
+
+        This is the bulk entry the scan kernel's
+        :func:`~repro.blast.scankernel.build_scan_structures` uses when
+        packing a fragment: one contiguous read instead of n seek+read
+        round trips — the contiguous-access lesson of the paper's I/O
+        path, applied to the compute path.  Per-sequence accounting
+        (``bytes_read``, ``sequence_reads``) matches what the same
+        reads would have cost one at a time.
+        """
+        missing = [i for i in range(self._n) if i not in self._seq_cache]
+        if not missing:
+            return 0
+        with open(self._seq_path, "rb") as f:
+            data = f.read()
+        for i in missing:
+            lo, hi = int(self._seq_offsets[i]), int(self._seq_offsets[i + 1])
+            blob = data[lo:hi]
+            if self.seqtype == NT:
+                seq = unpack_2bit(blob, int(self._lengths[i]))
+            else:
+                seq = np.frombuffer(blob, dtype=np.uint8).copy()
+            self._seq_cache[i] = seq
+            self.bytes_read += hi - lo
+            self.sequence_reads += 1
+        return len(missing)
+
     def description(self, i: int) -> str:
         desc = self._hdr_cache.get(i)
         if desc is None:

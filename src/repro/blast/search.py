@@ -1,12 +1,22 @@
 """The BLAST search driver.
 
-Pipeline per database sequence (Altschul et al. 1990/1997):
+Pipeline (Altschul et al. 1990/1997):
 
-1. scan the subject's word codes against the query word index;
+1. scan the database's word codes against the query word index;
 2. pick seeds (one-hit for nucleotide, two-hit for protein);
 3. ungapped X-drop extension of each seed, deduplicated per diagonal;
 4. banded gapped extension of HSPs above the gapped trigger score;
 5. Karlin–Altschul E-values; keep hits under the E-value cutoff.
+
+Two engines drive step 1.  The default ``"scan"`` engine packs the
+whole database fragment into one sentinel-separated concatenation
+(:mod:`repro.blast.scankernel`), computes rolling word codes once per
+fragment (cached across queries in the :class:`~repro.blast.scankernel.
+ScanCache`), scans the query index against everything in one shot, and
+only then drops to per-sequence work for the handful of subjects with
+word hits.  The legacy ``"loop"`` engine scans one subject at a time;
+it is retained as the reference implementation — both engines produce
+identical :class:`SearchResults`.
 
 Results merge across database fragments by alignment score, which is
 exactly what the mpiBLAST master does with worker results.
@@ -19,15 +29,22 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.blast.alphabet import DNA, reverse_complement
-from repro.blast.extend import UngappedHSP, ungapped_extend
+from repro.blast.alphabet import DNA, PROTEIN, reverse_complement
+from repro.blast.extend import (UngappedHSP, batched_ungapped_extend,
+                                ungapped_extend)
 from repro.blast.gapped import GappedAlignment, banded_local_align
 from repro.blast.kmer import WordIndex, dna_word_codes, protein_word_codes
+from repro.blast.scankernel import ScanCache, default_scan_cache, scan_fragment
 from repro.blast.score import NucleotideScore, ProteinScore, ScoringScheme
 from repro.blast.seed import one_hit_seeds, two_hit_seeds
 from repro.blast.seqdb import AA, NT, SequenceDB
 from repro.blast.stats import (KarlinAltschul, effective_search_space,
                                karlin_altschul_params)
+
+#: Engine used when ``search(..., engine=None)``: the vectorized
+#: concatenated-fragment kernel.  ``"loop"`` selects the legacy
+#: per-sequence scan (the reference implementation).
+DEFAULT_ENGINE = "scan"
 
 
 @dataclass(frozen=True)
@@ -208,8 +225,8 @@ def _hsps_for_strand(query: np.ndarray, subject: np.ndarray,
                      strand: int,
                      identity_query: Optional[np.ndarray] = None
                      ) -> List[HSP]:
-    """Steps 1-4 for one query orientation against one subject."""
-    id_query = query if identity_query is None else identity_query
+    """Steps 1-4 for one query orientation against one subject (the
+    legacy per-sequence scan)."""
     if is_protein:
         codes = protein_word_codes(subject, params.word_size)
     else:
@@ -217,6 +234,20 @@ def _hsps_for_strand(query: np.ndarray, subject: np.ndarray,
     spos, qpos = index.scan(codes)
     if len(spos) == 0:
         return []
+    return _hsps_from_hits(query, subject, spos, qpos, scheme, params,
+                           is_protein, ka, m_eff, n_eff, strand,
+                           identity_query=identity_query)
+
+
+def _hsps_from_hits(query: np.ndarray, subject: np.ndarray,
+                    spos: np.ndarray, qpos: np.ndarray,
+                    scheme: ScoringScheme, params: SearchParams,
+                    is_protein: bool, ka: KarlinAltschul,
+                    m_eff: int, n_eff: int, strand: int,
+                    identity_query: Optional[np.ndarray] = None
+                    ) -> List[HSP]:
+    """Steps 2-4 from word hits for one orientation/subject pair."""
+    id_query = query if identity_query is None else identity_query
     if is_protein and params.two_hit_window > 0:
         seeds = two_hit_seeds(spos, qpos, params.word_size, params.two_hit_window)
     else:
@@ -224,19 +255,10 @@ def _hsps_for_strand(query: np.ndarray, subject: np.ndarray,
     if not seeds:
         return []
 
-    # Ungapped extension with per-diagonal coverage dedup: skip a seed
-    # already inside a previous HSP on its diagonal.
-    covered: Dict[int, int] = {}
-    candidates: List[UngappedHSP] = []
-    for qp, sp in seeds:
-        dg = sp - qp
-        if covered.get(dg, -1) >= sp:
-            continue
-        hsp = ungapped_extend(query, subject, qp, sp, scheme,
-                              xdrop=params.xdrop_ungapped)
-        covered[dg] = hsp.s_end
-        if hsp.score > 0:
-            candidates.append(hsp)
+    # Ungapped extension, batched per diagonal, with coverage dedup:
+    # a seed already inside a previous HSP on its diagonal is skipped.
+    candidates = batched_ungapped_extend(query, subject, seeds, scheme,
+                                         xdrop=params.xdrop_ungapped)
     if not candidates:
         return []
     candidates.sort(key=lambda h: -h.score)
@@ -293,13 +315,24 @@ def search(query: np.ndarray, db: SequenceDB, scheme: ScoringScheme,
            query_id: str = "query",
            ka: Optional[KarlinAltschul] = None,
            both_strands: bool = True,
-           identity_query: Optional[np.ndarray] = None) -> SearchResults:
+           identity_query: Optional[np.ndarray] = None,
+           engine: Optional[str] = None,
+           scan_cache: Optional[ScanCache] = None) -> SearchResults:
     """Search an encoded *query* against every sequence of *db*.
 
     For nucleotide databases the reverse-complement strand of the query
     is searched too (``both_strands``).
+
+    *engine* selects the scan driver: ``"scan"`` (default) uses the
+    vectorized concatenated-fragment kernel with cached scan structures
+    (*scan_cache*, defaulting to the process-wide
+    :func:`~repro.blast.scankernel.default_scan_cache`); ``"loop"`` is
+    the legacy per-sequence scan.  Both produce identical results.
     """
     params = params or SearchParams()
+    engine = engine or DEFAULT_ENGINE
+    if engine not in ("scan", "loop"):
+        raise ValueError(f"engine must be 'scan' or 'loop', got {engine!r}")
     is_protein = db.seqtype == AA
     if ka is None:
         if is_protein:
@@ -346,22 +379,49 @@ def search(query: np.ndarray, db: SequenceDB, scheme: ScoringScheme,
                 (rc, WordIndex.for_dna(rc, params.word_size,
                                        skip=word_skip(rc)), -1))
 
-    for sid in range(len(db)):
-        subject = db.sequence(sid)
-        hsps: List[HSP] = []
+    if engine == "scan":
+        # Vectorized kernel: one scan over the packed fragment, then
+        # per-sequence work only for subjects with word hits.
+        # Explicit None check: an *empty* ScanCache is falsy (__len__).
+        cache = scan_cache if scan_cache is not None else default_scan_cache()
+        base = len(PROTEIN) if is_protein else len(DNA)
+        structs = cache.get(db, params.word_size, base)
+        per_sid: Dict[int, List[HSP]] = {}
         for oriented_query, oriented_index, strand in orientations:
-            hsps.extend(_hsps_for_strand(
-                oriented_query, subject, oriented_index, scheme, params,
-                is_protein, ka, m_eff, n_eff, strand,
-                identity_query=identity_query))
-        if hsps:
+            for sid, spos, qpos in scan_fragment(oriented_index, structs):
+                hsps = _hsps_from_hits(
+                    oriented_query, structs.subject(sid), spos, qpos,
+                    scheme, params, is_protein, ka, m_eff, n_eff, strand,
+                    identity_query=identity_query)
+                if hsps:
+                    per_sid.setdefault(sid, []).extend(hsps)
+        for sid in sorted(per_sid):
+            hsps = per_sid[sid]
             hsps.sort(key=lambda h: (h.evalue, -h.score))
             results.hits.append(Hit(
                 subject_id=sid,
                 description=db.description(sid),
-                subject_len=len(subject),
+                subject_len=int(structs.lengths[sid]),
                 hsps=hsps[:params.max_hsps],
                 fragment_id=db.fragment_id,
             ))
+    else:
+        for sid in range(len(db)):
+            subject = db.sequence(sid)
+            hsps = []
+            for oriented_query, oriented_index, strand in orientations:
+                hsps.extend(_hsps_for_strand(
+                    oriented_query, subject, oriented_index, scheme, params,
+                    is_protein, ka, m_eff, n_eff, strand,
+                    identity_query=identity_query))
+            if hsps:
+                hsps.sort(key=lambda h: (h.evalue, -h.score))
+                results.hits.append(Hit(
+                    subject_id=sid,
+                    description=db.description(sid),
+                    subject_len=len(subject),
+                    hsps=hsps[:params.max_hsps],
+                    fragment_id=db.fragment_id,
+                ))
     results.sort()
     return results

@@ -35,7 +35,10 @@ def one_hit_seeds(spos: np.ndarray, qpos: np.ndarray) -> List[Seed]:
     new_run[0] = True
     new_run[1:] = (d[1:] != d[:-1]) | (s[1:] != s[:-1] + 1)
     idx = np.nonzero(new_run)[0]
-    return [(int(q[i]), int(s[i])) for i in idx]
+    # Bulk-convert: tolist() yields Python ints in one pass, which is
+    # measurably cheaper than per-element int() on the scan-kernel hot
+    # path (one call per subject with hits).
+    return list(zip(q[idx].tolist(), s[idx].tolist()))
 
 
 def two_hit_seeds(spos: np.ndarray, qpos: np.ndarray, word_size: int,

@@ -54,6 +54,10 @@ class SequenceDB:
         self.fragment_id = fragment_id
         self._seqs: List[np.ndarray] = []
         self._descriptions: List[str] = []
+        #: Mutation counter: bumped on every ``add`` so caches keyed on
+        #: database identity (the scan-structure cache) can tell a
+        #: mutated database from the one they packed.
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -68,6 +72,7 @@ class SequenceDB:
             raise ValueError("empty sequence")
         self._seqs.append(enc)
         self._descriptions.append(description)
+        self._version += 1
         return len(self._seqs) - 1
 
     @classmethod
@@ -184,8 +189,7 @@ class SequenceDB:
             else:
                 enc = np.frombuffer(blob, dtype=np.uint8).copy()
             desc = hdr_data[hdr_offsets[i]:hdr_offsets[i + 1]].decode()
-            db._seqs.append(enc)
-            db._descriptions.append(desc)
+            db.add(desc, enc)
         return db
 
     def disk_size(self, directory: str) -> int:
@@ -219,7 +223,6 @@ def segment_db(db: SequenceDB, n_fragments: int) -> List[SequenceDB]:
     order = sorted(range(len(db)), key=lambda i: -len(db.sequence(i)))
     for i in order:
         target = loads.index(min(loads))
-        frags[target]._seqs.append(db.sequence(i))
-        frags[target]._descriptions.append(db.description(i))
+        frags[target].add(db.description(i), db.sequence(i))
         loads[target] += len(db.sequence(i))
     return frags

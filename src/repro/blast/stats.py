@@ -163,7 +163,10 @@ def effective_search_space(ka: KarlinAltschul, m: int, n: int,
     return m - l, max(n - n_sequences * l, 1)
 
 
-_cache: Dict[int, KarlinAltschul] = {}
+# Keyed by matrix *contents* — an id()-based key aliases when a freed
+# matrix's address is recycled, silently returning another matrix's
+# parameters.  The matrices are tiny, so hashing the bytes is cheap.
+_cache: Dict[tuple, KarlinAltschul] = {}
 
 
 def karlin_altschul_params(matrix: np.ndarray,
@@ -178,7 +181,7 @@ def karlin_altschul_params(matrix: np.ndarray,
     if gapped_key is not None and gapped_key in GAPPED_CONSTANTS:
         lam, k, h = GAPPED_CONSTANTS[gapped_key]
         return KarlinAltschul(lam, k, h)
-    key = id(matrix)
+    key = (matrix.shape, matrix.dtype.str, matrix.tobytes())
     if key in _cache:
         return _cache[key]
     if probs is None:

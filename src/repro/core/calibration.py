@@ -48,13 +48,27 @@ class BlastCostModel:
     #: little query segmentation helps: a worker searching 1/w of the
     #: query still pays this share of the full scan.
     query_indep_fraction: float = 0.5
+    #: Compute multiplier for a fragment the worker has searched before
+    #: in the same service session: the engine's ScanCache keeps the
+    #: packed concatenation and word codes, so repeat searches skip the
+    #: packing cost.  1.0 (the default) models a cold engine every time
+    #: and leaves all single-job experiments untouched; the engine
+    #: microbenchmarks (tools/bench_engine.py) measure the real ratio.
+    warm_compute_factor: float = 1.0
 
-    def compute_seconds(self, residues: int) -> float:
-        """CPU seconds to search *residues* database bases."""
-        return residues / self.scan_rate
+    def compute_seconds(self, residues: int, warm: bool = False) -> float:
+        """CPU seconds to search *residues* database bases; *warm*
+        applies :attr:`warm_compute_factor` (scan structures cached)."""
+        seconds = residues / self.scan_rate
+        if warm:
+            seconds *= self.warm_compute_factor
+        return seconds
 
     def with_scan_rate(self, rate: float) -> "BlastCostModel":
         return replace(self, scan_rate=rate)
+
+    def with_warm_factor(self, factor: float) -> "BlastCostModel":
+        return replace(self, warm_compute_factor=factor)
 
 
 def default_cost_model() -> BlastCostModel:

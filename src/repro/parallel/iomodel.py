@@ -108,11 +108,18 @@ def fragment_files(spec: FragmentSpec) -> Dict[str, int]:
 
 
 def fragment_steps(spec: FragmentSpec, cost: "BlastCostModel",
-                   rng: Optional[np.random.Generator] = None) -> List[Step]:
+                   rng: Optional[np.random.Generator] = None,
+                   warm: bool = False) -> List[Step]:
     """The worker timeline for searching one fragment.
 
     Deterministic given *rng*; with ``rng=None`` a fragment-seeded
     generator is used so traces are reproducible per fragment.
+
+    *warm* marks a fragment this worker has searched before in the same
+    session: compute scales by the cost model's ``warm_compute_factor``
+    (the engine's cached scan structures skip the packing cost).  The
+    I/O steps are unchanged — payload caching is the OS page cache's
+    job, modeled by the file-system layer, not the engine's.
     """
     rng = rng or np.random.default_rng(1000 + spec.fragment_id)
     files = fragment_files(spec)
@@ -126,7 +133,8 @@ def fragment_steps(spec: FragmentSpec, cost: "BlastCostModel",
     # per-fragment compute varies ~10 % — which is also what de-phases
     # the workers' I/O bursts on shared data servers.
     content_factor = float(rng.lognormal(0.0, 0.10))
-    total_compute = cost.compute_seconds(spec.residues) * content_factor
+    total_compute = cost.compute_seconds(spec.residues,
+                                         warm=warm) * content_factor
     steps: List[Step] = []
 
     # 1. Open the index: the 13-byte magic/version probe the paper's

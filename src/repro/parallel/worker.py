@@ -109,13 +109,20 @@ def execute_steps(node: "Node", io: WorkerIO, steps: List[Step],
 def worker_proc(rank: int, node: "Node", io: WorkerIO, messenger: Messenger,
                 cost: "BlastCostModel",
                 fragments: Dict[int, FragmentSpec],
-                tracer: Optional["TraceCollector"] = None):
+                tracer: Optional["TraceCollector"] = None,
+                warm_fragments: Optional[set] = None):
     """Simulation process for one worker.
 
     Returns the worker's :class:`StepTotals` (the process value).  The
     same totals travel to the master inside the final protocol message
     (``stopped`` ack or ``abort``), so the master can account for every
     worker — including ones that died mid-job.
+
+    *warm_fragments*, when given, is the set of fragment ids whose scan
+    structures this worker's engine already holds (its ScanCache): such
+    fragments search at the cost model's ``warm_compute_factor``, and
+    every fragment the worker completes is added to the set — pass the
+    same set across jobs to model a long-lived service worker.
     """
     totals = StepTotals()
     yield from messenger.send(rank, MASTER_RANK, ("ready", rank),
@@ -137,7 +144,8 @@ def worker_proc(rank: int, node: "Node", io: WorkerIO, messenger: Messenger,
             frag_id = msg[1]
             current = frag_id
             spec = fragments[frag_id]
-            steps = fragment_steps(spec, cost)
+            warm = warm_fragments is not None and frag_id in warm_fragments
+            steps = fragment_steps(spec, cost, warm=warm)
             rng = np.random.default_rng(7000 + 131 * rank + frag_id)
             try:
                 yield from execute_steps(node, io, steps, totals, rng=rng,
@@ -154,6 +162,8 @@ def worker_proc(rank: int, node: "Node", io: WorkerIO, messenger: Messenger,
                 return totals
             current = None
             totals.fragments.append(frag_id)
+            if warm_fragments is not None:
+                warm_fragments.add(frag_id)
             yield from messenger.send(rank, MASTER_RANK,
                                       ("result", rank, frag_id),
                                       cost.result_msg_bytes)

@@ -47,6 +47,18 @@ def test_lazy_matches_eager_everywhere(on_disk):
         assert lazy.sequence_str(i) == db.sequence_str(i)
 
 
+def test_preload_reads_everything_once(on_disk):
+    db, d = on_disk
+    lazy = LazySequenceDB(d, "lazy")
+    lazy.sequence(2)                       # one sequence already cached
+    assert lazy.preload_sequences() == len(db) - 1
+    assert lazy.sequence_reads == len(db)
+    for i in range(len(db)):
+        assert np.array_equal(lazy.sequence(i), db.sequence(i))
+    assert lazy.sequence_reads == len(db)  # all served from cache
+    assert lazy.preload_sequences() == 0   # nothing left to read
+
+
 def test_lazy_search_equals_eager_search(on_disk):
     db, d = on_disk
     lazy = LazySequenceDB(d, "lazy")

@@ -1,0 +1,133 @@
+"""Warm scan-structure modeling in the simulated worker path.
+
+The engine's ScanCache makes a repeat search of the same fragment
+cheaper; the simulation mirrors this with the cost model's
+``warm_compute_factor`` and per-worker warm-fragment sets threaded
+through :func:`run_parallel_blast` / :func:`run_query_stream`.  The
+default factor of 1.0 must leave every existing experiment untouched.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.params import MB
+from repro.core.calibration import BlastCostModel, default_cost_model
+from repro.fs.localfs import LocalFS
+from repro.parallel import (FragmentSpec, LocalIO, fragment_steps,
+                            run_parallel_blast)
+from repro.parallel.mpiblast import run_query_stream
+
+
+def small_fragments(n, nbytes=2 * MB, residues=2 * MB):
+    return [FragmentSpec(i, nbytes, residues) for i in range(n)]
+
+
+def make_local(n_workers):
+    c = Cluster(n_nodes=n_workers + 1)
+    workers = list(c)[1:]
+    ios = [LocalIO(LocalFS(node), node) for node in workers]
+    return c, workers, ios
+
+
+def total_compute(steps):
+    return sum(s.seconds for s in steps if s.seconds)
+
+
+def test_compute_seconds_warm_factor():
+    cost = BlastCostModel(warm_compute_factor=0.25)
+    cold = cost.compute_seconds(10 * MB)
+    warm = cost.compute_seconds(10 * MB, warm=True)
+    assert warm == pytest.approx(0.25 * cold)
+    # The default model is cold-equals-warm (factor 1.0).
+    default = default_cost_model()
+    assert default.warm_compute_factor == 1.0
+    assert (default.compute_seconds(MB, warm=True)
+            == default.compute_seconds(MB))
+    assert default.with_warm_factor(0.5).warm_compute_factor == 0.5
+
+
+def test_fragment_steps_warm_scales_compute_not_io():
+    spec = FragmentSpec(0, 4 * MB, 4 * MB)
+    cost = BlastCostModel(warm_compute_factor=0.5)
+    cold = fragment_steps(spec, cost, rng=np.random.default_rng(1))
+    warm = fragment_steps(spec, cost, rng=np.random.default_rng(1),
+                          warm=True)
+    # Same step sequence: kinds, files, offsets and sizes unchanged.
+    assert [(s.kind, s.path, s.offset, s.size) for s in cold] == \
+        [(s.kind, s.path, s.offset, s.size) for s in warm]
+    # Compute shrinks; the fixed setup CPU stays.
+    assert total_compute(warm) < total_compute(cold)
+    assert total_compute(warm) > cost.setup_cpu
+
+
+def test_fragment_steps_default_warm_is_noop():
+    spec = FragmentSpec(0, 4 * MB, 4 * MB)
+    cost = default_cost_model()
+    cold = fragment_steps(spec, cost, rng=np.random.default_rng(2))
+    warm = fragment_steps(spec, cost, rng=np.random.default_rng(2),
+                          warm=True)
+    assert [(s.kind, s.path, s.offset, s.size, s.seconds) for s in cold] == \
+        [(s.kind, s.path, s.offset, s.size, s.seconds) for s in warm]
+
+
+def test_warm_sets_populated_and_second_job_faster():
+    cost = default_cost_model().with_warm_factor(0.3)
+
+    c, workers, ios = make_local(2)
+    warm_sets = [set() for _ in workers]
+    job1 = run_parallel_blast(c[0], workers, ios, small_fragments(4), cost,
+                              warm_fragments=warm_sets)
+    assert job1.fragments_done == 4
+    # Every completed fragment landed in its worker's warm set.
+    assert sorted(f for s in warm_sets for f in s) == list(range(4))
+
+    # Fresh cluster, pre-warmed sets: the same job runs faster than the
+    # cold one (every fragment this time hits a warm set only if the
+    # scheduler gives it to the same worker — so warm everything).
+    c2, workers2, ios2 = make_local(2)
+    hot = [set(range(4)) for _ in workers2]
+    job2 = run_parallel_blast(c2[0], workers2, ios2, small_fragments(4),
+                              cost, warm_fragments=hot)
+    assert job2.makespan < job1.makespan
+
+
+def test_warm_fragments_validation():
+    c, workers, ios = make_local(2)
+    with pytest.raises(ValueError, match="warm-fragment"):
+        run_parallel_blast(c[0], workers, ios, small_fragments(2),
+                           default_cost_model(), warm_fragments=[set()])
+
+
+def test_query_stream_warms_up_service_times():
+    cost = default_cost_model().with_warm_factor(0.3)
+    c, workers, ios = make_local(2)
+    rows = run_query_stream(c[0], workers, ios, small_fragments(4), cost,
+                            arrival_times=[0.0, 0.0, 0.0])
+    # Later queries reuse cached scan structures: service time drops
+    # (query 0 also pays the cold page cache; 1 and 2 are steady state).
+    assert rows[1]["service"] < rows[0]["service"]
+    assert rows[2]["service"] == pytest.approx(rows[1]["service"])
+
+    # The drop exceeds what the page cache alone delivers at factor 1.
+    c2, workers2, ios2 = make_local(2)
+    base = run_query_stream(c2[0], workers2, ios2, small_fragments(4),
+                            default_cost_model(),
+                            arrival_times=[0.0, 0.0, 0.0])
+    assert rows[1]["service"] < base[1]["service"]
+
+
+def test_query_stream_default_factor_unchanged_service():
+    # Factor 1.0: the warm bookkeeping must not change timings at all.
+    # Compare the stream against manual per-query jobs with no warm
+    # modeling on an identical fresh cluster.
+    c, workers, ios = make_local(2)
+    rows = run_query_stream(c[0], workers, ios, small_fragments(4),
+                            default_cost_model(),
+                            arrival_times=[0.0, 0.0])
+    c2, workers2, ios2 = make_local(2)
+    manual = [run_parallel_blast(c2[0], workers2, ios2, small_fragments(4),
+                                 default_cost_model()).makespan
+              for _ in range(2)]
+    assert rows[0]["service"] == pytest.approx(manual[0])
+    assert rows[1]["service"] == pytest.approx(manual[1])

@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Machine-readable engine microbenchmark: emits BENCH_blast.json.
+
+Measures the real BLAST engine (not the simulation) on a synthetic
+nucleotide corpus: kernel throughput warm and cold, the legacy
+per-sequence loop for comparison, per-stage timings (fragment packing,
+query index build, fragment scan), and an old-vs-new equivalence smoke
+check.  The JSON keeps the perf trajectory comparable across PRs.
+
+Absolute MB/s is machine-dependent, so the regression check (``--check
+BASELINE.json``) compares the *kernel-over-loop speedup ratio* — both
+sides measured on the same machine in the same run — against the
+baseline's ratio, failing when it falls more than ``--tolerance``
+(default 0.30) below it.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_engine.py \
+        --residues 1000000 --rounds 3 --out benchmarks/results/BENCH_blast.json
+    PYTHONPATH=src python tools/bench_engine.py \
+        --residues 300000 --check benchmarks/results/BENCH_blast.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+
+ROUNDS_DEFAULT = 3
+
+
+def _median(samples):
+    ordered = sorted(samples)
+    return ordered[len(ordered) // 2]
+
+
+def _time(fn, rounds):
+    samples = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return _median(samples)
+
+
+def _dump_results(results):
+    return [(h.subject_id, h.subject_len,
+             [dataclasses.astuple(p) for p in h.hsps])
+            for h in results.hits]
+
+
+def run_benchmarks(residues: int, rounds: int) -> dict:
+    from repro.blast.alphabet import encode_dna
+    from repro.blast.kmer import WordIndex
+    from repro.blast.scankernel import (ScanCache, build_scan_structures,
+                                        scan_fragment)
+    from repro.blast.score import NucleotideScore
+    from repro.blast.search import SearchParams, search
+    from repro.workloads import extract_query, synthetic_nt_db
+
+    db = synthetic_nt_db(residues, seed=0)
+    query = encode_dna(extract_query(db, length=568, seed=1))
+    scheme = NucleotideScore()
+    params = SearchParams()
+    cache = ScanCache()
+
+    # Equivalence smoke: the kernel must reproduce the loop exactly.
+    r_scan = search(query, db, scheme, params, engine="scan",
+                    scan_cache=cache)
+    r_loop = search(query, db, scheme, params, engine="loop")
+    equivalent = _dump_results(r_scan) == _dump_results(r_loop)
+
+    # Stage timings.
+    k, base = params.word_size, 4
+    pack_s = _time(lambda: build_scan_structures(db, k, base), rounds)
+    structs = build_scan_structures(db, k, base)
+    index_s = _time(lambda: WordIndex.for_dna(query, k), rounds)
+    index = WordIndex.for_dna(query, k)
+    scan_s = _time(lambda: scan_fragment(index, structs), rounds)
+
+    # End-to-end searches.
+    def cold():
+        cache.clear()
+        search(query, db, scheme, params, engine="scan", scan_cache=cache)
+
+    def warm():
+        search(query, db, scheme, params, engine="scan", scan_cache=cache)
+
+    cold_s = _time(cold, rounds)
+    warm()  # ensure the cache is populated before warm timing
+    warm_s = _time(warm, rounds)
+    loop_s = _time(lambda: search(query, db, scheme, params, engine="loop"),
+                   rounds)
+
+    return {
+        "schema": 1,
+        "corpus": {"residues": db.total_residues,
+                   "n_sequences": len(db),
+                   "query_len": int(len(query)),
+                   "seed": 0},
+        "rounds": rounds,
+        "throughput_mbps": db.total_residues / warm_s / 1e6,
+        "loop_mbps": db.total_residues / loop_s / 1e6,
+        "speedup_kernel_over_loop": loop_s / warm_s,
+        "warm_over_cold": cold_s / warm_s,
+        "stages": {
+            "pack_s": pack_s,
+            "index_s": index_s,
+            "scan_s": scan_s,
+            "search_cold_s": cold_s,
+            "search_warm_s": warm_s,
+            "search_loop_s": loop_s,
+        },
+        "equivalent": equivalent,
+    }
+
+
+def check_against(current: dict, baseline_path: str, tolerance: float) -> int:
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    if baseline.get("corpus") != current.get("corpus"):
+        print("WARNING: corpus differs from baseline; the speedup ratio "
+              "shifts with corpus shape, so the comparison is loose "
+              f"(baseline {baseline.get('corpus')}, "
+              f"current {current.get('corpus')})")
+    base_ratio = baseline["speedup_kernel_over_loop"]
+    cur_ratio = current["speedup_kernel_over_loop"]
+    floor = (1.0 - tolerance) * base_ratio
+    print(f"kernel-over-loop speedup: current {cur_ratio:.2f}x, "
+          f"baseline {base_ratio:.2f}x, floor {floor:.2f}x "
+          f"(tolerance {tolerance:.0%})")
+    ok = True
+    if not current["equivalent"]:
+        print("FAIL: scan and loop engines disagree on SearchResults")
+        ok = False
+    if cur_ratio < floor:
+        print("FAIL: kernel speedup regressed past tolerance")
+        ok = False
+    if ok:
+        print("OK: engine performance within tolerance of baseline")
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--residues", type=int, default=1_000_000,
+                    help="corpus size in residues (default 1M)")
+    ap.add_argument("--rounds", type=int, default=ROUNDS_DEFAULT,
+                    help="timing rounds per measurement; median is kept")
+    ap.add_argument("--out", default=None,
+                    help="write BENCH_blast.json here")
+    ap.add_argument("--check", default=None, metavar="BASELINE",
+                    help="compare against a committed BENCH_blast.json; "
+                         "exit 1 on regression past --tolerance")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="allowed fractional drop of the kernel-over-loop "
+                         "speedup vs the baseline (default 0.30)")
+    args = ap.parse_args(argv)
+
+    result = run_benchmarks(args.residues, args.rounds)
+    print(json.dumps(result, indent=2))
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(result, f, indent=2)
+            f.write("\n")
+        print(f"[written to {args.out}]")
+    if args.check:
+        return check_against(result, args.check, args.tolerance)
+    if not result["equivalent"]:
+        print("FAIL: scan and loop engines disagree on SearchResults")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
