@@ -6,6 +6,8 @@ kernel), the kernel-vs-loop speedup ratio, ScanCache warm-over-cold
 behaviour, protein search, database formatting, and segmentation.
 """
 
+import dataclasses
+import os
 import time
 
 import numpy as np
@@ -99,6 +101,42 @@ def test_scan_cache_warm_over_cold(nt_db):
     stats = cache.stats()
     assert stats["misses"] >= 4 and stats["hits"] >= 3
     assert cold / warm > 1.2  # packing is a measurable share of cold time
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="pool scaling needs at least 4 physical cores")
+def test_pool_scaling_four_workers(nt_db):
+    """Four pool workers must clearly beat the serial warm kernel on
+    the 1M corpus (same machine, same run — machine-portable ratio).
+
+    1.8x at 4 workers is a deliberately conservative floor: fragment
+    packing is amortized (the pool is warm), so the residual costs are
+    task dispatch and result pickling.
+    """
+    from repro.exec import ExecPool
+
+    query = encode_dna(extract_query(nt_db, length=568, seed=1))
+    scheme = NucleotideScore()
+    params = SearchParams()
+    cache = ScanCache()
+
+    def run_serial():
+        return search(query, nt_db, scheme, params, engine="scan",
+                      scan_cache=cache)
+
+    run_serial()  # warm the serial cache
+    t_serial = _median_seconds(run_serial)
+    with ExecPool(jobs=4) as pool:
+        first = pool.search(query, nt_db, scheme, params)  # warm packs
+        t_pool = _median_seconds(
+            lambda: pool.search(query, nt_db, scheme, params))
+
+    serial = run_serial()
+    assert ([(h.subject_id, [dataclasses.astuple(p) for p in h.hsps])
+             for h in first.hits] ==
+            [(h.subject_id, [dataclasses.astuple(p) for p in h.hsps])
+             for h in serial.hits])
+    assert t_serial / t_pool > 1.8
 
 
 def test_blastp_search(benchmark, aa_db):

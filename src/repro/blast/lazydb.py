@@ -120,6 +120,22 @@ class LazySequenceDB:
             self.sequence_reads += 1
         return len(missing)
 
+    def subset(self, ids, name: Optional[str] = None,
+               fragment_id: Optional[int] = None) -> SequenceDB:
+        """Materialize the given sequences into an in-memory
+        :class:`~repro.blast.seqdb.SequenceDB` fragment (reads each
+        payload through the normal lazy path, so ``io_stats`` account
+        for it), remembering parent ids in ``source_ids`` — the same
+        surface :meth:`SequenceDB.subset` gives the parallel runtime.
+        """
+        sub = SequenceDB(self.seqtype,
+                         name if name is not None else f"{self.name}.sub",
+                         fragment_id=fragment_id)
+        for i in ids:
+            sub.add(self.description(i), self.sequence(i))
+        sub.source_ids = [int(i) for i in ids]
+        return sub
+
     def description(self, i: int) -> str:
         desc = self._hdr_cache.get(i)
         if desc is None:

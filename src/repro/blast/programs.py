@@ -37,6 +37,21 @@ def _aa_params(params: Optional[SearchParams]) -> SearchParams:
                                   xdrop_ungapped=16, gapped_trigger=22)
 
 
+def program_defaults(program: str, params: Optional[SearchParams] = None
+                     ) -> tuple:
+    """The ``(scheme, params)`` pair a program runs with by default.
+
+    This is the single source of truth the parallel CLI path shares
+    with the serial dispatch above, so ``--jobs N`` cannot drift from
+    what ``blastall`` would have used serially.
+    """
+    if program == "blastn":
+        return NucleotideScore(), _nt_params(params)
+    if program == "blastp":
+        return ProteinScore(), _aa_params(params)
+    raise ValueError(f"no direct search defaults for {program!r}")
+
+
 def blastn(query: str, db: SequenceDB, params: Optional[SearchParams] = None,
            scheme: Optional[ScoringScheme] = None,
            query_id: str = "query") -> SearchResults:

@@ -54,6 +54,25 @@ DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 _token_counter = itertools.count(1)
 
 
+def db_token(db) -> int:
+    """The database's scan-cache identity token, assigned on first use.
+
+    Tokens are the process-local half of the key every scan-structure
+    consumer shares (the :class:`ScanCache`, the shared-memory pack
+    registry of :mod:`repro.exec`): monotonically increasing, so a
+    recycled ``id()`` can never alias a dead database.  Falls back to
+    ``id(db)`` for objects that refuse attributes.
+    """
+    token = getattr(db, "_scan_token", None)
+    if token is None:
+        token = next(_token_counter)
+        try:
+            db._scan_token = token
+        except (AttributeError, TypeError):  # pragma: no cover
+            token = id(db)
+    return token
+
+
 @dataclass
 class ScanStructures:
     """Cached per-fragment scan artifacts.
@@ -192,27 +211,36 @@ class ScanCache:
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self._entries: "OrderedDict[tuple, ScanStructures]" = OrderedDict()
+        self._finalized: set = set()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     # ------------------------------------------------------------------
     def _db_key(self, db) -> tuple:
-        token = getattr(db, "_scan_token", None)
-        if token is None:
-            token = next(_token_counter)
+        token = db_token(db)
+        if token not in self._finalized:
+            self._finalized.add(token)
             try:
-                db._scan_token = token
-                weakref.finalize(db, self._drop_token, token)
-            except (AttributeError, TypeError):  # pragma: no cover
-                token = id(db)
+                weakref.finalize(db, self.evict, token)
+            except TypeError:  # pragma: no cover
+                pass
         return (token, len(db), db.total_residues,
                 getattr(db, "_version", 0))
 
-    def _drop_token(self, token: int) -> None:
-        """Drop every entry of a garbage-collected database."""
-        for key in [k for k in self._entries if k[0][0] == token]:
+    def evict(self, token: int) -> int:
+        """Explicitly drop every entry built from the database with
+        *token*; returns how many entries were dropped.
+
+        The ``weakref`` finalizer only covers same-process lifetime: a
+        pack attached in a pool worker lives in *that* process, so a
+        long-lived parent would otherwise pin entries for children that
+        are already dead.  The pool teardown path calls this directly.
+        """
+        keys = [k for k in self._entries if k[0][0] == token]
+        for key in keys:
             del self._entries[key]
+        return len(keys)
 
     # ------------------------------------------------------------------
     def get(self, db, k: int, base: int) -> ScanStructures:
@@ -228,6 +256,18 @@ class ScanCache:
         self._entries[key] = entry
         self._evict()
         return entry
+
+    def put(self, db, k: int, base: int, structs: ScanStructures) -> None:
+        """Seed the cache with externally built structures for *db*.
+
+        The process pool uses this to prime a worker's cache with
+        shared-memory-backed packs so ``search(engine="scan")`` attaches
+        zero-copy instead of repacking.  Same LRU accounting as a miss.
+        """
+        key = (self._db_key(db), k, base)
+        self._entries[key] = structs
+        self._entries.move_to_end(key)
+        self._evict()
 
     def _evict(self) -> None:
         while len(self._entries) > 1 and (

@@ -218,6 +218,28 @@ class SearchResults:
 
 
 # ----------------------------------------------------------------------
+def resolve_ka(scheme: ScoringScheme, params: SearchParams,
+               is_protein: bool) -> KarlinAltschul:
+    """The Karlin–Altschul parameters :func:`search` uses when none are
+    passed explicitly.
+
+    Exposed so the parallel runtime (:mod:`repro.exec`) can compute the
+    exact same statistics on the master and ship them to every worker —
+    fragment results stay bit-identical to a serial whole-database
+    search.
+    """
+    if is_protein:
+        key = (f"aa:blosum62:{scheme.gap_open}/{scheme.gap_extend}"
+               if params.gapped else None)
+    else:
+        match = int(scheme.matrix[0, 0])
+        mis = int(scheme.matrix[0, 1])
+        key = (f"nt:{'+' if match > 0 else ''}{match}/{mis}:"
+               f"{scheme.gap_open}/{scheme.gap_extend}"
+               if params.gapped else None)
+    return karlin_altschul_params(scheme.matrix, gapped_key=key)
+
+
 def _hsps_for_strand(query: np.ndarray, subject: np.ndarray,
                      index: WordIndex, scheme: ScoringScheme,
                      params: SearchParams, is_protein: bool,
@@ -317,7 +339,8 @@ def search(query: np.ndarray, db: SequenceDB, scheme: ScoringScheme,
            both_strands: bool = True,
            identity_query: Optional[np.ndarray] = None,
            engine: Optional[str] = None,
-           scan_cache: Optional[ScanCache] = None) -> SearchResults:
+           scan_cache: Optional[ScanCache] = None,
+           effective_space: Optional[Tuple[int, int]] = None) -> SearchResults:
     """Search an encoded *query* against every sequence of *db*.
 
     For nucleotide databases the reverse-complement strand of the query
@@ -328,6 +351,12 @@ def search(query: np.ndarray, db: SequenceDB, scheme: ScoringScheme,
     (*scan_cache*, defaulting to the process-wide
     :func:`~repro.blast.scankernel.default_scan_cache`); ``"loop"`` is
     the legacy per-sequence scan.  Both produce identical results.
+
+    *effective_space* overrides the ``(m_eff, n_eff)`` search space the
+    E-values are computed against.  The parallel runtime passes the
+    *whole* database's space to every fragment search so per-fragment
+    E-values — and the cutoff they are filtered by — come out exactly
+    as a serial whole-database search would produce them.
     """
     params = params or SearchParams()
     engine = engine or DEFAULT_ENGINE
@@ -335,16 +364,7 @@ def search(query: np.ndarray, db: SequenceDB, scheme: ScoringScheme,
         raise ValueError(f"engine must be 'scan' or 'loop', got {engine!r}")
     is_protein = db.seqtype == AA
     if ka is None:
-        if is_protein:
-            key = (f"aa:blosum62:{scheme.gap_open}/{scheme.gap_extend}"
-                   if params.gapped else None)
-        else:
-            match = int(scheme.matrix[0, 0])
-            mis = int(scheme.matrix[0, 1])
-            key = (f"nt:{'+' if match > 0 else ''}{match}/{mis}:"
-                   f"{scheme.gap_open}/{scheme.gap_extend}"
-                   if params.gapped else None)
-        ka = karlin_altschul_params(scheme.matrix, gapped_key=key)
+        ka = resolve_ka(scheme, params, is_protein)
 
     m = len(query)
     n_total = db.total_residues
@@ -352,9 +372,12 @@ def search(query: np.ndarray, db: SequenceDB, scheme: ScoringScheme,
                             db_residues=n_total, db_sequences=len(db))
     if m < params.word_size:
         return results
-    m_eff, n_eff = m, n_total
-    if params.effective_lengths:
+    if effective_space is not None:
+        m_eff, n_eff = effective_space
+    elif params.effective_lengths:
         m_eff, n_eff = effective_search_space(ka, m, n_total, len(db))
+    else:
+        m_eff, n_eff = m, n_total
 
     def word_skip(oriented: np.ndarray):
         if not params.filter_low_complexity:

@@ -54,6 +54,12 @@ class SequenceDB:
         self.fragment_id = fragment_id
         self._seqs: List[np.ndarray] = []
         self._descriptions: List[str] = []
+        #: When this database is a fragment cut from a parent database,
+        #: the parent ordinal of each sequence (``source_ids[i]`` is the
+        #: parent id of local sequence ``i``); ``None`` otherwise.  The
+        #: parallel runtime uses it to map fragment-local hits back to
+        #: whole-database subject ids in the cross-fragment merge.
+        self.source_ids: Optional[List[int]] = None
         #: Mutation counter: bumped on every ``add`` so caches keyed on
         #: database identity (the scan-structure cache) can tell a
         #: mutated database from the one they packed.
@@ -117,6 +123,18 @@ class SequenceDB:
 
     def lengths(self) -> List[int]:
         return [len(s) for s in self._seqs]
+
+    def subset(self, ids: Sequence[int], name: Optional[str] = None,
+               fragment_id: Optional[int] = None) -> "SequenceDB":
+        """A new database holding the given sequences, in the given
+        order, remembering their parent ids in ``source_ids``."""
+        sub = SequenceDB(self.seqtype,
+                         name if name is not None else f"{self.name}.sub",
+                         fragment_id=fragment_id)
+        for i in ids:
+            sub.add(self._descriptions[i], self._seqs[i])
+        sub.source_ids = [int(i) for i in ids]
+        return sub
 
     # ------------------------------------------------------------------
     # On-disk format

@@ -43,6 +43,29 @@ def cmd_formatdb(args) -> int:
     return 0
 
 
+def _parallel_results(program: str, db, queries, params, jobs: int,
+                      n_fragments: Optional[int]):
+    """Run every query of a ``--jobs N`` invocation through one
+    persistent pool (packs attach once; queries stream through the
+    shared work queue).  Results are byte-identical to the serial
+    program dispatch."""
+    from repro.blast.alphabet import encode_dna, encode_protein
+    from repro.blast.programs import program_defaults
+    from repro.blast.seqdb import AA, NT
+    from repro.exec import ExecPool
+
+    need = NT if program == "blastn" else AA
+    if db.seqtype != need:
+        raise ValueError(f"{program} needs a {need} database")
+    scheme, params = program_defaults(program, params)
+    encode = encode_dna if program == "blastn" else encode_protein
+    with ExecPool(jobs=jobs, n_fragments=n_fragments) as pool:
+        return pool.search_many(
+            [encode(rec.sequence) for rec in queries], db, scheme, params,
+            query_ids=[rec.id or "query" for rec in queries],
+            both_strands=(program == "blastn"))
+
+
 def cmd_blastall(args) -> int:
     from repro.blast.fasta import parse_fasta
     from repro.blast.programs import blastall
@@ -60,9 +83,21 @@ def cmd_blastall(args) -> int:
                                             "tblastx") else 11,
             evalue_cutoff=args.evalue if args.evalue is not None else 10.0,
             filter_low_complexity=args.filter)
-    for rec in queries:
-        results = blastall(args.program, rec.sequence, db, params=params,
-                           query_id=rec.id or "query")
+    jobs = getattr(args, "jobs", 1) or 1
+    parallel = None
+    if jobs > 1:
+        if args.program in ("blastn", "blastp"):
+            parallel = _parallel_results(args.program, db, queries, params,
+                                         jobs, getattr(args, "fragments", None))
+        else:
+            print(f"# --jobs applies to blastn/blastp only; "
+                  f"running {args.program} serially", file=sys.stderr)
+    for qi, rec in enumerate(queries):
+        if parallel is not None:
+            results = parallel[qi]
+        else:
+            results = blastall(args.program, rec.sequence, db, params=params,
+                               query_id=rec.id or "query")
         if args.outfmt == "tabular":
             print(results.tabular(max_hits=args.max_hits))
         elif args.outfmt == "xml":
@@ -192,7 +227,33 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["report", "tabular", "xml"],
                    help="output format (tabular = NCBI outfmt 6, "
                         "xml = BlastOutput XML)")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="worker processes for blastn/blastp (multi-core "
+                        "database segmentation; results are identical to "
+                        "a serial run)")
+    p.add_argument("--fragments", type=int, default=None,
+                   help="database fragments for --jobs (default 2x jobs)")
     p.set_defaults(fn=cmd_blastall)
+
+    p = sub.add_parser("blastn", help="nucleotide search (blastall -p "
+                                      "blastn shortcut with --jobs)")
+    p.add_argument("-d", "--database", required=True,
+                   help="database path (directory/name)")
+    p.add_argument("-i", "--input", required=True, help="FASTA query file")
+    p.add_argument("-e", "--evalue", type=float, default=None)
+    p.add_argument("-F", "--filter", action="store_true",
+                   help="mask low-complexity query regions (DUST)")
+    p.add_argument("-a", "--alignments", action="store_true",
+                   help="print pairwise alignments")
+    p.add_argument("--max-hits", type=int, default=25)
+    p.add_argument("-m", "--outfmt", default="report",
+                   choices=["report", "tabular", "xml"])
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="worker processes (multi-core database "
+                        "segmentation)")
+    p.add_argument("--fragments", type=int, default=None,
+                   help="database fragments for --jobs (default 2x jobs)")
+    p.set_defaults(fn=cmd_blastall, program="blastn")
 
     p = sub.add_parser("psiblast", help="position-specific iterated search")
     p.add_argument("-d", "--database", required=True)

@@ -1,0 +1,29 @@
+"""Multi-core execution runtime for the real BLAST engine.
+
+The simulated cluster in :mod:`repro.parallel` answers the paper's
+*what-if* questions; this package runs the same database-segmented
+master/worker design on actual cores:
+
+* :mod:`repro.exec.shm` — immutable fragment scan-structures published
+  once in ``multiprocessing.shared_memory`` and attached zero-copy by
+  every worker;
+* :mod:`repro.exec.schedule` — greedy heaviest-first dynamic fragment
+  scheduling with front-requeue on failure and bounded retries;
+* :mod:`repro.exec.pool` — the persistent worker pool and the
+  :func:`search_parallel` entry point, byte-identical to the serial
+  engine.
+"""
+
+from repro.exec.pool import (ExecPool, JobSpec, PoolConfig, PoolJobError,
+                             PoolStats, search_parallel)
+from repro.exec.schedule import GreedyScheduler, RetriesExceeded, plan_fragments
+from repro.exec.shm import (AttachedPack, PackDB, PackSpec, ShmRegistry,
+                            create_pack, default_registry, pack_fragment)
+
+__all__ = [
+    "ExecPool", "JobSpec", "PoolConfig", "PoolJobError", "PoolStats",
+    "search_parallel",
+    "GreedyScheduler", "RetriesExceeded", "plan_fragments",
+    "AttachedPack", "PackDB", "PackSpec", "ShmRegistry",
+    "create_pack", "default_registry", "pack_fragment",
+]

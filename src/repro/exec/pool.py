@@ -1,0 +1,613 @@
+"""The multi-core execution runtime: persistent workers, greedy
+dynamic scheduling, byte-identical cross-fragment merging.
+
+This is the real-execution twin of the simulated master/worker in
+:mod:`repro.parallel`: the paper's database-segmented BLAST, run on
+actual cores instead of simulated nodes.  A persistent
+:class:`ExecPool` of worker *processes* (not threads — the scan kernel
+is numpy-heavy but the seeding/extension half is pure Python and GIL-
+bound) attaches each fragment's shared-memory pack once, then serves
+``(query, fragment)`` tasks handed out greedily by the master-side
+:class:`~repro.exec.schedule.GreedyScheduler`.  Queries stream through
+the same work queue, so a multi-query workload keeps every core busy
+across query boundaries.
+
+Fault handling mirrors PR 1's hardened failure path: a worker dying
+mid-task is detected on its pipe, the task is requeued at the front
+for the next idle worker (bounded retries per task), and when the
+budget is exhausted the job fails *cleanly* — outstanding work drains,
+shared-memory segments stay accounted, and the pool remains usable.
+
+Byte-identity with the serial engine is a hard invariant, not a
+goal: workers receive the master's Karlin–Altschul parameters and the
+*whole-database* effective search space (so per-fragment E-values and
+cutoff filtering match a serial run exactly), fragment-local subject
+ids map back through each pack's ``source_ids``, and the merge
+pre-sorts hits by global subject id before the standard result sort —
+the same deterministic tie-break order a serial scan produces.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import traceback
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.blast.alphabet import DNA, PROTEIN
+from repro.blast.scankernel import ScanCache, db_token
+from repro.blast.search import (SearchParams, SearchResults, resolve_ka,
+                                search)
+from repro.blast.seqdb import AA
+from repro.blast.stats import KarlinAltschul, effective_search_space
+from repro.exec.schedule import GreedyScheduler, RetriesExceeded, plan_fragments
+from repro.exec.shm import (AttachedPack, PackDB, PackSpec, ShmRegistry,
+                            default_registry, ensure_tracker, pack_fragment)
+
+
+class PoolJobError(RuntimeError):
+    """A parallel job could not be completed (workers exhausted or a
+    task burned through its retry budget)."""
+
+
+@dataclass
+class PoolConfig:
+    """Worker-side knobs (picklable; shipped once at spawn).
+
+    ``task_sleep`` stalls every task by that many seconds — a test and
+    benchmark hook (set via ``REPRO_EXEC_TASK_SLEEP``) that widens the
+    window for mid-task fault injection; 0 in production.
+    """
+
+    task_sleep: float = 0.0
+    cache_entries: int = 1024
+    cache_bytes: int = 1 << 40
+
+
+@dataclass
+class JobSpec:
+    """Everything a worker needs to search one query against any
+    fragment of the prepared database — statistics included, so every
+    fragment is scored exactly as the serial whole-database search
+    would score it."""
+
+    query: np.ndarray
+    query_id: str
+    scheme: object
+    params: SearchParams
+    both_strands: bool
+    ka: KarlinAltschul
+    effective_space: Tuple[int, int]
+
+
+@dataclass
+class PoolStats:
+    """Accounting for the most recent pool run."""
+
+    tasks_done: int = 0
+    requeues: int = 0
+    worker_errors: int = 0
+    worker_deaths: List[int] = field(default_factory=list)
+
+
+@dataclass
+class _Worker:
+    rank: int
+    process: object
+    conn: object
+    alive: bool = True
+    jobs_sent: set = field(default_factory=set)
+
+
+@dataclass
+class _PreparedDB:
+    """Parent-side record of one published fragment set."""
+
+    key: tuple                       # (token, version, k, base, n_fragments)
+    specs: List[PackSpec]
+    ids_by_name: Dict[str, List[int]]
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _worker_main(rank: int, conn, cfg: PoolConfig) -> None:
+    """Worker loop: attach packs once, then serve tasks until stopped.
+
+    Runs in a child process, but takes any connection-like object so
+    the protocol is unit-testable in-process with a scripted pipe.
+    """
+    cache = ScanCache(max_entries=cfg.cache_entries,
+                      max_bytes=cfg.cache_bytes)
+    packs: Dict[str, Tuple[AttachedPack, PackDB]] = {}
+    jobs: Dict[int, JobSpec] = {}
+    fragments_done: List[Optional[int]] = []
+
+    def _drop_pack(name: str) -> None:
+        entry = packs.pop(name, None)
+        if entry is None:
+            return
+        pack, db = entry
+        # Explicit eviction: the weakref finalizer only fires on GC,
+        # and the cache must release its views before the mapping goes.
+        cache.evict(db._scan_token)
+        del db, entry
+        pack.close()
+
+    try:
+        conn.send(("ready", rank))
+        while True:
+            msg = conn.recv()
+            kind = msg[0]
+            if kind == "attach":
+                spec = msg[1]
+                try:
+                    if spec.name not in packs:
+                        pack = AttachedPack(spec)
+                        db = PackDB(pack)
+                        cache.put(db, spec.k, spec.base, pack.structs)
+                        packs[spec.name] = (pack, db)
+                except Exception:
+                    conn.send(("error", rank, None, spec.name,
+                               traceback.format_exc()))
+            elif kind == "detach":
+                _drop_pack(msg[1])
+            elif kind == "job":
+                jobs[msg[1]] = msg[2]
+            elif kind == "forget_job":
+                jobs.pop(msg[1], None)
+            elif kind == "task":
+                qi, name = msg[1], msg[2]
+                try:
+                    if cfg.task_sleep > 0:
+                        time.sleep(cfg.task_sleep)
+                    job = jobs[qi]
+                    pack, db = packs[name]
+                    t0 = time.perf_counter()
+                    res = search(job.query, db, job.scheme, job.params,
+                                 query_id=job.query_id, ka=job.ka,
+                                 both_strands=job.both_strands,
+                                 engine="scan", scan_cache=cache,
+                                 effective_space=job.effective_space)
+                    fragments_done.append(pack.spec.fragment_id)
+                    conn.send(("result", rank, qi, name, res,
+                               time.perf_counter() - t0))
+                except Exception:
+                    conn.send(("error", rank, qi, name,
+                               traceback.format_exc()))
+            elif kind == "stop":
+                for name in list(packs):
+                    _drop_pack(name)
+                conn.send(("stopped", rank,
+                           {"rank": rank, "tasks": len(fragments_done),
+                            "fragments": fragments_done}))
+                return
+            else:
+                conn.send(("error", rank, None, None,
+                           f"unknown message {kind!r}"))
+    except (EOFError, KeyboardInterrupt, OSError):  # parent went away
+        pass
+    finally:
+        for name in list(packs):
+            try:
+                _drop_pack(name)
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+
+
+# ----------------------------------------------------------------------
+# Master side
+# ----------------------------------------------------------------------
+def _effective_space(ka: KarlinAltschul, params: SearchParams,
+                     query_len: int, db) -> Tuple[int, int]:
+    """The (m_eff, n_eff) a serial whole-database search would use."""
+    if params.effective_lengths:
+        return effective_search_space(ka, query_len, db.total_residues,
+                                      len(db))
+    return query_len, db.total_residues
+
+
+def _terminate_workers(workers: List[_Worker]) -> None:  # pragma: no cover
+    """GC/exit safety net (module-level so weakref.finalize can hold it
+    without keeping the pool alive); ``close()`` is the normal path."""
+    for w in workers:
+        try:
+            if w.process.is_alive():
+                w.process.terminate()
+        except Exception:
+            pass
+
+
+class ExecPool:
+    """A persistent pool of search workers over shared fragment packs.
+
+    Usage::
+
+        with ExecPool(jobs=4) as pool:
+            results = pool.search(query, db, scheme, params)
+
+    The pool prepares a database once (greedy fragment plan, one
+    shared-memory pack per fragment, attach broadcast), then any number
+    of searches against it reuse the packs — the warm path a query
+    stream lives on.  ``search_many`` runs a whole batch through one
+    scheduler pass, so fragments of different queries interleave and
+    no core idles at query boundaries.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, *,
+                 n_fragments: Optional[int] = None,
+                 max_retries: int = 2,
+                 task_sleep: Optional[float] = None,
+                 start_method: Optional[str] = None,
+                 heartbeat: float = 0.2):
+        self.jobs = (os.cpu_count() or 1) if jobs is None else int(jobs)
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.default_fragments = n_fragments
+        self.max_retries = max_retries
+        if task_sleep is None:
+            task_sleep = float(os.environ.get("REPRO_EXEC_TASK_SLEEP") or 0.0)
+        self._cfg = PoolConfig(task_sleep=task_sleep)
+        if start_method is None:
+            start_method = os.environ.get("REPRO_EXEC_START_METHOD") or (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn")
+        self._ctx = mp.get_context(start_method)
+        self._heartbeat = heartbeat
+        self._registry: ShmRegistry = default_registry()
+        self._workers: List[_Worker] = []
+        self._prepared: Dict[tuple, _PreparedDB] = {}
+        self._started = False
+        self._closed = False
+        self.last_stats: Optional[PoolStats] = None
+        self._finalizer = weakref.finalize(self, _terminate_workers,
+                                           self._workers)
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ExecPool":
+        if self._closed:
+            raise PoolJobError("pool is closed")
+        if self._started:
+            return self
+        # Workers must inherit the parent's resource tracker (see
+        # ensure_tracker) — start it before the first fork.
+        ensure_tracker()
+        for rank in range(self.jobs):
+            parent_conn, child_conn = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=_worker_main, args=(rank, child_conn, self._cfg),
+                name=f"repro-exec-{rank}", daemon=True)
+            proc.start()
+            child_conn.close()
+            self._workers.append(_Worker(rank, proc, parent_conn))
+        for w in self._workers:
+            if not w.conn.poll(30):
+                raise PoolJobError(f"worker {w.rank} failed to start")
+            msg = w.conn.recv()
+            if msg[0] != "ready":  # pragma: no cover - protocol error
+                raise PoolJobError(f"worker {w.rank}: expected ready, "
+                                   f"got {msg!r}")
+        self._started = True
+        return self
+
+    def __enter__(self) -> "ExecPool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _live(self) -> List[_Worker]:
+        return [w for w in self._workers if w.alive]
+
+    def worker_pids(self) -> Dict[int, int]:
+        """rank -> pid of the live workers (fault-injection hook)."""
+        return {w.rank: w.process.pid for w in self._live()}
+
+    # ------------------------------------------------------------------
+    def _prepare(self, db, k: int, base: int,
+                 n_fragments: Optional[int]) -> _PreparedDB:
+        token = db_token(db)
+        version = getattr(db, "_version", 0)
+        nf = n_fragments or max(1, min(len(db) or 1, 2 * self.jobs))
+        key = (token, version, k, base, nf)
+        prep = self._prepared.get(key)
+        if prep is not None:
+            return prep
+        # The registry is keyed by token+version: a mutated database
+        # invalidates every pack built from its previous version.
+        stale = [kk for kk in self._prepared
+                 if kk[0] == token and kk[1] != version]
+        for kk in stale:
+            self._release_prepared(self._prepared.pop(kk))
+        specs: List[PackSpec] = []
+        for frag_id, ids in enumerate(plan_fragments(db, nf)
+                                      if len(db) else []):
+            sub = db.subset(ids, name=f"{getattr(db, 'name', 'db')}"
+                                      f".{frag_id:03d}",
+                            fragment_id=frag_id)
+            specs.append(pack_fragment(sub, k, base,
+                                       cache_token=(token, version, frag_id),
+                                       registry=self._registry))
+        prep = _PreparedDB(key=key, specs=specs,
+                           ids_by_name={s.name: list(s.source_ids)
+                                        for s in specs})
+        for w in self._live():
+            try:
+                for spec in specs:
+                    w.conn.send(("attach", spec))
+            except OSError:
+                w.alive = False
+        self._prepared[key] = prep
+        return prep
+
+    def _release_prepared(self, prep: _PreparedDB,
+                          notify: bool = True) -> None:
+        for spec in prep.specs:
+            if notify:
+                for w in self._live():
+                    try:
+                        w.conn.send(("detach", spec.name))
+                    except OSError:
+                        w.alive = False
+            self._registry.release(spec.name)
+
+    def release_db(self, db) -> int:
+        """Drop every pack prepared from *db* (any version); returns
+        how many fragment sets were released."""
+        token = getattr(db, "_scan_token", None)
+        keys = [kk for kk in self._prepared if kk[0] == token]
+        for kk in keys:
+            self._release_prepared(self._prepared.pop(kk))
+        return len(keys)
+
+    # ------------------------------------------------------------------
+    def _handle_death(self, w: _Worker, sched: GreedyScheduler,
+                      stats: PoolStats) -> Optional[PoolJobError]:
+        w.alive = False
+        stats.worker_deaths.append(w.rank)
+        try:
+            w.process.join(timeout=0.5)
+        except Exception:  # pragma: no cover
+            pass
+        try:
+            sched.fail(w.rank)
+        except RetriesExceeded as exc:
+            sched.drop_pending()
+            return PoolJobError(
+                f"fragment task {exc.key!r} failed {exc.attempts} times "
+                f"(worker deaths: {stats.worker_deaths})")
+        return None
+
+    def _run_tasks(self, jobs: Dict[int, JobSpec],
+                   tasks: Sequence[Tuple[tuple, float]]
+                   ) -> Tuple[Dict[int, Dict[str, SearchResults]], PoolStats]:
+        sched = GreedyScheduler(tasks, max_retries=self.max_retries)
+        stats = PoolStats()
+        results: Dict[int, Dict[str, SearchResults]] = {qi: {} for qi in jobs}
+
+        try:
+            self._pump(jobs, sched, stats, results)
+        finally:
+            # Drop the job tables win or lose: a failed run must not
+            # leave workers holding stale specs for reused query ids.
+            for w in self._live():
+                try:
+                    for qi in w.jobs_sent:
+                        w.conn.send(("forget_job", qi))
+                    w.jobs_sent.clear()
+                except OSError:
+                    w.alive = False
+            stats.requeues = sched.requeues
+            self.last_stats = stats
+        return results, stats
+
+    def _pump(self, jobs: Dict[int, JobSpec], sched: GreedyScheduler,
+              stats: PoolStats,
+              results: Dict[int, Dict[str, SearchResults]]) -> None:
+        from multiprocessing.connection import wait
+
+        failure: Optional[PoolJobError] = None
+        while not sched.done:
+            live = self._live()
+            if not live:
+                failure = failure or PoolJobError(
+                    f"no workers left (deaths: {stats.worker_deaths})")
+                break
+            # Greedy dispatch: every idle worker gets the next task.
+            for w in live:
+                if failure is not None or not sched.has_pending:
+                    break
+                if w.rank in sched.outstanding or not w.alive:
+                    continue
+                key = sched.assign(w.rank)
+                qi, pack_name = key
+                try:
+                    if qi not in w.jobs_sent:
+                        w.conn.send(("job", qi, jobs[qi]))
+                        w.jobs_sent.add(qi)
+                    w.conn.send(("task", qi, pack_name))
+                except OSError:
+                    failure = failure or self._handle_death(w, sched, stats)
+            if sched.done:
+                break
+            conns = {w.conn: w for w in self._live()}
+            if not conns:
+                continue
+            ready = wait(list(conns), timeout=self._heartbeat)
+            if not ready:
+                # Belt and braces: a worker can die without its pipe
+                # waking wait() promptly; sweep liveness on idle ticks.
+                for w in self._live():
+                    if not w.process.is_alive():
+                        failure = failure or self._handle_death(
+                            w, sched, stats)
+                continue
+            for conn in ready:
+                w = conns[conn]
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    failure = failure or self._handle_death(w, sched, stats)
+                    continue
+                kind = msg[0]
+                if kind == "result":
+                    _, rank, qi, pack_name, res, _elapsed = msg
+                    sched.complete(rank)
+                    stats.tasks_done += 1
+                    if failure is None:
+                        results[qi][pack_name] = res
+                elif kind == "error":
+                    stats.worker_errors += 1
+                    try:
+                        sched.fail(w.rank)
+                    except RetriesExceeded as exc:
+                        sched.drop_pending()
+                        failure = failure or PoolJobError(
+                            f"fragment task {exc.key!r} failed "
+                            f"{exc.attempts} times; last worker error:\n"
+                            f"{msg[4]}")
+                elif kind == "stopped":  # pragma: no cover - close path
+                    w.alive = False
+
+        if failure is not None:
+            raise failure
+
+    # ------------------------------------------------------------------
+    def search_many(self, queries: Sequence[np.ndarray], db, scheme,
+                    params: Optional[SearchParams] = None, *,
+                    query_ids: Optional[Sequence[str]] = None,
+                    both_strands: bool = True,
+                    n_fragments: Optional[int] = None,
+                    keep_fragment_ids: bool = False
+                    ) -> List[SearchResults]:
+        """Search a batch of encoded queries through one scheduler pass.
+
+        Returns one :class:`SearchResults` per query, in input order,
+        each byte-identical to ``search(query, db, ...)`` run serially.
+        """
+        self.start()
+        params = params or SearchParams()
+        is_protein = db.seqtype == AA
+        base = len(PROTEIN) if is_protein else len(DNA)
+        queries = [np.asarray(q, dtype=np.uint8) for q in queries]
+        if query_ids is None:
+            query_ids = ["query"] * len(queries)
+        if len(query_ids) != len(queries):
+            raise ValueError("query_ids must match queries")
+        if not queries:
+            return []
+
+        ka = resolve_ka(scheme, params, is_protein)
+        prep = self._prepare(db, params.word_size, base,
+                             n_fragments or self.default_fragments)
+        jobs = {
+            qi: JobSpec(query=q, query_id=query_ids[qi], scheme=scheme,
+                        params=params, both_strands=both_strands, ka=ka,
+                        effective_space=_effective_space(ka, params,
+                                                         len(q), db))
+            for qi, q in enumerate(queries)
+        }
+        tasks = [((qi, spec.name), float(spec.total_residues))
+                 for qi in jobs for spec in prep.specs]
+        if tasks:
+            results, _stats = self._run_tasks(jobs, tasks)
+        else:
+            results = {qi: {} for qi in jobs}
+            self.last_stats = PoolStats()
+
+        out: List[SearchResults] = []
+        for qi, q in enumerate(queries):
+            merged = SearchResults(
+                query_id=query_ids[qi], query_len=len(q),
+                db_residues=db.total_residues, db_sequences=len(db))
+            for pack_name, res in results[qi].items():
+                ids = prep.ids_by_name[pack_name]
+                for hit in res.hits:
+                    hit.subject_id = ids[hit.subject_id]
+                    if not keep_fragment_ids:
+                        hit.fragment_id = db.fragment_id
+                    merged.hits.append(hit)
+            # Deterministic cross-fragment tie-break: pre-order by
+            # global subject id (the order a serial scan appends hits
+            # in), then the standard stable result sort.
+            merged.hits.sort(key=lambda h: h.subject_id)
+            merged.sort()
+            out.append(merged)
+        return out
+
+    def search(self, query: np.ndarray, db, scheme,
+               params: Optional[SearchParams] = None, *,
+               query_id: str = "query", both_strands: bool = True,
+               n_fragments: Optional[int] = None,
+               keep_fragment_ids: bool = False) -> SearchResults:
+        """One query through the pool; byte-identical to serial
+        :func:`repro.blast.search.search`."""
+        return self.search_many(
+            [query], db, scheme, params, query_ids=[query_id],
+            both_strands=both_strands, n_fragments=n_fragments,
+            keep_fragment_ids=keep_fragment_ids)[0]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop every worker and release all shared-memory segments."""
+        if self._closed:
+            return
+        self._closed = True
+        for w in self._live():
+            try:
+                w.conn.send(("stop",))
+            except OSError:
+                w.alive = False
+        for w in self._workers:
+            if w.alive:
+                try:
+                    while w.conn.poll(2):
+                        if w.conn.recv()[0] == "stopped":
+                            break
+                except (EOFError, OSError):
+                    pass
+            w.process.join(timeout=2)
+            if w.process.is_alive():  # pragma: no cover - stuck worker
+                w.process.terminate()
+                w.process.join(timeout=2)
+            if w.process.is_alive():  # pragma: no cover
+                w.process.kill()
+                w.process.join()
+            try:
+                w.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            w.alive = False
+        for key in list(self._prepared):
+            self._release_prepared(self._prepared.pop(key), notify=False)
+        self._workers.clear()
+
+
+# ----------------------------------------------------------------------
+def search_parallel(query: np.ndarray, db, scheme,
+                    params: Optional[SearchParams] = None, *,
+                    jobs: Optional[int] = None,
+                    n_fragments: Optional[int] = None,
+                    pool: Optional[ExecPool] = None,
+                    query_id: str = "query", both_strands: bool = True,
+                    keep_fragment_ids: bool = False) -> SearchResults:
+    """Multi-core :func:`repro.blast.search.search`, byte-identical.
+
+    With *pool*, reuses its workers and any packs it already holds for
+    *db* (the warm path); otherwise a transient pool of *jobs* workers
+    is spun up and torn down around the call.
+    """
+    if pool is not None:
+        return pool.search(query, db, scheme, params, query_id=query_id,
+                           both_strands=both_strands,
+                           n_fragments=n_fragments,
+                           keep_fragment_ids=keep_fragment_ids)
+    with ExecPool(jobs=jobs, n_fragments=n_fragments) as transient:
+        return transient.search(query, db, scheme, params,
+                                query_id=query_id,
+                                both_strands=both_strands,
+                                keep_fragment_ids=keep_fragment_ids)

@@ -1,0 +1,126 @@
+"""Dynamic fragment scheduling for the process pool.
+
+The paper's master/worker protocol is greedy: every worker that
+announces itself idle is immediately handed the next fragment, so fast
+workers naturally absorb more of the database and a straggler never
+holds more than one fragment hostage (`parallel/master.py` implements
+the same policy for the *simulated* cluster; this module is its
+real-execution twin).  Two refinements on top of plain FIFO:
+
+* tasks are issued **heaviest-first** (longest-processing-time order,
+  the same greedy bound `seqdb.segment_db` uses for binning), which
+  tightens the makespan tail when fragments are uneven;
+* a task whose worker died or errored is requeued **at the front**
+  (matching the degraded-mode `appendleft` of the simulated master),
+  with a bounded per-task attempt budget — exhausting it raises
+  :class:`RetriesExceeded` and fails the job cleanly instead of
+  looping forever on a poisoned fragment.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+
+class RetriesExceeded(RuntimeError):
+    """A task failed more times than the retry budget allows."""
+
+    def __init__(self, key, attempts: int):
+        super().__init__(f"task {key!r} failed {attempts} times")
+        self.key = key
+        self.attempts = attempts
+
+
+def plan_fragments(db, n_fragments: int) -> List[List[int]]:
+    """Partition a database's sequence ids into balanced fragments.
+
+    Greedy longest-first binning by residue count — the exact policy of
+    :func:`repro.blast.seqdb.segment_db`, returning id lists instead of
+    materialized databases.  Clamps to ``len(db)`` fragments and drops
+    nothing: every id lands in exactly one fragment.
+    """
+    n = len(db)
+    if n_fragments < 1:
+        raise ValueError("n_fragments must be >= 1")
+    if n == 0:
+        return []
+    n_fragments = min(n_fragments, n)
+    lengths = db.lengths()
+    bins: List[List[int]] = [[] for _ in range(n_fragments)]
+    loads = [0] * n_fragments
+    for i in sorted(range(n), key=lambda i: -lengths[i]):
+        target = loads.index(min(loads))
+        bins[target].append(i)
+        loads[target] += lengths[i]
+    return bins
+
+
+class GreedyScheduler:
+    """Hand tasks to idle workers, heaviest first, requeue on failure.
+
+    *tasks* is an iterable of ``(key, weight)`` pairs; keys must be
+    hashable and unique.  The scheduler never talks to processes — the
+    pool translates ``assign``/``complete``/``fail`` into messages.
+    """
+
+    def __init__(self, tasks: Iterable[Tuple[Hashable, float]],
+                 max_retries: int = 2):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        ordered = sorted(enumerate(tasks), key=lambda t: (-t[1][1], t[0]))
+        self._pending = deque(key for _, (key, _w) in ordered)
+        if len({*self._pending}) != len(self._pending):
+            raise ValueError("duplicate task keys")
+        self.max_retries = max_retries
+        self.outstanding: Dict[int, Hashable] = {}   # rank -> key
+        self._attempts: Dict[Hashable, int] = {}
+        self.completed: List[Hashable] = []
+        self.requeues = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._pending)
+
+    @property
+    def done(self) -> bool:
+        return not self._pending and not self.outstanding
+
+    def assign(self, rank: int) -> Optional[Hashable]:
+        """Give the next task to an idle worker (None when drained)."""
+        if rank in self.outstanding:
+            raise ValueError(f"worker {rank} already holds a task")
+        if not self._pending:
+            return None
+        key = self._pending.popleft()
+        self.outstanding[rank] = key
+        return key
+
+    def complete(self, rank: int) -> Hashable:
+        """The worker finished its task; it is idle again."""
+        key = self.outstanding.pop(rank)
+        self.completed.append(key)
+        return key
+
+    def fail(self, rank: int) -> Optional[Hashable]:
+        """The worker died or errored mid-task: requeue its task at the
+        front for the next idle worker.  Raises :class:`RetriesExceeded`
+        once the task burns through its attempt budget."""
+        key = self.outstanding.pop(rank, None)
+        if key is None:
+            return None
+        attempts = self._attempts.get(key, 0) + 1
+        self._attempts[key] = attempts
+        if attempts > self.max_retries:
+            raise RetriesExceeded(key, attempts)
+        self._pending.appendleft(key)
+        self.requeues += 1
+        return key
+
+    def drop_pending(self) -> int:
+        """Abandon queued work (job-failure drain); outstanding tasks
+        still complete so the pool stays message-consistent."""
+        dropped = len(self._pending)
+        self._pending.clear()
+        return dropped

@@ -1,0 +1,320 @@
+"""Shared-memory fragment packs.
+
+A fragment's packed scan structures (the flat sentinel-separated
+concatenation, rolling word codes, offsets tables — see
+:mod:`repro.blast.scankernel`) are immutable once built, which makes
+them ideal for ``multiprocessing.shared_memory``: the master packs each
+fragment **once**, and every pool worker attaches the segment and
+reconstructs zero-copy ``numpy`` views over it.  The description
+strings ride along in the same segment (a UTF-8 blob plus an offsets
+table), so a worker needs nothing but the :class:`PackSpec` — a small
+picklable descriptor — to serve searches against the fragment.
+
+Lifetime discipline (the same orphan-cleanup lesson PR 1 applied to
+simulated I/O processes):
+
+* every segment this process creates is tracked in a
+  :class:`ShmRegistry` whose ``release_all`` runs at interpreter exit;
+* Python's own ``resource_tracker`` is the crash net — if the creating
+  process is SIGKILLed, the tracker daemon unlinks every registered
+  segment when the pipe to its parent drops;
+* workers *attach* but never own: the resource-tracker daemon is
+  shared across the process tree (its fd is inherited under fork and
+  spawn alike), so a worker's attach merely re-registers the name into
+  the same set — workers only ``close()`` on teardown and must never
+  unregister, or they would strip the creator's crash-net entry.
+
+Segment names carry the ``repro_`` prefix so a leak check is one
+``ls /dev/shm`` away (CI fails the job if any survive the suite).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.blast.scankernel import ScanStructures, build_scan_structures
+
+try:  # pragma: no cover - always present on CPython >= 3.8
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover
+    _shm = None
+
+#: Offsets inside a segment are aligned so every reconstructed array
+#: view is at least cacheline-aligned.
+_ALIGN = 64
+
+#: Every segment this package creates starts with this prefix; the CI
+#: leak check greps ``/dev/shm`` for it (and for ``psm_``, the stdlib's
+#: anonymous default, which we never use on purpose).
+NAME_PREFIX = "repro"
+
+#: The ScanStructures array fields serialized into a pack, in layout
+#: order.  ``hdr_blob``/``hdr_offsets`` carry the description strings.
+_FIELDS = ("concat", "starts", "lengths", "codes", "code_pos",
+           "hdr_blob", "hdr_offsets")
+
+
+@dataclass(frozen=True)
+class PackSpec:
+    """Picklable descriptor of one shared-memory fragment pack.
+
+    ``cache_token`` is the pack's ScanCache identity, minted from the
+    parent database's existing token+version scheme as
+    ``(parent_token, parent_version, fragment_id)`` — unique per
+    fragment even when greedy binning yields fragments of identical
+    shape, and stale by construction once the parent mutates.
+    """
+
+    name: str                     # shared-memory segment name
+    cache_token: tuple
+    seqtype: str
+    fragment_id: Optional[int]
+    k: int
+    base: int
+    n_sequences: int
+    total_residues: int
+    source_ids: Tuple[int, ...]   # parent ordinal of each local sequence
+    arrays: Tuple[Tuple[str, str, Tuple[int, ...], int], ...]
+    size: int
+
+
+def _segment_name(fragment_id: Optional[int]) -> str:
+    frag = "x" if fragment_id is None else str(fragment_id)
+    return (f"{NAME_PREFIX}_{os.getpid()}_f{frag}_{secrets.token_hex(6)}")
+
+
+def ensure_tracker() -> None:
+    """Start the resource-tracker daemon in *this* process now.
+
+    The pool calls this before spawning workers: the tracker starts
+    lazily on first shared-memory use, and a worker forked before that
+    point would lazily spawn its *own* tracker whose attach
+    registrations nothing ever unlinks (spurious leak warnings at
+    worker exit).  Started eagerly, every child inherits the parent
+    tracker's fd and all registrations land in one shared cache where
+    create/attach re-registration is idempotent and the single
+    unlink-time unregister clears the name for good.
+    """
+    try:  # pragma: no cover - trivial passthrough to stdlib
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except Exception:
+        pass
+
+
+class ShmRegistry:
+    """Owner-side ledger of created segments with guaranteed unlink.
+
+    ``release_all`` runs via ``atexit`` in the creating process only
+    (children forked from it inherit the ledger but never own the
+    segments, so release checks the pid).
+    """
+
+    def __init__(self):
+        self._segments: Dict[str, object] = {}
+        self._pid = os.getpid()
+        atexit.register(self.release_all)
+
+    def register(self, shm) -> None:
+        self._segments[shm.name] = shm
+
+    def names(self) -> List[str]:
+        return list(self._segments)
+
+    def release(self, name: str) -> bool:
+        """Unlink and close one segment; idempotent, crash-tolerant."""
+        if os.getpid() != self._pid:  # pragma: no cover - child ledger copy
+            self._segments.pop(name, None)
+            return False
+        shm = self._segments.pop(name, None)
+        if shm is None:
+            return False
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - live views; exit soon
+            pass
+        return True
+
+    def release_all(self) -> int:
+        released = 0
+        for name in list(self._segments):
+            released += bool(self.release(name))
+        return released
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+
+_DEFAULT_REGISTRY: Optional[ShmRegistry] = None
+
+
+def default_registry() -> ShmRegistry:
+    """The process-wide registry (created on first use, per process)."""
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None or _DEFAULT_REGISTRY._pid != os.getpid():
+        _DEFAULT_REGISTRY = ShmRegistry()
+    return _DEFAULT_REGISTRY
+
+
+# ----------------------------------------------------------------------
+def create_pack(structs: ScanStructures, descriptions: Sequence[str],
+                seqtype: str, cache_token: tuple,
+                fragment_id: Optional[int] = None,
+                source_ids: Optional[Sequence[int]] = None,
+                registry: Optional[ShmRegistry] = None) -> PackSpec:
+    """Copy packed scan structures into a fresh shared-memory segment.
+
+    Returns the :class:`PackSpec` workers attach with.  The segment is
+    registered for unlink in *registry* (default: the process-wide
+    one).
+    """
+    if _shm is None:  # pragma: no cover
+        raise RuntimeError("multiprocessing.shared_memory unavailable")
+    hdr_parts = [d.encode() for d in descriptions]
+    hdr_offsets = np.zeros(len(hdr_parts) + 1, dtype=np.int64)
+    if hdr_parts:
+        np.cumsum([len(b) for b in hdr_parts], out=hdr_offsets[1:])
+    hdr_blob = np.frombuffer(b"".join(hdr_parts), dtype=np.uint8)
+
+    arrays = {
+        "concat": structs.concat, "starts": structs.starts,
+        "lengths": structs.lengths, "codes": structs.codes,
+        "code_pos": structs.code_pos,
+        "hdr_blob": hdr_blob, "hdr_offsets": hdr_offsets,
+    }
+    layout = []
+    offset = 0
+    for field in _FIELDS:
+        arr = np.ascontiguousarray(arrays[field])
+        arrays[field] = arr
+        layout.append((field, arr.dtype.str, tuple(arr.shape), offset))
+        offset += -(-arr.nbytes // _ALIGN) * _ALIGN
+
+    name = _segment_name(fragment_id)
+    shm = _shm.SharedMemory(name=name, create=True, size=max(offset, 1))
+    for field, dtype, shape, off in layout:
+        view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
+        view[...] = arrays[field]
+    # Explicit None check: an *empty* ShmRegistry is falsy (__len__).
+    (registry if registry is not None else default_registry()).register(shm)
+    return PackSpec(
+        name=name, cache_token=cache_token, seqtype=seqtype,
+        fragment_id=fragment_id,
+        k=structs.k, base=structs.base, n_sequences=structs.n_sequences,
+        total_residues=structs.total_residues,
+        source_ids=tuple(int(i) for i in (source_ids or range(structs.n_sequences))),
+        arrays=tuple(layout), size=max(offset, 1),
+    )
+
+
+def pack_fragment(db, k: int, base: int, cache_token: tuple,
+                  registry: Optional[ShmRegistry] = None) -> PackSpec:
+    """Build scan structures for a fragment database and publish them
+    as a shared-memory pack in one step."""
+    structs = build_scan_structures(db, k, base)
+    descriptions = [db.description(i) for i in range(len(db))]
+    return create_pack(structs, descriptions, db.seqtype, cache_token,
+                       fragment_id=db.fragment_id,
+                       source_ids=getattr(db, "source_ids", None),
+                       registry=registry)
+
+
+class AttachedPack:
+    """A pack mapped into this process: zero-copy views, no ownership."""
+
+    def __init__(self, spec: PackSpec):
+        if _shm is None:  # pragma: no cover
+            raise RuntimeError("multiprocessing.shared_memory unavailable")
+        self.spec = spec
+        self._shm = _shm.SharedMemory(name=spec.name)
+        views = {}
+        for field, dtype, shape, off in spec.arrays:
+            views[field] = np.ndarray(shape, dtype=dtype,
+                                      buffer=self._shm.buf, offset=off)
+        self.hdr_blob: np.ndarray = views["hdr_blob"]
+        self.hdr_offsets: np.ndarray = views["hdr_offsets"]
+        self.structs = ScanStructures(
+            k=spec.k, base=spec.base, n_sequences=spec.n_sequences,
+            total_residues=spec.total_residues, concat=views["concat"],
+            starts=views["starts"], lengths=views["lengths"],
+            codes=views["codes"], code_pos=views["code_pos"])
+
+    def close(self) -> None:
+        """Drop the mapping (never unlinks — the creator owns that).
+        Tolerates still-exported views; the mapping then lives until
+        process exit, which is where teardown calls this anyway."""
+        try:
+            self._shm.close()
+        except BufferError:
+            pass
+
+
+class PackDB:
+    """Duck-typed ``SequenceDB`` surface over an attached pack.
+
+    Serves ``search(engine="scan")`` in a worker without ever copying
+    sequence payloads: ``sequence(i)`` is a slice view into the shared
+    concatenation, descriptions decode lazily from the shared header
+    blob.  Carries the pack's ScanCache identity so a worker cache
+    primed via :meth:`~repro.blast.scankernel.ScanCache.put` hits.
+    """
+
+    def __init__(self, pack: AttachedPack):
+        spec = pack.spec
+        self._pack = pack
+        self.seqtype = spec.seqtype
+        self.name = spec.name
+        self.fragment_id = spec.fragment_id
+        self.source_ids = list(spec.source_ids)
+        # ScanCache key compatibility: the pack's token is the whole
+        # identity, so a primed entry is an exact hit and two packs can
+        # never alias (tokens are tuples, but the cache only needs
+        # hashability and equality).
+        self._scan_token = spec.cache_token
+        self._version = 0
+        self._hdr_cache: Dict[int, str] = {}
+
+    def __len__(self) -> int:
+        return self._pack.spec.n_sequences
+
+    @property
+    def n_sequences(self) -> int:
+        return self._pack.spec.n_sequences
+
+    @property
+    def total_residues(self) -> int:
+        return self._pack.spec.total_residues
+
+    def lengths(self) -> List[int]:
+        return [int(x) for x in self._pack.structs.lengths]
+
+    def sequence(self, i: int) -> np.ndarray:
+        return self._pack.structs.subject(i)
+
+    def description(self, i: int) -> str:
+        desc = self._hdr_cache.get(i)
+        if desc is None:
+            lo = int(self._pack.hdr_offsets[i])
+            hi = int(self._pack.hdr_offsets[i + 1])
+            desc = bytes(self._pack.hdr_blob[lo:hi]).decode()
+            self._hdr_cache[i] = desc
+        return desc
+
+    def __iter__(self):
+        return ((self.description(i), self.sequence(i))
+                for i in range(len(self)))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<PackDB {self.name!r} {self.seqtype} n={len(self)} "
+                f"residues={self.total_residues}>")

@@ -92,3 +92,43 @@ def test_lazy_type_checks(tmp_path, on_disk):
     junk.write_bytes(b"XXXX" + b"\0" * 40)
     with pytest.raises((ValueError, OSError)):
         LazySequenceDB(str(tmp_path), "bad")
+
+
+def test_lazy_subset_materializes_fragment_with_source_ids(on_disk):
+    db, d = on_disk
+    lazy = LazySequenceDB(d, "lazy")
+    before = lazy.sequence_reads
+    sub = lazy.subset([4, 0, 2], name="frag", fragment_id=1)
+    assert sub.source_ids == [4, 0, 2]
+    assert sub.fragment_id == 1
+    assert len(sub) == 3
+    np.testing.assert_array_equal(sub.sequence(0), db.sequence(4))
+    np.testing.assert_array_equal(sub.sequence(2), db.sequence(2))
+    assert sub.description(1) == db.description(0)
+    # Reads went through the accounted lazy path.
+    assert lazy.sequence_reads == before + 3
+
+
+def test_pool_search_over_lazy_db(on_disk):
+    import dataclasses
+
+    from repro.blast.alphabet import encode_dna
+    from repro.blast.score import NucleotideScore
+    from repro.blast.search import SearchParams, search
+    from repro.exec import search_parallel
+    from repro.workloads import extract_query
+
+    db, d = on_disk
+    lazy = LazySequenceDB(d, "lazy")
+    query = encode_dna(extract_query(db, length=200, seed=3))
+    scheme = NucleotideScore()
+    params = SearchParams(word_size=11)
+
+    def dump(res):
+        return [(h.subject_id, h.description, h.subject_len,
+                 [dataclasses.astuple(p) for p in h.hsps])
+                for h in res.hits]
+
+    par = search_parallel(query, lazy, scheme, params, jobs=2,
+                          n_fragments=3)
+    assert dump(par) == dump(search(query, db, scheme, params))

@@ -383,3 +383,70 @@ def test_neighbor_cache_is_bounded():
     _all_words(3, 2)
     assert (2, 3) in _NEIGHBOR_CACHE
     _NEIGHBOR_CACHE.clear()
+
+
+# ------------------------------------------------- explicit token eviction
+
+def test_scan_cache_explicit_evict_by_token():
+    from repro.blast.scankernel import db_token
+
+    rng = np.random.default_rng(9)
+    db1 = random_nt_db(rng, 4, min_len=30, max_len=60)
+    db2 = random_nt_db(rng, 4, min_len=30, max_len=60)
+    cache = ScanCache()
+    cache.get(db1, 11, 4)
+    cache.get(db1, 7, 4)          # second word size, same database
+    cache.get(db2, 11, 4)
+    assert len(cache) == 3
+
+    assert cache.evict(db_token(db1)) == 2
+    assert len(cache) == 1        # db2's entry is untouched
+    assert cache.evict(db_token(db1)) == 0
+    assert cache.get(db2, 11, 4) is not None
+    assert cache.stats()["hits"] == 1
+
+    # Unknown tokens are a no-op.
+    assert cache.evict(999999) == 0
+
+
+def test_scan_cache_evicts_entries_when_db_is_garbage_collected():
+    import gc
+
+    rng = np.random.default_rng(10)
+    cache = ScanCache()
+    db = random_nt_db(rng, 3, min_len=20, max_len=40)
+    cache.get(db, 11, 4)
+    assert len(cache) == 1
+    del db
+    gc.collect()
+    assert len(cache) == 0
+
+
+def test_scan_cache_put_seeds_external_structures():
+    rng = np.random.default_rng(11)
+    db = random_nt_db(rng, 5, min_len=30, max_len=60)
+    structs = build_scan_structures(db, 11, 4)
+    cache = ScanCache()
+    cache.put(db, 11, 4, structs)
+    # A primed entry is an exact hit: no rebuild, the same object back.
+    assert cache.get(db, 11, 4) is structs
+    assert cache.stats() == {"hits": 1, "misses": 0, "evictions": 0,
+                             "entries": 1, "bytes": structs.nbytes}
+    # put participates in the LRU bound like any other entry.
+    small = ScanCache(max_entries=1)
+    small.put(db, 11, 4, structs)
+    other = random_nt_db(rng, 3, min_len=20, max_len=40)
+    small.put(other, 11, 4, build_scan_structures(other, 11, 4))
+    assert len(small) == 1
+    assert small.stats()["evictions"] == 1
+
+
+def test_db_token_is_stable_and_unique():
+    from repro.blast.scankernel import db_token
+
+    rng = np.random.default_rng(12)
+    db1 = random_nt_db(rng, 2, min_len=20, max_len=30)
+    db2 = random_nt_db(rng, 2, min_len=20, max_len=30)
+    t1 = db_token(db1)
+    assert db_token(db1) == t1
+    assert db_token(db2) != t1

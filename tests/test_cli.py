@@ -143,3 +143,30 @@ def test_psiblast_command(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "iteration 1" in out
     assert "p1" in out
+
+
+def test_blastn_jobs_output_identical_to_serial(fasta_file, capsys):
+    fasta, query, d = fasta_file
+    main(["formatdb", "-i", fasta, "-d", d, "-n", "mini"])
+    capsys.readouterr()
+    assert main(["blastall", "-p", "blastn", "-d", f"{d}/mini",
+                 "-i", query, "-m", "tabular"]) == 0
+    serial = capsys.readouterr().out
+    assert main(["blastn", "-d", f"{d}/mini", "-i", query,
+                 "-m", "tabular", "--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert parallel == serial
+    assert main(["blastall", "-p", "blastn", "-d", f"{d}/mini",
+                 "-i", query, "-m", "tabular", "--jobs", "2",
+                 "--fragments", "3"]) == 0
+    assert capsys.readouterr().out == serial
+
+
+def test_blastall_jobs_falls_back_for_translated_programs(fasta_file, capsys):
+    fasta, query, d = fasta_file
+    main(["formatdb", "-i", fasta, "-d", d, "-n", "mini"])
+    capsys.readouterr()
+    assert main(["blastall", "-p", "tblastx", "-d", f"{d}/mini",
+                 "-i", query, "--jobs", "2"]) == 0
+    captured = capsys.readouterr()
+    assert "--jobs applies to blastn/blastp only" in captured.err

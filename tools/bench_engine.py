@@ -16,9 +16,17 @@ baseline's ratio, failing when it falls more than ``--tolerance``
 Usage::
 
     PYTHONPATH=src python tools/bench_engine.py \
-        --residues 1000000 --rounds 3 --out benchmarks/results/BENCH_blast.json
+        --residues 1000000 --rounds 3 --jobs 4 \
+        --out benchmarks/results/BENCH_blast.json
     PYTHONPATH=src python tools/bench_engine.py \
         --residues 300000 --check benchmarks/results/BENCH_blast.json
+
+``--jobs N`` additionally times the multi-core pool (``repro.exec``)
+on the same corpus and reports its speedup over the serial warm
+search.  ``--out`` appends a compact record of every run to the JSON's
+``history`` list (carried forward from the existing file), with the
+machine's core count and CPU model alongside — absolute numbers only
+trend meaningfully on known hardware.
 """
 
 from __future__ import annotations
@@ -26,15 +34,40 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
+import platform
 import sys
 import time
 
+#: Timing floor: medians over fewer than 3 rounds are too noisy to
+#: trend across PRs, so ``--rounds`` is clamped up to this.
+ROUNDS_MIN = 3
 ROUNDS_DEFAULT = 3
 
 
 def _median(samples):
     ordered = sorted(samples)
     return ordered[len(ordered) // 2]
+
+
+def machine_info() -> dict:
+    """Core count, CPU model and platform — absolute MB/s numbers are
+    meaningless in the history without them."""
+    model = None
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.lower().startswith("model name"):
+                    model = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    return {
+        "cpu_count": os.cpu_count(),
+        "cpu_model": model or platform.processor() or "unknown",
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
 
 
 def _time(fn, rounds):
@@ -52,7 +85,29 @@ def _dump_results(results):
             for h in results.hits]
 
 
-def run_benchmarks(residues: int, rounds: int) -> dict:
+def measure_parallel(db, query, scheme, params, jobs: int, rounds: int,
+                     serial_warm_s: float, serial_dump) -> dict:
+    """Time the process pool against the same corpus and query the
+    serial engine was timed on (warm packs, same-machine same-run)."""
+    from repro.exec import ExecPool
+
+    with ExecPool(jobs=jobs) as pool:
+        first = pool.search(query, db, scheme, params)  # packs + attach
+        equivalent = _dump_results(first) == serial_dump
+        par_s = _time(lambda: pool.search(query, db, scheme, params), rounds)
+        n_fragments = sum(len(p.specs) for p in pool._prepared.values())
+    return {
+        "jobs": jobs,
+        "n_fragments": n_fragments,
+        "mbps": db.total_residues / par_s / 1e6,
+        "search_parallel_s": par_s,
+        "speedup_over_serial": serial_warm_s / par_s,
+        "equivalent": equivalent,
+    }
+
+
+def run_benchmarks(residues: int, rounds: int,
+                   jobs: int = 0) -> dict:
     from repro.blast.alphabet import encode_dna
     from repro.blast.kmer import WordIndex
     from repro.blast.scankernel import (ScanCache, build_scan_structures,
@@ -95,13 +150,19 @@ def run_benchmarks(residues: int, rounds: int) -> dict:
     loop_s = _time(lambda: search(query, db, scheme, params, engine="loop"),
                    rounds)
 
+    parallel = None
+    if jobs and jobs > 1:
+        parallel = measure_parallel(db, query, scheme, params, jobs, rounds,
+                                    warm_s, _dump_results(r_scan))
+
     return {
-        "schema": 1,
+        "schema": 2,
         "corpus": {"residues": db.total_residues,
                    "n_sequences": len(db),
                    "query_len": int(len(query)),
                    "seed": 0},
         "rounds": rounds,
+        "machine": machine_info(),
         "throughput_mbps": db.total_residues / warm_s / 1e6,
         "loop_mbps": db.total_residues / loop_s / 1e6,
         "speedup_kernel_over_loop": loop_s / warm_s,
@@ -114,8 +175,40 @@ def run_benchmarks(residues: int, rounds: int) -> dict:
             "search_warm_s": warm_s,
             "search_loop_s": loop_s,
         },
+        "parallel": parallel,
         "equivalent": equivalent,
     }
+
+
+def _history_entry(result: dict) -> dict:
+    """Compact per-run record appended to the JSON's ``history`` list."""
+    entry = {
+        "date": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "throughput_mbps": result["throughput_mbps"],
+        "speedup_kernel_over_loop": result["speedup_kernel_over_loop"],
+        "cpu_count": result["machine"]["cpu_count"],
+    }
+    if result.get("parallel"):
+        entry["parallel_jobs"] = result["parallel"]["jobs"]
+        entry["parallel_speedup"] = result["parallel"]["speedup_over_serial"]
+    return entry
+
+
+def write_out(result: dict, path: str) -> None:
+    """Write the run to *path*, carrying the existing file's history
+    forward and appending this run — trends survive regeneration."""
+    history = []
+    if os.path.exists(path):
+        try:
+            with open(path) as f:
+                history = json.load(f).get("history", [])
+        except (OSError, ValueError):
+            history = []
+    result = dict(result)
+    result["history"] = history + [_history_entry(result)]
+    with open(path, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
 
 
 def check_against(current: dict, baseline_path: str, tolerance: float) -> int:
@@ -149,7 +242,11 @@ def main(argv=None) -> int:
     ap.add_argument("--residues", type=int, default=1_000_000,
                     help="corpus size in residues (default 1M)")
     ap.add_argument("--rounds", type=int, default=ROUNDS_DEFAULT,
-                    help="timing rounds per measurement; median is kept")
+                    help="timing rounds per measurement; median is kept "
+                         f"(clamped to >= {ROUNDS_MIN})")
+    ap.add_argument("--jobs", type=int, default=0,
+                    help="also benchmark the multi-core pool with this "
+                         "many workers (0 = skip)")
     ap.add_argument("--out", default=None,
                     help="write BENCH_blast.json here")
     ap.add_argument("--check", default=None, metavar="BASELINE",
@@ -160,17 +257,19 @@ def main(argv=None) -> int:
                          "speedup vs the baseline (default 0.30)")
     args = ap.parse_args(argv)
 
-    result = run_benchmarks(args.residues, args.rounds)
+    rounds = max(ROUNDS_MIN, args.rounds)
+    result = run_benchmarks(args.residues, rounds, jobs=args.jobs)
     print(json.dumps(result, indent=2))
     if args.out:
-        with open(args.out, "w") as f:
-            json.dump(result, f, indent=2)
-            f.write("\n")
+        write_out(result, args.out)
         print(f"[written to {args.out}]")
     if args.check:
         return check_against(result, args.check, args.tolerance)
     if not result["equivalent"]:
         print("FAIL: scan and loop engines disagree on SearchResults")
+        return 1
+    if result["parallel"] and not result["parallel"]["equivalent"]:
+        print("FAIL: parallel pool disagrees with the serial engine")
         return 1
     return 0
 
