@@ -11,6 +11,19 @@ Mirrors the tools of the paper's era plus the experiment layer::
 
 ``blastall`` dispatches the five programs through one interface, like
 NCBI's binary (paper Section 2.1).
+
+Exit codes (parallel ``--jobs`` runs):
+
+* ``0`` — success.
+* ``3`` (``EXIT_POOL_FAILURE``) — the worker pool failed the job and
+  serial fallback was disabled (``--no-fallback``): no results.
+* ``4`` (``EXIT_INTEGRITY``) — a shared-memory fragment pack failed
+  CRC verification (:class:`repro.exec.PackIntegrityError`); never
+  degraded silently, no results.
+* ``5`` (``EXIT_DEGRADED``) — results were produced (byte-identical),
+  but by the serial engine after the pool collapsed; scripts that
+  care about *how* the answer was computed can detect the degraded
+  path without parsing stderr.
 """
 
 from __future__ import annotations
@@ -19,6 +32,13 @@ import argparse
 import os
 import sys
 from typing import List, Optional
+
+#: Parallel run failed and fallback was disabled; no results produced.
+EXIT_POOL_FAILURE = 3
+#: A fragment pack failed CRC32 verification; no results produced.
+EXIT_INTEGRITY = 4
+#: Results produced, but via serial fallback after pool collapse.
+EXIT_DEGRADED = 5
 
 
 def _load_db(dbpath: str, protein: bool):
@@ -44,11 +64,15 @@ def cmd_formatdb(args) -> int:
 
 
 def _parallel_results(program: str, db, queries, params, jobs: int,
-                      n_fragments: Optional[int]):
+                      n_fragments: Optional[int], args=None):
     """Run every query of a ``--jobs N`` invocation through one
     persistent pool (packs attach once; queries stream through the
     shared work queue).  Results are byte-identical to the serial
-    program dispatch."""
+    program dispatch.  Returns ``(results, degraded)`` — *degraded* is
+    True when the pool collapsed and the batch was served by the
+    serial fallback engine."""
+    import warnings
+
     from repro.blast.alphabet import encode_dna, encode_protein
     from repro.blast.programs import program_defaults
     from repro.blast.seqdb import AA, NT
@@ -59,11 +83,29 @@ def _parallel_results(program: str, db, queries, params, jobs: int,
         raise ValueError(f"{program} needs a {need} database")
     scheme, params = program_defaults(program, params)
     encode = encode_dna if program == "blastn" else encode_protein
-    with ExecPool(jobs=jobs, n_fragments=n_fragments) as pool:
-        return pool.search_many(
-            [encode(rec.sequence) for rec in queries], db, scheme, params,
-            query_ids=[rec.id or "query" for rec in queries],
-            both_strands=(program == "blastn"))
+    pool_kw = {}
+    for attr, kw in (("heartbeat", "heartbeat"),
+                     ("join_timeout", "join_timeout"),
+                     ("hedge_after", "hedge_after"),
+                     ("task_timeout", "task_timeout")):
+        val = getattr(args, attr, None) if args is not None else None
+        if val is not None:
+            pool_kw[kw] = val
+    if args is not None and getattr(args, "no_respawn", False):
+        pool_kw["respawn"] = False
+    if args is not None and getattr(args, "no_fallback", False):
+        pool_kw["serial_fallback"] = False
+    with ExecPool(jobs=jobs, n_fragments=n_fragments, **pool_kw) as pool:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", RuntimeWarning)
+            results = pool.search_many(
+                [encode(rec.sequence) for rec in queries], db, scheme, params,
+                query_ids=[rec.id or "query" for rec in queries],
+                both_strands=(program == "blastn"))
+        for w in caught:
+            print(f"# {w.message}", file=sys.stderr)
+        degraded = bool(pool.last_stats and pool.last_stats.fallback)
+        return results, degraded
 
 
 def cmd_blastall(args) -> int:
@@ -85,10 +127,21 @@ def cmd_blastall(args) -> int:
             filter_low_complexity=args.filter)
     jobs = getattr(args, "jobs", 1) or 1
     parallel = None
+    degraded = False
     if jobs > 1:
         if args.program in ("blastn", "blastp"):
-            parallel = _parallel_results(args.program, db, queries, params,
-                                         jobs, getattr(args, "fragments", None))
+            from repro.exec import PackIntegrityError, PoolJobError
+
+            try:
+                parallel, degraded = _parallel_results(
+                    args.program, db, queries, params, jobs,
+                    getattr(args, "fragments", None), args)
+            except PackIntegrityError as exc:
+                print(f"# pack integrity failure: {exc}", file=sys.stderr)
+                return EXIT_INTEGRITY
+            except PoolJobError as exc:
+                print(f"# pool failure: {exc}", file=sys.stderr)
+                return EXIT_POOL_FAILURE
         else:
             print(f"# --jobs applies to blastn/blastp only; "
                   f"running {args.program} serially", file=sys.stderr)
@@ -111,7 +164,7 @@ def cmd_blastall(args) -> int:
         else:
             print(results.report(max_hits=args.max_hits))
         print()
-    return 0
+    return EXIT_DEGRADED if degraded else 0
 
 
 def cmd_psiblast(args) -> int:
@@ -198,6 +251,32 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def _add_pool_args(p: argparse.ArgumentParser) -> None:
+    """Fault-tolerance knobs shared by the parallel (``--jobs``)
+    subcommands; defaults come from the pool (env-overridable)."""
+    g = p.add_argument_group("pool fault tolerance (with --jobs)")
+    g.add_argument("--heartbeat", type=float, default=None,
+                   help="liveness/deadline sweep interval, seconds "
+                        "(default 0.2; env REPRO_EXEC_HEARTBEAT)")
+    g.add_argument("--join-timeout", type=float, default=None,
+                   help="per-worker shutdown budget before terminate/kill "
+                        "escalation (default 2.0; env "
+                        "REPRO_EXEC_JOIN_TIMEOUT)")
+    g.add_argument("--hedge-after", type=float, default=None,
+                   help="soft deadline before a stuck task is hedged to an "
+                        "idle worker (default adaptive; env "
+                        "REPRO_EXEC_HEDGE_AFTER)")
+    g.add_argument("--task-timeout", type=float, default=None,
+                   help="hard deadline before a busy worker is presumed "
+                        "hung and killed (default adaptive; env "
+                        "REPRO_EXEC_TASK_TIMEOUT)")
+    g.add_argument("--no-respawn", action="store_true",
+                   help="do not replace crashed workers")
+    g.add_argument("--no-fallback", action="store_true",
+                   help="fail (exit 3) instead of degrading to the serial "
+                        "engine when the pool collapses")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -233,6 +312,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "a serial run)")
     p.add_argument("--fragments", type=int, default=None,
                    help="database fragments for --jobs (default 2x jobs)")
+    _add_pool_args(p)
     p.set_defaults(fn=cmd_blastall)
 
     p = sub.add_parser("blastn", help="nucleotide search (blastall -p "
@@ -253,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "segmentation)")
     p.add_argument("--fragments", type=int, default=None,
                    help="database fragments for --jobs (default 2x jobs)")
+    _add_pool_args(p)
     p.set_defaults(fn=cmd_blastall, program="blastn")
 
     p = sub.add_parser("psiblast", help="position-specific iterated search")

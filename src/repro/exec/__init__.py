@@ -6,24 +6,37 @@ master/worker design on actual cores:
 
 * :mod:`repro.exec.shm` — immutable fragment scan-structures published
   once in ``multiprocessing.shared_memory`` and attached zero-copy by
-  every worker;
+  every worker, with CRC32 integrity verification at publish and
+  attach;
 * :mod:`repro.exec.schedule` — greedy heaviest-first dynamic fragment
-  scheduling with front-requeue on failure and bounded retries;
+  scheduling with front-requeue on failure, bounded retries, and
+  hedged re-issue of stuck tasks;
 * :mod:`repro.exec.pool` — the persistent worker pool and the
   :func:`search_parallel` entry point, byte-identical to the serial
-  engine.
+  engine, with worker respawn and graceful serial fallback;
+* :mod:`repro.exec.faults` — deterministic fault injection (kill /
+  hang / slow / drop-result / corrupt-pack) and the structured
+  :class:`FailureLedger` the pool's recovery actions append to.
 """
 
+from repro.exec.faults import (ANOMALY_KINDS, FAULT_KINDS, FAULT_PLAN_ENV,
+                               FailureLedger, Fault, FaultInjector,
+                               FaultPlan, LedgerEntry, random_plan)
 from repro.exec.pool import (ExecPool, JobSpec, PoolConfig, PoolJobError,
                              PoolStats, search_parallel)
 from repro.exec.schedule import GreedyScheduler, RetriesExceeded, plan_fragments
-from repro.exec.shm import (AttachedPack, PackDB, PackSpec, ShmRegistry,
+from repro.exec.shm import (AttachedPack, PackDB, PackIntegrityError,
+                            PackSpec, ShmRegistry, corrupt_segment,
                             create_pack, default_registry, pack_fragment)
 
 __all__ = [
     "ExecPool", "JobSpec", "PoolConfig", "PoolJobError", "PoolStats",
     "search_parallel",
     "GreedyScheduler", "RetriesExceeded", "plan_fragments",
-    "AttachedPack", "PackDB", "PackSpec", "ShmRegistry",
-    "create_pack", "default_registry", "pack_fragment",
+    "AttachedPack", "PackDB", "PackIntegrityError", "PackSpec",
+    "ShmRegistry", "corrupt_segment", "create_pack", "default_registry",
+    "pack_fragment",
+    "ANOMALY_KINDS", "FAULT_KINDS", "FAULT_PLAN_ENV",
+    "Fault", "FaultInjector", "FaultPlan", "FailureLedger", "LedgerEntry",
+    "random_plan",
 ]

@@ -12,11 +12,35 @@ bound) attaches each fragment's shared-memory pack once, then serves
 the same work queue, so a multi-query workload keeps every core busy
 across query boundaries.
 
-Fault handling mirrors PR 1's hardened failure path: a worker dying
-mid-task is detected on its pipe, the task is requeued at the front
-for the next idle worker (bounded retries per task), and when the
-budget is exhausted the job fails *cleanly* — outstanding work drains,
-shared-memory segments stay accounted, and the pool remains usable.
+Fault handling upgrades PR 1's "fail cleanly" into CEFT-style "keep
+serving" (the paper's dead-server and hot-spot experiments, Figs 7–9):
+
+* a worker dying mid-task is detected on its pipe (plus a heartbeat
+  liveness sweep), the task is requeued at the front, and — new — the
+  pool **respawns** the lost worker so capacity recovers instead of
+  shrinking toward job failure;
+* a task stuck past its **soft deadline** is **hedged**: re-issued
+  speculatively to an idle worker, the direct analog of skipping a hot
+  server and reading from the mirror group — first result wins, the
+  loser's late duplicate is discarded by run-epoch tag;
+* a worker stuck past the **hard deadline** (a hang or a dropped
+  reply) is killed, its task requeued if still needed, and its slot
+  respawned;
+* every pack carries CRC32 checksums verified at publish and attach,
+  so a corrupted or torn segment raises a typed
+  :class:`~repro.exec.shm.PackIntegrityError` before any hit is
+  produced from it;
+* when the pool still cannot finish a job (retry budget exhausted,
+  capacity collapsed below ``min_workers`` and respawn cannot recover
+  it), ``search_many`` **degrades gracefully** to the serial scan
+  engine with a warning — results stay byte-identical, and the
+  structured :class:`~repro.exec.faults.FailureLedger` records every
+  fault, requeue, hedge, respawn, and the fallback itself.
+
+Deterministic fault injection for all of the above lives in
+:mod:`repro.exec.faults`; arm a plan via the ``fault_plan`` argument
+or the ``REPRO_EXEC_FAULT_PLAN`` environment variable and the chaos
+suite drives this exact, unmodified code path.
 
 Byte-identity with the serial engine is a hard invariant, not a
 goal: workers receive the master's Karlin–Altschul parameters and the
@@ -33,8 +57,9 @@ import multiprocessing as mp
 import os
 import time
 import traceback
+import warnings
 import weakref
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -45,9 +70,31 @@ from repro.blast.search import (SearchParams, SearchResults, resolve_ka,
                                 search)
 from repro.blast.seqdb import AA
 from repro.blast.stats import KarlinAltschul, effective_search_space
+from repro.exec.faults import FailureLedger, FaultInjector, FaultPlan
 from repro.exec.schedule import GreedyScheduler, RetriesExceeded, plan_fragments
-from repro.exec.shm import (AttachedPack, PackDB, PackSpec, ShmRegistry,
+from repro.exec.shm import (AttachedPack, PackDB, PackIntegrityError,
+                            PackSpec, ShmRegistry, corrupt_segment,
                             default_registry, ensure_tracker, pack_fragment)
+
+#: Adaptive soft-deadline floor and multiplier: with no observed task
+#: times yet a task is hedge-eligible after this many seconds; once an
+#: EMA exists the deadline is ``max(floor, mult * ema)``.
+_HEDGE_FLOOR = 0.5
+_HEDGE_MULT = 4.0
+
+#: Worker exit code used by the injected ``kill`` fault (``os._exit``,
+#: i.e. SIGKILL semantics: no cleanup, no goodbye on the pipe).
+_FAULT_EXIT = 86
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name) or ""
+    return float(raw) if raw.strip() else default
+
+
+def _env_opt_float(name: str) -> Optional[float]:
+    raw = os.environ.get(name) or ""
+    return float(raw) if raw.strip() else None
 
 
 class PoolJobError(RuntimeError):
@@ -62,11 +109,14 @@ class PoolConfig:
     ``task_sleep`` stalls every task by that many seconds — a test and
     benchmark hook (set via ``REPRO_EXEC_TASK_SLEEP``) that widens the
     window for mid-task fault injection; 0 in production.
+    ``fault_plan`` arms deterministic worker-side faults (see
+    :mod:`repro.exec.faults`); ``None`` in production.
     """
 
     task_sleep: float = 0.0
     cache_entries: int = 1024
     cache_bytes: int = 1 << 40
+    fault_plan: Optional[FaultPlan] = None
 
 
 @dataclass
@@ -93,6 +143,13 @@ class PoolStats:
     requeues: int = 0
     worker_errors: int = 0
     worker_deaths: List[int] = field(default_factory=list)
+    hedges: int = 0
+    hedge_wins: int = 0
+    stale_results: int = 0
+    respawns: int = 0
+    hang_kills: int = 0
+    integrity_failures: int = 0
+    fallback: bool = False
 
 
 @dataclass
@@ -102,6 +159,11 @@ class _Worker:
     conn: object
     alive: bool = True
     jobs_sent: set = field(default_factory=set)
+    #: The task this worker is serving: ``(epoch, qi, pack_name)``.
+    #: Pool-level (not scheduler-level) so a straggler from a previous
+    #: run is still recognised — and reaped — across run boundaries.
+    busy: Optional[tuple] = None
+    busy_since: float = 0.0
 
 
 @dataclass
@@ -121,15 +183,21 @@ def _worker_main(rank: int, conn, cfg: PoolConfig) -> None:
 
     Runs in a child process, but takes any connection-like object so
     the protocol is unit-testable in-process with a scripted pipe.
+    Task messages carry the master's run epoch, echoed back on every
+    result/error so the master can discard cross-run stragglers.
     """
     cache = ScanCache(max_entries=cfg.cache_entries,
                       max_bytes=cfg.cache_bytes)
     packs: Dict[str, Tuple[AttachedPack, PackDB]] = {}
+    frag_ids: Dict[str, Optional[int]] = {}
     jobs: Dict[int, JobSpec] = {}
     fragments_done: List[Optional[int]] = []
+    injector = (FaultInjector(cfg.fault_plan, rank)
+                if cfg.fault_plan is not None else None)
 
     def _drop_pack(name: str) -> None:
         entry = packs.pop(name, None)
+        frag_ids.pop(name, None)
         if entry is None:
             return
         pack, db = entry
@@ -147,14 +215,21 @@ def _worker_main(rank: int, conn, cfg: PoolConfig) -> None:
             if kind == "attach":
                 spec = msg[1]
                 try:
+                    if injector is not None:
+                        fault = injector.on_attach(spec.fragment_id)
+                        if fault is not None:
+                            corrupt_segment(spec)
                     if spec.name not in packs:
                         pack = AttachedPack(spec)
                         db = PackDB(pack)
                         cache.put(db, spec.k, spec.base, pack.structs)
                         packs[spec.name] = (pack, db)
+                        frag_ids[spec.name] = spec.fragment_id
+                except PackIntegrityError as exc:
+                    conn.send(("integrity", rank, spec.name, str(exc)))
                 except Exception:
                     conn.send(("error", rank, None, spec.name,
-                               traceback.format_exc()))
+                               traceback.format_exc(), -1))
             elif kind == "detach":
                 _drop_pack(msg[1])
             elif kind == "job":
@@ -163,6 +238,16 @@ def _worker_main(rank: int, conn, cfg: PoolConfig) -> None:
                 jobs.pop(msg[1], None)
             elif kind == "task":
                 qi, name = msg[1], msg[2]
+                epoch = msg[3] if len(msg) > 3 else 0
+                if injector is not None:
+                    fault = injector.on_task(qi, frag_ids.get(name))
+                    if fault is not None:
+                        if fault.kind == "kill":
+                            os._exit(_FAULT_EXIT)
+                        elif fault.kind in ("hang", "slow"):
+                            time.sleep(fault.stall)
+                        if fault.kind == "drop_result":
+                            continue    # serve nothing, say nothing
                 try:
                     if cfg.task_sleep > 0:
                         time.sleep(cfg.task_sleep)
@@ -176,10 +261,10 @@ def _worker_main(rank: int, conn, cfg: PoolConfig) -> None:
                                  effective_space=job.effective_space)
                     fragments_done.append(pack.spec.fragment_id)
                     conn.send(("result", rank, qi, name, res,
-                               time.perf_counter() - t0))
+                               time.perf_counter() - t0, epoch))
                 except Exception:
                     conn.send(("error", rank, qi, name,
-                               traceback.format_exc()))
+                               traceback.format_exc(), epoch))
             elif kind == "stop":
                 for name in list(packs):
                     _drop_pack(name)
@@ -189,7 +274,7 @@ def _worker_main(rank: int, conn, cfg: PoolConfig) -> None:
                 return
             else:
                 conn.send(("error", rank, None, None,
-                           f"unknown message {kind!r}"))
+                           f"unknown message {kind!r}", -1))
     except (EOFError, KeyboardInterrupt, OSError):  # parent went away
         pass
     finally:
@@ -237,6 +322,40 @@ class ExecPool:
     stream lives on.  ``search_many`` runs a whole batch through one
     scheduler pass, so fragments of different queries interleave and
     no core idles at query boundaries.
+
+    Fault-tolerance knobs (all optional; environment fallbacks in
+    parentheses):
+
+    ``heartbeat``
+        idle-tick interval for the liveness/deadline sweeps, seconds
+        (``REPRO_EXEC_HEARTBEAT``, default 0.2).
+    ``join_timeout``
+        budget for draining and joining workers at ``close()``; a
+        worker that survives it is escalated ``terminate()`` →
+        ``kill()`` so teardown can never hang
+        (``REPRO_EXEC_JOIN_TIMEOUT``, default 2.0).
+    ``hedge_after``
+        soft per-task deadline before speculative re-issue to an idle
+        worker; ``None`` adapts from the observed task-time EMA
+        (``REPRO_EXEC_HEDGE_AFTER``).
+    ``task_timeout``
+        hard per-task deadline before the holding worker is presumed
+        hung, killed, and respawned; ``None`` adapts from the soft
+        deadline (``REPRO_EXEC_TASK_TIMEOUT``).
+    ``respawn`` / ``max_respawns``
+        whether (and how often per run) lost workers are replaced so
+        the pool recovers its configured capacity.
+    ``serial_fallback`` / ``min_workers``
+        degrade to the serial scan engine (byte-identical, with a
+        ``RuntimeWarning`` and a ledger entry) when a job fails or the
+        pool collapses below ``min_workers``.
+    ``fault_plan``
+        a :class:`~repro.exec.faults.FaultPlan` armed in every worker
+        (``REPRO_EXEC_FAULT_PLAN``); ``None`` in production.
+
+    Every recovery action is appended to :attr:`ledger`, a
+    :class:`~repro.exec.faults.FailureLedger` spanning the pool's
+    lifetime.
     """
 
     def __init__(self, jobs: Optional[int] = None, *,
@@ -244,7 +363,16 @@ class ExecPool:
                  max_retries: int = 2,
                  task_sleep: Optional[float] = None,
                  start_method: Optional[str] = None,
-                 heartbeat: float = 0.2):
+                 heartbeat: Optional[float] = None,
+                 join_timeout: Optional[float] = None,
+                 hedge_after: Optional[float] = None,
+                 task_timeout: Optional[float] = None,
+                 respawn: bool = True,
+                 max_respawns: Optional[int] = None,
+                 serial_fallback: bool = True,
+                 min_workers: int = 1,
+                 fault_plan: Optional[FaultPlan] = None,
+                 start_timeout: float = 30.0):
         self.jobs = (os.cpu_count() or 1) if jobs is None else int(jobs)
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -252,45 +380,75 @@ class ExecPool:
         self.max_retries = max_retries
         if task_sleep is None:
             task_sleep = float(os.environ.get("REPRO_EXEC_TASK_SLEEP") or 0.0)
-        self._cfg = PoolConfig(task_sleep=task_sleep)
+        if fault_plan is None:
+            fault_plan = FaultPlan.from_env()
+        self._cfg = PoolConfig(task_sleep=task_sleep, fault_plan=fault_plan)
         if start_method is None:
             start_method = os.environ.get("REPRO_EXEC_START_METHOD") or (
                 "fork" if "fork" in mp.get_all_start_methods() else "spawn")
         self._ctx = mp.get_context(start_method)
-        self._heartbeat = heartbeat
+        self._heartbeat = (heartbeat if heartbeat is not None
+                           else _env_float("REPRO_EXEC_HEARTBEAT", 0.2))
+        self.join_timeout = (join_timeout if join_timeout is not None
+                             else _env_float("REPRO_EXEC_JOIN_TIMEOUT", 2.0))
+        self.hedge_after = (hedge_after if hedge_after is not None
+                            else _env_opt_float("REPRO_EXEC_HEDGE_AFTER"))
+        self.task_timeout = (task_timeout if task_timeout is not None
+                             else _env_opt_float("REPRO_EXEC_TASK_TIMEOUT"))
+        self.respawn = respawn
+        self.max_respawns = (2 * self.jobs + 2 if max_respawns is None
+                             else int(max_respawns))
+        self.serial_fallback = serial_fallback
+        self.min_workers = max(1, int(min_workers))
+        self._start_timeout = start_timeout
         self._registry: ShmRegistry = default_registry()
         self._workers: List[_Worker] = []
         self._prepared: Dict[tuple, _PreparedDB] = {}
         self._started = False
         self._closed = False
+        self._epoch = 0
+        self._task_ema: Optional[float] = None
         self.last_stats: Optional[PoolStats] = None
+        self.ledger = FailureLedger()
+        self.total_respawns = 0
         self._finalizer = weakref.finalize(self, _terminate_workers,
                                            self._workers)
 
     # ------------------------------------------------------------------
+    def _spawn_worker(self, rank: int,
+                      cfg: Optional[PoolConfig] = None) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main, args=(rank, child_conn, cfg or self._cfg),
+            name=f"repro-exec-{rank}", daemon=True)
+        proc.start()
+        child_conn.close()
+        return _Worker(rank, proc, parent_conn)
+
+    def _await_ready(self, w: _Worker) -> bool:
+        try:
+            if not w.conn.poll(self._start_timeout):
+                return False
+            return w.conn.recv()[0] == "ready"
+        except (EOFError, OSError):  # pragma: no cover - spawn crash
+            return False
+
     def start(self) -> "ExecPool":
         if self._closed:
             raise PoolJobError("pool is closed")
         if self._started:
+            # A restarted run begins at full strength: respawn any
+            # capacity lost to deaths since the previous run.
+            self._ensure_capacity()
             return self
         # Workers must inherit the parent's resource tracker (see
         # ensure_tracker) — start it before the first fork.
         ensure_tracker()
         for rank in range(self.jobs):
-            parent_conn, child_conn = self._ctx.Pipe()
-            proc = self._ctx.Process(
-                target=_worker_main, args=(rank, child_conn, self._cfg),
-                name=f"repro-exec-{rank}", daemon=True)
-            proc.start()
-            child_conn.close()
-            self._workers.append(_Worker(rank, proc, parent_conn))
+            self._workers.append(self._spawn_worker(rank))
         for w in self._workers:
-            if not w.conn.poll(30):
+            if not self._await_ready(w):
                 raise PoolJobError(f"worker {w.rank} failed to start")
-            msg = w.conn.recv()
-            if msg[0] != "ready":  # pragma: no cover - protocol error
-                raise PoolJobError(f"worker {w.rank}: expected ready, "
-                                   f"got {msg!r}")
         self._started = True
         return self
 
@@ -306,6 +464,64 @@ class ExecPool:
     def worker_pids(self) -> Dict[int, int]:
         """rank -> pid of the live workers (fault-injection hook)."""
         return {w.rank: w.process.pid for w in self._live()}
+
+    # ------------------------------------------------------------------
+    def _respawn_slot(self, idx: int,
+                      stats: Optional[PoolStats] = None) -> Optional[_Worker]:
+        """Replace the dead worker in slot *idx* with a fresh process
+        (same rank, new pipe) and re-attach every prepared pack.
+
+        The replacement is a *healthy* machine: it carries no fault
+        plan (otherwise a once-per-process fault re-arms on every
+        respawn and a single injected kill poisons its task forever,
+        which no real crash does — and seeded chaos plans would never
+        converge)."""
+        old = self._workers[idx]
+        try:
+            old.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        clean = (replace(self._cfg, fault_plan=None)
+                 if self._cfg.fault_plan is not None else self._cfg)
+        w = self._spawn_worker(old.rank, clean)
+        if not self._await_ready(w):  # pragma: no cover - spawn crash
+            try:
+                w.process.kill()
+            except Exception:
+                pass
+            w.alive = False
+            self.ledger.record("respawn_failed", rank=old.rank)
+            return None
+        try:
+            for prep in self._prepared.values():
+                for spec in prep.specs:
+                    w.conn.send(("attach", spec))
+        except OSError:  # pragma: no cover - instant death
+            w.alive = False
+            return None
+        self._workers[idx] = w
+        self.total_respawns += 1
+        if stats is not None:
+            stats.respawns += 1
+        self.ledger.record("respawn", rank=w.rank)
+        return w
+
+    def _ensure_capacity(self) -> int:
+        """Respawn every dead slot (between-runs capacity recovery)."""
+        if not self.respawn or self._closed:
+            return 0
+        restored = 0
+        for idx, w in enumerate(self._workers):
+            if not w.alive and self._respawn_slot(idx) is not None:
+                restored += 1
+        return restored
+
+    def _maybe_respawn(self, stats: PoolStats) -> None:
+        if not self.respawn:
+            return
+        for idx, w in enumerate(self._workers):
+            if not w.alive and stats.respawns < self.max_respawns:
+                self._respawn_slot(idx, stats)
 
     # ------------------------------------------------------------------
     def _prepare(self, db, k: int, base: int,
@@ -365,32 +581,99 @@ class ExecPool:
         return len(keys)
 
     # ------------------------------------------------------------------
-    def _handle_death(self, w: _Worker, sched: GreedyScheduler,
-                      stats: PoolStats) -> Optional[PoolJobError]:
-        w.alive = False
-        stats.worker_deaths.append(w.rank)
+    def _soft_deadline(self) -> float:
+        """Seconds before an outstanding task becomes hedge-eligible."""
+        if self.hedge_after is not None:
+            return self.hedge_after
+        ema = self._task_ema
+        return max(_HEDGE_FLOOR, _HEDGE_MULT * ema if ema else 0.0)
+
+    def _hard_deadline(self) -> float:
+        """Seconds before a busy worker is presumed hung and killed."""
+        if self.task_timeout is not None:
+            return self.task_timeout
+        return max(4 * self._soft_deadline(), 2.0)
+
+    def _fail_current(self, w: _Worker, sched: GreedyScheduler,
+                      stats: PoolStats,
+                      epoch: int) -> Optional[PoolJobError]:
+        """Resolve the task a lost worker was holding: requeue it (or
+        fail the job) when it belongs to the current run, ignore it
+        when it is a cross-run straggler or already hedge-completed."""
+        task = w.busy
+        w.busy = None
+        if task is None or task[0] != epoch:
+            return None
         try:
-            w.process.join(timeout=0.5)
-        except Exception:  # pragma: no cover
-            pass
-        try:
-            sched.fail(w.rank)
+            key = sched.fail(w.rank)
         except RetriesExceeded as exc:
             sched.drop_pending()
+            self.ledger.record("retries_exceeded", rank=w.rank,
+                               task=task[1:], detail=str(exc))
             return PoolJobError(
                 f"fragment task {exc.key!r} failed {exc.attempts} times "
                 f"(worker deaths: {stats.worker_deaths})")
+        if key is not None:
+            self.ledger.record("requeue", rank=w.rank, task=key)
         return None
+
+    def _handle_death(self, w: _Worker, sched: GreedyScheduler,
+                      stats: PoolStats,
+                      epoch: int) -> Optional[PoolJobError]:
+        if not w.alive:
+            return None
+        w.alive = False
+        stats.worker_deaths.append(w.rank)
+        self.ledger.record("worker_death", rank=w.rank,
+                           task=w.busy[1:] if w.busy else None)
+        try:
+            w.process.join(timeout=min(0.5, self.join_timeout))
+        except Exception:  # pragma: no cover
+            pass
+        return self._fail_current(w, sched, stats, epoch)
+
+    def _send_task(self, w: _Worker, jobs: Dict[int, JobSpec], qi: int,
+                   name: str, epoch: int, sched: GreedyScheduler,
+                   stats: PoolStats) -> Optional[PoolJobError]:
+        """Ship (job if new, then task) to *w*; busy bookkeeping is set
+        first so a send failure resolves the assignment as a death."""
+        w.busy = (epoch, qi, name)
+        w.busy_since = time.monotonic()
+        try:
+            if qi not in w.jobs_sent:
+                w.conn.send(("job", qi, jobs[qi]))
+                w.jobs_sent.add(qi)
+            w.conn.send(("task", qi, name, epoch))
+            return None
+        except OSError:
+            return self._handle_death(w, sched, stats, epoch)
+
+    def _hedge_candidate(self, sched: GreedyScheduler, epoch: int,
+                         now: float, soft: float) -> Optional[tuple]:
+        """The most-overdue unhedged current-run task, if any."""
+        best, best_age = None, soft
+        for w in self._live():
+            if w.busy is None or w.busy[0] != epoch:
+                continue
+            key = (w.busy[1], w.busy[2])
+            if sched.is_completed(key) or sched.holder_count(key) != 1:
+                continue
+            age = now - w.busy_since
+            if age > best_age:
+                best, best_age = key, age
+        return best
 
     def _run_tasks(self, jobs: Dict[int, JobSpec],
                    tasks: Sequence[Tuple[tuple, float]]
                    ) -> Tuple[Dict[int, Dict[str, SearchResults]], PoolStats]:
+        self._epoch += 1
+        epoch = self._epoch
         sched = GreedyScheduler(tasks, max_retries=self.max_retries)
         stats = PoolStats()
         results: Dict[int, Dict[str, SearchResults]] = {qi: {} for qi in jobs}
 
         try:
-            self._pump(jobs, sched, stats, results)
+            self._pump(jobs, sched, stats, results, epoch)
         finally:
             # Drop the job tables win or lose: a failed run must not
             # leave workers holding stale specs for reused query ids.
@@ -407,69 +690,159 @@ class ExecPool:
 
     def _pump(self, jobs: Dict[int, JobSpec], sched: GreedyScheduler,
               stats: PoolStats,
-              results: Dict[int, Dict[str, SearchResults]]) -> None:
+              results: Dict[int, Dict[str, SearchResults]],
+              epoch: int) -> None:
         from multiprocessing.connection import wait
 
-        failure: Optional[PoolJobError] = None
+        failure: Optional[Exception] = None
         while not sched.done:
+            now = time.monotonic()
+            # Belt and braces: a worker can die without its pipe waking
+            # wait() promptly; sweep liveness every tick.
+            for w in self._live():
+                if not w.process.is_alive():
+                    # NB: the recovery call must run even with a failure
+                    # already latched (`failure or f()` would skip it and
+                    # leave a dead worker marked alive forever).
+                    err = self._handle_death(w, sched, stats, epoch)
+                    failure = failure or err
+            # Hard deadline: a worker stuck this long is hung (or its
+            # reply was lost) — kill it and recover the capacity.  The
+            # CEFT analog: stop waiting on a dead server, period.
+            hard = self._hard_deadline()
+            for w in self._live():
+                if w.busy is not None and now - w.busy_since > hard:
+                    stats.hang_kills += 1
+                    self.ledger.record("hang_kill", rank=w.rank,
+                                       task=w.busy[1:],
+                                       detail=f"busy {now - w.busy_since:.2f}s"
+                                              f" > {hard:.2f}s")
+                    try:
+                        w.process.kill()
+                    except Exception:  # pragma: no cover
+                        pass
+                    err = self._handle_death(w, sched, stats, epoch)
+                    failure = failure or err
+            if failure is None:
+                self._maybe_respawn(stats)
+            else:
+                # A failed run stops dispatching, so anything requeued
+                # after the failure could never drain — drop it.
+                sched.drop_pending()
             live = self._live()
-            if not live:
+            if len(live) < self.min_workers:
                 failure = failure or PoolJobError(
-                    f"no workers left (deaths: {stats.worker_deaths})")
-                break
+                    f"pool collapsed to {len(live)}/{self.jobs} workers "
+                    f"(min_workers={self.min_workers}; "
+                    f"deaths: {stats.worker_deaths})")
+                if not live:
+                    break
             # Greedy dispatch: every idle worker gets the next task.
             for w in live:
                 if failure is not None or not sched.has_pending:
                     break
-                if w.rank in sched.outstanding or not w.alive:
+                if not w.alive or w.busy is not None:
                     continue
-                key = sched.assign(w.rank)
-                qi, pack_name = key
-                try:
-                    if qi not in w.jobs_sent:
-                        w.conn.send(("job", qi, jobs[qi]))
-                        w.jobs_sent.add(qi)
-                    w.conn.send(("task", qi, pack_name))
-                except OSError:
-                    failure = failure or self._handle_death(w, sched, stats)
+                qi, pack_name = sched.assign(w.rank)
+                err = self._send_task(w, jobs, qi, pack_name,
+                                      epoch, sched, stats)
+                failure = failure or err
+            # Hedged re-issue: idle workers with nothing pending take a
+            # speculative copy of the most-overdue task (the mirror-
+            # group read around a hot primary).  First result wins.
+            if failure is None and not sched.has_pending:
+                soft = self._soft_deadline()
+                now = time.monotonic()
+                for w in live:
+                    if not w.alive or w.busy is not None:
+                        continue
+                    cand = self._hedge_candidate(sched, epoch, now, soft)
+                    if cand is None:
+                        break
+                    sched.hedge(w.rank, cand)
+                    stats.hedges += 1
+                    self.ledger.record("hedge", rank=w.rank, task=cand)
+                    err = self._send_task(w, jobs, cand[0], cand[1],
+                                          epoch, sched, stats)
+                    failure = failure or err
             if sched.done:
                 break
             conns = {w.conn: w for w in self._live()}
             if not conns:
                 continue
             ready = wait(list(conns), timeout=self._heartbeat)
-            if not ready:
-                # Belt and braces: a worker can die without its pipe
-                # waking wait() promptly; sweep liveness on idle ticks.
-                for w in self._live():
-                    if not w.process.is_alive():
-                        failure = failure or self._handle_death(
-                            w, sched, stats)
-                continue
             for conn in ready:
                 w = conns[conn]
                 try:
                     msg = conn.recv()
                 except (EOFError, OSError):
-                    failure = failure or self._handle_death(w, sched, stats)
+                    err = self._handle_death(w, sched, stats, epoch)
+                    failure = failure or err
                     continue
                 kind = msg[0]
                 if kind == "result":
-                    _, rank, qi, pack_name, res, _elapsed = msg
-                    sched.complete(rank)
+                    _, rank, qi, pack_name, res, elapsed = msg[:6]
+                    m_epoch = msg[6] if len(msg) > 6 else epoch
+                    w.busy = None
+                    if m_epoch != epoch:
+                        stats.stale_results += 1
+                        self.ledger.record("stale_result", rank=w.rank,
+                                           task=(qi, pack_name),
+                                           detail="cross-run straggler")
+                        continue
+                    key = (qi, pack_name)
+                    was_done = sched.is_completed(key)
+                    hedged = sched.holder_count(key) > 1
+                    if w.rank in sched.outstanding:
+                        sched.complete(w.rank)
+                    if was_done:
+                        stats.stale_results += 1
+                        self.ledger.record("stale_result", rank=w.rank,
+                                           task=key, detail="hedge loser")
+                        continue
                     stats.tasks_done += 1
+                    self._task_ema = (elapsed if self._task_ema is None
+                                      else 0.5 * self._task_ema
+                                      + 0.5 * elapsed)
+                    if hedged:
+                        stats.hedge_wins += 1
+                        self.ledger.record("hedge_win", rank=w.rank, task=key)
                     if failure is None:
                         results[qi][pack_name] = res
                 elif kind == "error":
+                    _, rank, qi, pack_name, tb = msg[:5]
+                    m_epoch = msg[5] if len(msg) > 5 else epoch
                     stats.worker_errors += 1
+                    self.ledger.record("worker_error", rank=w.rank,
+                                       task=(qi, pack_name),
+                                       detail=tb.strip().splitlines()[-1]
+                                       if tb else "")
+                    if qi is None:
+                        continue            # attach-time failure
+                    w.busy = None
+                    if m_epoch != epoch:
+                        continue            # cross-run straggler error
                     try:
-                        sched.fail(w.rank)
+                        key = sched.fail(w.rank)
                     except RetriesExceeded as exc:
                         sched.drop_pending()
+                        self.ledger.record("retries_exceeded", rank=w.rank,
+                                           task=(qi, pack_name),
+                                           detail=str(exc))
                         failure = failure or PoolJobError(
                             f"fragment task {exc.key!r} failed "
                             f"{exc.attempts} times; last worker error:\n"
-                            f"{msg[4]}")
+                            f"{tb}")
+                        continue
+                    if key is not None:
+                        self.ledger.record("requeue", rank=w.rank, task=key)
+                elif kind == "integrity":
+                    _, rank, pack_name, detail = msg
+                    stats.integrity_failures += 1
+                    self.ledger.record("integrity", rank=w.rank,
+                                       detail=f"{pack_name}: {detail}")
+                    failure = failure or PackIntegrityError(detail)
+                    sched.drop_pending()
                 elif kind == "stopped":  # pragma: no cover - close path
                     w.alive = False
 
@@ -477,6 +850,24 @@ class ExecPool:
             raise failure
 
     # ------------------------------------------------------------------
+    def _serial_rescue(self, queries: Sequence[np.ndarray],
+                       query_ids: Sequence[str], db, scheme,
+                       params: SearchParams, both_strands: bool,
+                       exc: PoolJobError) -> List[SearchResults]:
+        """Graceful degradation: the pool could not finish the job, so
+        serve it with the serial scan engine (byte-identical by
+        construction) instead of failing the caller."""
+        self.ledger.record("fallback", detail=str(exc))
+        stats = self.last_stats or PoolStats()
+        stats.fallback = True
+        self.last_stats = stats
+        warnings.warn(
+            f"exec pool degraded ({exc}); serving this batch with the "
+            f"serial scan engine", RuntimeWarning, stacklevel=3)
+        return [search(q, db, scheme, params, query_id=query_ids[qi],
+                       both_strands=both_strands)
+                for qi, q in enumerate(queries)]
+
     def search_many(self, queries: Sequence[np.ndarray], db, scheme,
                     params: Optional[SearchParams] = None, *,
                     query_ids: Optional[Sequence[str]] = None,
@@ -488,6 +879,12 @@ class ExecPool:
 
         Returns one :class:`SearchResults` per query, in input order,
         each byte-identical to ``search(query, db, ...)`` run serially.
+        If the pool cannot finish the batch (capacity collapse, retry
+        exhaustion) and ``serial_fallback`` is on, the batch is served
+        by the serial engine instead — same bytes, plus a
+        ``RuntimeWarning`` and a ledger ``fallback`` entry.  A pack
+        failing CRC verification always raises
+        :class:`~repro.exec.shm.PackIntegrityError`.
         """
         self.start()
         params = params or SearchParams()
@@ -514,7 +911,15 @@ class ExecPool:
         tasks = [((qi, spec.name), float(spec.total_residues))
                  for qi in jobs for spec in prep.specs]
         if tasks:
-            results, _stats = self._run_tasks(jobs, tasks)
+            try:
+                results, _stats = self._run_tasks(jobs, tasks)
+            except PackIntegrityError:
+                raise               # never served silently — see shm.py
+            except PoolJobError as exc:
+                if not self.serial_fallback:
+                    raise
+                return self._serial_rescue(queries, query_ids, db, scheme,
+                                           params, both_strands, exc)
         else:
             results = {qi: {} for qi in jobs}
             self.last_stats = PoolStats()
@@ -553,7 +958,13 @@ class ExecPool:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Stop every worker and release all shared-memory segments."""
+        """Stop every worker and release all shared-memory segments.
+
+        Bounded: draining and joining share one ``join_timeout``
+        budget per worker, after which the worker is escalated
+        ``terminate()`` → ``kill()`` — a hung or fault-injected worker
+        can therefore never hang teardown (or CI).
+        """
         if self._closed:
             return
         self._closed = True
@@ -563,18 +974,22 @@ class ExecPool:
             except OSError:
                 w.alive = False
         for w in self._workers:
+            deadline = time.monotonic() + self.join_timeout
             if w.alive:
                 try:
-                    while w.conn.poll(2):
+                    while True:
+                        left = deadline - time.monotonic()
+                        if left <= 0 or not w.conn.poll(left):
+                            break
                         if w.conn.recv()[0] == "stopped":
                             break
                 except (EOFError, OSError):
                     pass
-            w.process.join(timeout=2)
-            if w.process.is_alive():  # pragma: no cover - stuck worker
+            w.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if w.process.is_alive():
                 w.process.terminate()
-                w.process.join(timeout=2)
-            if w.process.is_alive():  # pragma: no cover
+                w.process.join(timeout=max(0.5, self.join_timeout / 2))
+            if w.process.is_alive():  # pragma: no cover - SIGTERM immune
                 w.process.kill()
                 w.process.join()
             try:

@@ -14,13 +14,18 @@ real-execution twin).  Two refinements on top of plain FIFO:
   (matching the degraded-mode `appendleft` of the simulated master),
   with a bounded per-task attempt budget — exhausting it raises
   :class:`RetriesExceeded` and fails the job cleanly instead of
-  looping forever on a poisoned fragment.
+  looping forever on a poisoned fragment;
+* a task stuck past its soft deadline can be **hedged**: the same key
+  is speculatively issued to an idle worker (the CEFT move of skipping
+  a hot primary server and reading the mirror group instead).  The
+  first completion wins; late duplicates and failures of the losing
+  holders neither requeue the task nor burn its retry budget.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 
 class RetriesExceeded(RuntimeError):
@@ -74,9 +79,12 @@ class GreedyScheduler:
             raise ValueError("duplicate task keys")
         self.max_retries = max_retries
         self.outstanding: Dict[int, Hashable] = {}   # rank -> key
+        self._holders: Dict[Hashable, Set[int]] = {}  # key -> ranks holding it
+        self._done: Set[Hashable] = set()
         self._attempts: Dict[Hashable, int] = {}
         self.completed: List[Hashable] = []
         self.requeues = 0
+        self.hedges = 0
 
     # ------------------------------------------------------------------
     @property
@@ -85,7 +93,19 @@ class GreedyScheduler:
 
     @property
     def done(self) -> bool:
-        return not self._pending and not self.outstanding
+        """No queued work and every issued key completed.  A straggler
+        still *holding* a completed key (the losing side of a hedge)
+        does not keep the run alive — the pool reaps it separately."""
+        return not self._pending and all(
+            key in self._done for key in self.outstanding.values())
+
+    def is_completed(self, key: Hashable) -> bool:
+        """Whether some holder already delivered this key's result."""
+        return key in self._done
+
+    def holder_count(self, key: Hashable) -> int:
+        """How many workers currently hold this key (>1 = hedged)."""
+        return len(self._holders.get(key, ()))
 
     def assign(self, rank: int) -> Optional[Hashable]:
         """Give the next task to an idle worker (None when drained)."""
@@ -95,20 +115,52 @@ class GreedyScheduler:
             return None
         key = self._pending.popleft()
         self.outstanding[rank] = key
+        self._holders.setdefault(key, set()).add(rank)
+        return key
+
+    def hedge(self, rank: int, key: Hashable) -> Hashable:
+        """Speculatively issue an already-outstanding *key* to the idle
+        worker *rank* as well: whichever holder answers first wins."""
+        if rank in self.outstanding:
+            raise ValueError(f"worker {rank} already holds a task")
+        holders = self._holders.get(key)
+        if not holders or key in self._done:
+            raise ValueError(f"task {key!r} is not outstanding")
+        self.outstanding[rank] = key
+        holders.add(rank)
+        self.hedges += 1
         return key
 
     def complete(self, rank: int) -> Hashable:
-        """The worker finished its task; it is idle again."""
+        """The worker finished its task; it is idle again.  Only the
+        first completion of a key counts — a hedge loser's late result
+        just clears its bookkeeping (the pool discards the payload)."""
         key = self.outstanding.pop(rank)
-        self.completed.append(key)
+        holders = self._holders.get(key)
+        if holders is not None:
+            holders.discard(rank)
+            if not holders:
+                del self._holders[key]
+        if key not in self._done:
+            self._done.add(key)
+            self.completed.append(key)
         return key
 
     def fail(self, rank: int) -> Optional[Hashable]:
         """The worker died or errored mid-task: requeue its task at the
         front for the next idle worker.  Raises :class:`RetriesExceeded`
-        once the task burns through its attempt budget."""
+        once the task burns through its attempt budget.  A failure on a
+        key that is already completed, or that another (hedge) holder
+        still carries, requeues nothing and costs no attempt."""
         key = self.outstanding.pop(rank, None)
         if key is None:
+            return None
+        holders = self._holders.get(key)
+        if holders is not None:
+            holders.discard(rank)
+            if not holders:
+                del self._holders[key]
+        if key in self._done or self._holders.get(key):
             return None
         attempts = self._attempts.get(key, 0) + 1
         self._attempts[key] = attempts

@@ -33,6 +33,7 @@ from __future__ import annotations
 import atexit
 import os
 import secrets
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -60,6 +61,33 @@ _FIELDS = ("concat", "starts", "lengths", "codes", "code_pos",
            "hdr_blob", "hdr_offsets")
 
 
+class PackIntegrityError(RuntimeError):
+    """A shared-memory pack failed CRC32 verification.
+
+    Raised at publish time (a torn write — the read-back of the fresh
+    segment differs from the source arrays) or at attach time (the
+    segment was corrupted between publish and attach).  Typed so the
+    pool and CLI can fail loudly and distinctly instead of serving
+    silent garbage hits from a damaged mapping.  Takes a plain message
+    so it pickles across worker pipes.
+    """
+
+
+def _integrity_error(name: str, field: str, expected: int,
+                     got: int) -> PackIntegrityError:
+    return PackIntegrityError(
+        f"pack {name!r}: field {field!r} CRC32 mismatch "
+        f"(expected {expected:#010x}, got {got:#010x})")
+
+
+def _crc(arr: np.ndarray) -> int:
+    """CRC32 over an array's raw bytes (contiguous by construction)."""
+    try:
+        return zlib.crc32(memoryview(arr).cast("B"))
+    except TypeError:  # pragma: no cover - non-contiguous fallback
+        return zlib.crc32(arr.tobytes())
+
+
 @dataclass(frozen=True)
 class PackSpec:
     """Picklable descriptor of one shared-memory fragment pack.
@@ -82,6 +110,11 @@ class PackSpec:
     source_ids: Tuple[int, ...]   # parent ordinal of each local sequence
     arrays: Tuple[Tuple[str, str, Tuple[int, ...], int], ...]
     size: int
+    #: CRC32 per serialized field, computed from the published segment
+    #: itself (read-back) so a torn publish fails immediately; attach
+    #: re-verifies unless explicitly told not to.  Empty = unverified
+    #: legacy spec.
+    checksums: Tuple[Tuple[str, int], ...] = ()
 
 
 def _segment_name(fragment_id: Optional[int]) -> str:
@@ -203,9 +236,20 @@ def create_pack(structs: ScanStructures, descriptions: Sequence[str],
 
     name = _segment_name(fragment_id)
     shm = _shm.SharedMemory(name=name, create=True, size=max(offset, 1))
+    checksums = []
     for field, dtype, shape, off in layout:
         view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
         view[...] = arrays[field]
+        # Publish-time integrity: checksum the segment's own bytes and
+        # cross-check against the source — a torn write fails here, and
+        # the recorded CRC lets every attach re-verify cheaply.
+        written = _crc(view)
+        expected = _crc(arrays[field])
+        if written != expected:  # pragma: no cover - torn publish
+            shm.close()
+            shm.unlink()
+            raise _integrity_error(name, field, expected, written)
+        checksums.append((field, written))
     # Explicit None check: an *empty* ShmRegistry is falsy (__len__).
     (registry if registry is not None else default_registry()).register(shm)
     return PackSpec(
@@ -215,6 +259,7 @@ def create_pack(structs: ScanStructures, descriptions: Sequence[str],
         total_residues=structs.total_residues,
         source_ids=tuple(int(i) for i in (source_ids or range(structs.n_sequences))),
         arrays=tuple(layout), size=max(offset, 1),
+        checksums=tuple(checksums),
     )
 
 
@@ -230,10 +275,49 @@ def pack_fragment(db, k: int, base: int, cache_token: tuple,
                        registry=registry)
 
 
-class AttachedPack:
-    """A pack mapped into this process: zero-copy views, no ownership."""
+def corrupt_segment(spec: PackSpec, field: Optional[str] = None,
+                    nbytes: int = 8) -> str:
+    """Flip bytes inside one field of a published pack (fault hook).
 
-    def __init__(self, spec: PackSpec):
+    Damages *nbytes* in the middle of *field*'s data region (default:
+    the largest field, usually the concatenation) so the corruption is
+    guaranteed to land on checksummed payload rather than alignment
+    padding.  Returns the corrupted field name.  Test/chaos use only —
+    this is the torn-segment fault that attach-time CRC verification
+    must catch.
+    """
+    if _shm is None:  # pragma: no cover
+        raise RuntimeError("multiprocessing.shared_memory unavailable")
+    layout = {f: (dtype, shape, off) for f, dtype, shape, off in spec.arrays}
+    if field is None:
+        field = max(layout, key=lambda f: int(
+            np.prod(layout[f][1], dtype=np.int64))
+            * np.dtype(layout[f][0]).itemsize)
+    dtype, shape, off = layout[field]
+    size = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+    if size == 0:
+        raise ValueError(f"field {field!r} is empty; nothing to corrupt")
+    seg = _shm.SharedMemory(name=spec.name)
+    try:
+        start = off + max(0, size // 2 - 1)
+        for pos in range(start, min(off + size, start + nbytes)):
+            seg.buf[pos] ^= 0xFF
+    finally:
+        seg.close()
+    return field
+
+
+class AttachedPack:
+    """A pack mapped into this process: zero-copy views, no ownership.
+
+    Attach verifies the segment against the spec's recorded CRC32s by
+    default (*verify=False* skips it, e.g. for hot re-attach of a
+    segment this process just published), so a corrupted or torn
+    mapping raises :class:`PackIntegrityError` before a single hit can
+    be computed from it.
+    """
+
+    def __init__(self, spec: PackSpec, verify: bool = True):
         if _shm is None:  # pragma: no cover
             raise RuntimeError("multiprocessing.shared_memory unavailable")
         self.spec = spec
@@ -242,6 +326,13 @@ class AttachedPack:
         for field, dtype, shape, off in spec.arrays:
             views[field] = np.ndarray(shape, dtype=dtype,
                                       buffer=self._shm.buf, offset=off)
+        self._views = views
+        if verify:
+            try:
+                self.verify()
+            except PackIntegrityError:
+                self.close()
+                raise
         self.hdr_blob: np.ndarray = views["hdr_blob"]
         self.hdr_offsets: np.ndarray = views["hdr_offsets"]
         self.structs = ScanStructures(
@@ -249,6 +340,14 @@ class AttachedPack:
             total_residues=spec.total_residues, concat=views["concat"],
             starts=views["starts"], lengths=views["lengths"],
             codes=views["codes"], code_pos=views["code_pos"])
+
+    def verify(self) -> None:
+        """Re-checksum every field against the spec; raises
+        :class:`PackIntegrityError` on the first mismatch."""
+        for field, expected in self.spec.checksums:
+            got = _crc(self._views[field])
+            if got != expected:
+                raise _integrity_error(self.spec.name, field, expected, got)
 
     def close(self) -> None:
         """Drop the mapping (never unlinks — the creator owns that).

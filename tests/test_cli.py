@@ -170,3 +170,53 @@ def test_blastall_jobs_falls_back_for_translated_programs(fasta_file, capsys):
                  "-i", query, "--jobs", "2"]) == 0
     captured = capsys.readouterr()
     assert "--jobs applies to blastn/blastp only" in captured.err
+
+
+# ----------------------------------------------------------------------
+# Parallel-run exit codes (fault plans injected via the env hook so
+# the CLI code path under test is exactly what users run)
+# ----------------------------------------------------------------------
+def test_blastn_jobs_corrupt_pack_exit_code(fasta_file, capsys, monkeypatch):
+    from repro.cli import EXIT_INTEGRITY
+
+    fasta, query, d = fasta_file
+    main(["formatdb", "-i", fasta, "-d", d, "-n", "mini"])
+    capsys.readouterr()
+    monkeypatch.setenv("REPRO_EXEC_FAULT_PLAN",
+                       '[{"kind": "corrupt_pack", "rank": 0}]')
+    assert main(["blastn", "-d", f"{d}/mini", "-i", query,
+                 "--jobs", "2"]) == EXIT_INTEGRITY
+    captured = capsys.readouterr()
+    assert "pack integrity failure" in captured.err
+    assert "CRC32" in captured.err
+
+
+def test_blastn_jobs_pool_failure_exit_code(fasta_file, capsys, monkeypatch):
+    from repro.cli import EXIT_POOL_FAILURE
+
+    fasta, query, d = fasta_file
+    main(["formatdb", "-i", fasta, "-d", d, "-n", "mini"])
+    capsys.readouterr()
+    monkeypatch.setenv("REPRO_EXEC_FAULT_PLAN", '[{"kind": "kill"}]')
+    assert main(["blastn", "-d", f"{d}/mini", "-i", query, "--jobs", "2",
+                 "--no-respawn", "--no-fallback"]) == EXIT_POOL_FAILURE
+    captured = capsys.readouterr()
+    assert "pool failure" in captured.err
+
+
+def test_blastn_jobs_degraded_exit_code(fasta_file, capsys, monkeypatch):
+    from repro.cli import EXIT_DEGRADED
+
+    fasta, query, d = fasta_file
+    main(["formatdb", "-i", fasta, "-d", d, "-n", "mini"])
+    capsys.readouterr()
+    assert main(["blastn", "-d", f"{d}/mini", "-i", query,
+                 "-m", "tabular"]) == 0
+    serial = capsys.readouterr().out
+    monkeypatch.setenv("REPRO_EXEC_FAULT_PLAN", '[{"kind": "kill"}]')
+    assert main(["blastn", "-d", f"{d}/mini", "-i", query, "-m", "tabular",
+                 "--jobs", "2", "--no-respawn"]) == EXIT_DEGRADED
+    captured = capsys.readouterr()
+    # Degraded, but the answer itself is byte-identical.
+    assert captured.out == serial
+    assert "degraded" in captured.err

@@ -271,7 +271,11 @@ def test_all_workers_dead_fails_job_cleanly():
     scheme = NucleotideScore()
     params = SearchParams(word_size=11)
     q = db.sequence(3)[:120].copy()
-    with ExecPool(jobs=1, task_sleep=0.3, max_retries=0) as pool:
+    # Respawn and serial fallback are the new default recovery paths;
+    # disable both to pin the PR 1 contract: losing every worker fails
+    # the job cleanly instead of hanging or leaking.
+    with ExecPool(jobs=1, task_sleep=0.3, max_retries=0,
+                  respawn=False, serial_fallback=False) as pool:
         pool.start()
         pid = pool.worker_pids()[0]
         timer = threading.Timer(0.1, os.kill, (pid, signal.SIGKILL))

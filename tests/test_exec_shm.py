@@ -11,7 +11,8 @@ from repro.blast.scankernel import ScanCache, build_scan_structures, db_token
 from repro.blast.search import SearchParams, search
 from repro.blast.score import NucleotideScore
 from repro.blast.seqdb import AA, NT, SequenceDB
-from repro.exec.shm import (NAME_PREFIX, AttachedPack, PackDB, ShmRegistry,
+from repro.exec.shm import (NAME_PREFIX, AttachedPack, PackDB,
+                            PackIntegrityError, ShmRegistry, corrupt_segment,
                             create_pack, default_registry, pack_fragment)
 
 NT_LETTERS = np.array(list("ACGT"))
@@ -181,6 +182,60 @@ def test_default_registry_is_per_process():
     reg = default_registry()
     assert default_registry() is reg
     assert reg._pid == os.getpid()
+
+
+def test_pack_spec_carries_checksums_and_attach_verifies():
+    rng = np.random.default_rng(7)
+    db = random_nt_db(rng, 10)
+    registry = ShmRegistry()
+    spec = pack_fragment(db, 11, 4, cache_token=("crc", 0, 0),
+                         registry=registry)
+    try:
+        assert spec.checksums, "publish must record per-field CRCs"
+        fields = [f for f, _crc in spec.checksums]
+        assert "concat" in fields and "starts" in fields
+        pack = AttachedPack(spec)          # verifies on attach
+        pack.verify()                      # and is re-verifiable
+        pack.close()
+    finally:
+        registry.release(spec.name)
+
+
+def test_corrupt_segment_fails_attach_with_typed_error():
+    rng = np.random.default_rng(8)
+    db = random_nt_db(rng, 10, min_len=50, max_len=200)
+    registry = ShmRegistry()
+    spec = pack_fragment(db, 11, 4, cache_token=("crc", 0, 1),
+                         registry=registry)
+    try:
+        field = corrupt_segment(spec)
+        with pytest.raises(PackIntegrityError, match="CRC32 mismatch"):
+            AttachedPack(spec)
+        # The error names the damaged field and the segment.
+        with pytest.raises(PackIntegrityError, match=field):
+            AttachedPack(spec)
+        # An unverified attach still maps (forensics / tooling path)
+        # and flags the damage when asked.
+        pack = AttachedPack(spec, verify=False)
+        with pytest.raises(PackIntegrityError):
+            pack.verify()
+        pack.close()
+    finally:
+        registry.release(spec.name)
+
+
+def test_corrupt_segment_named_field():
+    rng = np.random.default_rng(9)
+    db = random_nt_db(rng, 8, min_len=50, max_len=200)
+    registry = ShmRegistry()
+    spec = pack_fragment(db, 11, 4, cache_token=("crc", 0, 2),
+                         registry=registry)
+    try:
+        assert corrupt_segment(spec, field="starts") == "starts"
+        with pytest.raises(PackIntegrityError, match="starts"):
+            AttachedPack(spec)
+    finally:
+        registry.release(spec.name)
 
 
 def test_empty_descriptions_and_single_sequence():
