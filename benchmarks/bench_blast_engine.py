@@ -109,9 +109,10 @@ def test_pool_scaling_four_workers(nt_db):
     """Four pool workers must clearly beat the serial warm kernel on
     the 1M corpus (same machine, same run — machine-portable ratio).
 
-    1.8x at 4 workers is a deliberately conservative floor: fragment
-    packing is amortized (the pool is warm), so the residual costs are
-    task dispatch and result pickling.
+    2.0x at 4 workers: fragment packing is amortized (the pool is
+    warm), tasks are overhead-sized fragment ranges, and large results
+    ship through the shared-memory arena instead of the pickle pipe —
+    half of ideal scaling is the least the design must deliver.
     """
     from repro.exec import ExecPool
 
@@ -136,7 +137,7 @@ def test_pool_scaling_four_workers(nt_db):
              for h in first.hits] ==
             [(h.subject_id, [dataclasses.astuple(p) for p in h.hsps])
              for h in serial.hits])
-    assert t_serial / t_pool > 1.8
+    assert t_serial / t_pool > 2.0
 
 
 def test_blastp_search(benchmark, aa_db):

@@ -218,6 +218,46 @@ class SearchResults:
 
 
 # ----------------------------------------------------------------------
+def merge_fragment_results(by_pack: Dict[str, "SearchResults"],
+                           ids_by_name: Dict[str, List[int]], *,
+                           query_id: str, query_len: int,
+                           db_residues: int, db_sequences: int,
+                           fragment_id: Optional[int] = None,
+                           keep_fragment_ids: bool = False
+                           ) -> "SearchResults":
+    """Merge per-fragment results into one whole-database result.
+
+    *by_pack* maps pack name to that fragment's ``SearchResults`` (hits
+    carry fragment-local subject ids); *ids_by_name* maps pack name to
+    the fragment's global id table.  Because every worker searched with
+    the whole database's Karlin–Altschul parameters and effective
+    space (shipped in the job spec), scores and E-values need no
+    rescaling here — the merge is pure relabelling plus the serial
+    engine's deterministic ordering, which is what makes the parallel
+    path byte-identical to a serial scan.
+
+    Hits are mutated in place (subject ids globalized; fragment ids
+    overwritten with *fragment_id* unless *keep_fragment_ids*).
+    """
+    merged = SearchResults(query_id=query_id, query_len=query_len,
+                           db_residues=db_residues,
+                           db_sequences=db_sequences)
+    for pack_name, res in by_pack.items():
+        ids = ids_by_name[pack_name]
+        for hit in res.hits:
+            hit.subject_id = ids[hit.subject_id]
+            if not keep_fragment_ids:
+                hit.fragment_id = fragment_id
+            merged.hits.append(hit)
+    # Deterministic cross-fragment tie-break: pre-order by global
+    # subject id (the order a serial scan appends hits in), then the
+    # standard stable result sort.
+    merged.hits.sort(key=lambda h: h.subject_id)
+    merged.sort()
+    return merged
+
+
+# ----------------------------------------------------------------------
 def resolve_ka(scheme: ScoringScheme, params: SearchParams,
                is_protein: bool) -> KarlinAltschul:
     """The Karlin–Altschul parameters :func:`search` uses when none are

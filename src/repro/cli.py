@@ -87,7 +87,8 @@ def _parallel_results(program: str, db, queries, params, jobs: int,
     for attr, kw in (("heartbeat", "heartbeat"),
                      ("join_timeout", "join_timeout"),
                      ("hedge_after", "hedge_after"),
-                     ("task_timeout", "task_timeout")):
+                     ("task_timeout", "task_timeout"),
+                     ("task_granularity", "task_granularity")):
         val = getattr(args, attr, None) if args is not None else None
         if val is not None:
             pool_kw[kw] = val
@@ -270,6 +271,10 @@ def _add_pool_args(p: argparse.ArgumentParser) -> None:
                    help="hard deadline before a busy worker is presumed "
                         "hung and killed (default adaptive; env "
                         "REPRO_EXEC_TASK_TIMEOUT)")
+    g.add_argument("--task-granularity", type=int, default=None,
+                   help="fragments per pool task (1 = legacy one task "
+                        "per fragment; default adaptive overhead-aware "
+                        "ranges; env REPRO_EXEC_TASK_GRANULARITY)")
     g.add_argument("--no-respawn", action="store_true",
                    help="do not replace crashed workers")
     g.add_argument("--no-fallback", action="store_true",

@@ -7,10 +7,12 @@ master/worker design on actual cores:
 * :mod:`repro.exec.shm` — immutable fragment scan-structures published
   once in ``multiprocessing.shared_memory`` and attached zero-copy by
   every worker, with CRC32 integrity verification at publish and
-  attach;
+  attach, plus per-worker CRC-checked result arenas for shipping large
+  hit sets back without pickling them through the pipe;
 * :mod:`repro.exec.schedule` — greedy heaviest-first dynamic fragment
-  scheduling with front-requeue on failure, bounded retries, and
-  hedged re-issue of stuck tasks;
+  scheduling with front-requeue on failure, bounded retries, hedged
+  re-issue of stuck tasks, and an overhead-aware planner that groups
+  fragments into contiguous range tasks;
 * :mod:`repro.exec.pool` — the persistent worker pool and the
   :func:`search_parallel` entry point, byte-identical to the serial
   engine, with worker respawn and graceful serial fallback;
@@ -24,18 +26,26 @@ from repro.exec.faults import (ANOMALY_KINDS, FAULT_KINDS, FAULT_PLAN_ENV,
                                FaultPlan, LedgerEntry, random_plan)
 from repro.exec.pool import (ExecPool, JobSpec, PoolConfig, PoolJobError,
                              PoolStats, search_parallel)
-from repro.exec.schedule import GreedyScheduler, RetriesExceeded, plan_fragments
-from repro.exec.shm import (AttachedPack, PackDB, PackIntegrityError,
-                            PackSpec, ShmRegistry, corrupt_segment,
-                            create_pack, default_registry, pack_fragment)
+from repro.exec.results import (decode_result_pairs, encode_result_pairs,
+                                estimate_payload_size)
+from repro.exec.schedule import (DEFAULT_SCAN_RATE, DEFAULT_TASK_OVERHEAD_S,
+                                 GreedyScheduler, RetriesExceeded,
+                                 plan_fragments, plan_task_ranges)
+from repro.exec.shm import (ArenaSpec, AttachedPack, PackDB,
+                            PackIntegrityError, PackSpec, ResultArena,
+                            ShmRegistry, corrupt_segment, create_pack,
+                            default_registry, pack_fragment)
 
 __all__ = [
     "ExecPool", "JobSpec", "PoolConfig", "PoolJobError", "PoolStats",
     "search_parallel",
+    "DEFAULT_SCAN_RATE", "DEFAULT_TASK_OVERHEAD_S",
     "GreedyScheduler", "RetriesExceeded", "plan_fragments",
-    "AttachedPack", "PackDB", "PackIntegrityError", "PackSpec",
-    "ShmRegistry", "corrupt_segment", "create_pack", "default_registry",
-    "pack_fragment",
+    "plan_task_ranges",
+    "decode_result_pairs", "encode_result_pairs", "estimate_payload_size",
+    "ArenaSpec", "AttachedPack", "PackDB", "PackIntegrityError", "PackSpec",
+    "ResultArena", "ShmRegistry", "corrupt_segment", "create_pack",
+    "default_registry", "pack_fragment",
     "ANOMALY_KINDS", "FAULT_KINDS", "FAULT_PLAN_ENV",
     "Fault", "FaultInjector", "FaultPlan", "FailureLedger", "LedgerEntry",
     "random_plan",

@@ -219,16 +219,26 @@ class FaultInjector:
         return self._take(lambda f: f.kind == "corrupt_pack" and (
             f.fragment is None or f.fragment == fragment_id))
 
-    def on_task(self, query: int,
-                fragment_id: Optional[int]) -> Optional[Fault]:
-        """The fault (if any) armed against the task just received."""
+    def on_task(self, query: int, fragment_id=None) -> Optional[Fault]:
+        """The fault (if any) armed against the task just received.
+
+        *fragment_id* is one fragment id or, for a fragment-range task,
+        a sequence of ids — a ``fragment`` selector matches when the
+        armed fragment is anywhere in the range.  Either way the task
+        counter advances once per task (one range = one task), so
+        ``task_index`` keeps counting what the worker actually serves.
+        """
         self._task_no += 1
+        if fragment_id is None or isinstance(fragment_id, int):
+            frags = (fragment_id,)
+        else:
+            frags = tuple(fragment_id)
         return self._take(lambda f: f.kind != "corrupt_pack"
                           and (f.task_index is None
                                or f.task_index == self._task_no)
                           and (f.query is None or f.query == query)
                           and (f.fragment is None
-                               or f.fragment == fragment_id))
+                               or f.fragment in frags))
 
 
 # ----------------------------------------------------------------------

@@ -66,15 +66,20 @@ import numpy as np
 
 from repro.blast.alphabet import DNA, PROTEIN
 from repro.blast.scankernel import ScanCache, db_token
-from repro.blast.search import (SearchParams, SearchResults, resolve_ka,
-                                search)
+from repro.blast.search import (SearchParams, SearchResults,
+                                merge_fragment_results, resolve_ka, search)
 from repro.blast.seqdb import AA
 from repro.blast.stats import KarlinAltschul, effective_search_space
 from repro.exec.faults import FailureLedger, FaultInjector, FaultPlan
-from repro.exec.schedule import GreedyScheduler, RetriesExceeded, plan_fragments
-from repro.exec.shm import (AttachedPack, PackDB, PackIntegrityError,
-                            PackSpec, ShmRegistry, corrupt_segment,
-                            default_registry, ensure_tracker, pack_fragment)
+from repro.exec.results import (decode_result_pairs, encode_result_pairs,
+                                estimate_payload_size)
+from repro.exec.schedule import (DEFAULT_SCAN_RATE, DEFAULT_TASK_OVERHEAD_S,
+                                 GreedyScheduler, RetriesExceeded,
+                                 plan_fragments, plan_task_ranges)
+from repro.exec.shm import (ArenaSpec, AttachedPack, PackDB,
+                            PackIntegrityError, PackSpec, ResultArena,
+                            ShmRegistry, corrupt_segment, default_registry,
+                            ensure_tracker, pack_fragment)
 
 #: Adaptive soft-deadline floor and multiplier: with no observed task
 #: times yet a task is hedge-eligible after this many seconds; once an
@@ -111,12 +116,17 @@ class PoolConfig:
     window for mid-task fault injection; 0 in production.
     ``fault_plan`` arms deterministic worker-side faults (see
     :mod:`repro.exec.faults`); ``None`` in production.
+    ``arena_threshold`` is the estimated payload size (bytes) above
+    which a worker ships results through its shared-memory arena
+    instead of pickling them over the pipe; small results stay inline
+    because the arena's encode/copy costs more than a tiny pickle.
     """
 
     task_sleep: float = 0.0
     cache_entries: int = 1024
     cache_bytes: int = 1 << 40
     fault_plan: Optional[FaultPlan] = None
+    arena_threshold: int = 32768
 
 
 @dataclass
@@ -140,6 +150,7 @@ class PoolStats:
     """Accounting for the most recent pool run."""
 
     tasks_done: int = 0
+    fragments_done: int = 0
     requeues: int = 0
     worker_errors: int = 0
     worker_deaths: List[int] = field(default_factory=list)
@@ -147,8 +158,15 @@ class PoolStats:
     hedge_wins: int = 0
     stale_results: int = 0
     respawns: int = 0
+    #: Respawns *tried*, successful or not; the budget counts attempts
+    #: so a slot whose replacement keeps failing to start cannot spin
+    #: the pump loop forever.
+    respawn_attempts: int = 0
     hang_kills: int = 0
     integrity_failures: int = 0
+    #: Result payloads shipped through the shm arena vs pickled inline.
+    arena_results: int = 0
+    inline_results: int = 0
     fallback: bool = False
 
 
@@ -159,7 +177,8 @@ class _Worker:
     conn: object
     alive: bool = True
     jobs_sent: set = field(default_factory=set)
-    #: The task this worker is serving: ``(epoch, qi, pack_name)``.
+    #: The task this worker is serving: ``(epoch, qi, names)`` where
+    #: ``names`` is the tuple of pack names in the fragment range.
     #: Pool-level (not scheduler-level) so a straggler from a previous
     #: run is still recognised — and reaped — across run boundaries.
     busy: Optional[tuple] = None
@@ -178,13 +197,19 @@ class _PreparedDB:
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
-def _worker_main(rank: int, conn, cfg: PoolConfig) -> None:
+def _worker_main(rank: int, conn, cfg: PoolConfig,
+                 arena_spec: Optional[ArenaSpec] = None) -> None:
     """Worker loop: attach packs once, then serve tasks until stopped.
 
     Runs in a child process, but takes any connection-like object so
     the protocol is unit-testable in-process with a scripted pipe.
-    Task messages carry the master's run epoch, echoed back on every
-    result/error so the master can discard cross-run stragglers.
+    A task is a contiguous *range* of fragment packs (a tuple of pack
+    names); the worker scans them all and ships the per-pack results
+    back in one message — through its shared-memory result arena when
+    the payload is large (descriptor over the pipe, CRC-checked),
+    pickled inline when it is small.  Task messages carry the master's
+    run epoch, echoed back on every result/error so the master can
+    discard cross-run stragglers.
     """
     cache = ScanCache(max_entries=cfg.cache_entries,
                       max_bytes=cfg.cache_bytes)
@@ -194,6 +219,18 @@ def _worker_main(rank: int, conn, cfg: PoolConfig) -> None:
     fragments_done: List[Optional[int]] = []
     injector = (FaultInjector(cfg.fault_plan, rank)
                 if cfg.fault_plan is not None else None)
+    arena = ResultArena(arena_spec) if arena_spec is not None else None
+
+    def _ship(pairs) -> tuple:
+        """Pick the transport for a task's result pairs: the shm arena
+        for large payloads (one copy + a tiny descriptor), inline
+        pickle for small ones."""
+        if arena is not None and \
+                estimate_payload_size(pairs) >= cfg.arena_threshold:
+            blob = encode_result_pairs(pairs)
+            if len(blob) <= arena.size:
+                return ("arena",) + arena.write(blob)
+        return ("inline", pairs)
 
     def _drop_pack(name: str) -> None:
         entry = packs.pop(name, None)
@@ -237,10 +274,13 @@ def _worker_main(rank: int, conn, cfg: PoolConfig) -> None:
             elif kind == "forget_job":
                 jobs.pop(msg[1], None)
             elif kind == "task":
-                qi, name = msg[1], msg[2]
+                qi, names = msg[1], msg[2]
+                if isinstance(names, str):   # legacy single-name task
+                    names = (names,)
                 epoch = msg[3] if len(msg) > 3 else 0
                 if injector is not None:
-                    fault = injector.on_task(qi, frag_ids.get(name))
+                    fault = injector.on_task(
+                        qi, tuple(frag_ids.get(n) for n in names))
                     if fault is not None:
                         if fault.kind == "kill":
                             os._exit(_FAULT_EXIT)
@@ -252,18 +292,21 @@ def _worker_main(rank: int, conn, cfg: PoolConfig) -> None:
                     if cfg.task_sleep > 0:
                         time.sleep(cfg.task_sleep)
                     job = jobs[qi]
-                    pack, db = packs[name]
                     t0 = time.perf_counter()
-                    res = search(job.query, db, job.scheme, job.params,
-                                 query_id=job.query_id, ka=job.ka,
-                                 both_strands=job.both_strands,
-                                 engine="scan", scan_cache=cache,
-                                 effective_space=job.effective_space)
-                    fragments_done.append(pack.spec.fragment_id)
-                    conn.send(("result", rank, qi, name, res,
+                    pairs = []
+                    for name in names:
+                        pack, db = packs[name]
+                        res = search(job.query, db, job.scheme, job.params,
+                                     query_id=job.query_id, ka=job.ka,
+                                     both_strands=job.both_strands,
+                                     engine="scan", scan_cache=cache,
+                                     effective_space=job.effective_space)
+                        fragments_done.append(pack.spec.fragment_id)
+                        pairs.append((name, res))
+                    conn.send(("result", rank, qi, names, _ship(pairs),
                                time.perf_counter() - t0, epoch))
                 except Exception:
-                    conn.send(("error", rank, qi, name,
+                    conn.send(("error", rank, qi, names,
                                traceback.format_exc(), epoch))
             elif kind == "stop":
                 for name in list(packs):
@@ -283,6 +326,8 @@ def _worker_main(rank: int, conn, cfg: PoolConfig) -> None:
                 _drop_pack(name)
             except Exception:  # pragma: no cover - teardown best effort
                 pass
+        if arena is not None:
+            arena.close()
 
 
 # ----------------------------------------------------------------------
@@ -372,6 +417,10 @@ class ExecPool:
                  serial_fallback: bool = True,
                  min_workers: int = 1,
                  fault_plan: Optional[FaultPlan] = None,
+                 task_granularity: Optional[int] = None,
+                 task_overhead: Optional[float] = None,
+                 result_arena_bytes: Optional[int] = None,
+                 arena_threshold: Optional[int] = None,
                  start_timeout: float = 30.0):
         self.jobs = (os.cpu_count() or 1) if jobs is None else int(jobs)
         if self.jobs < 1:
@@ -382,7 +431,21 @@ class ExecPool:
             task_sleep = float(os.environ.get("REPRO_EXEC_TASK_SLEEP") or 0.0)
         if fault_plan is None:
             fault_plan = FaultPlan.from_env()
-        self._cfg = PoolConfig(task_sleep=task_sleep, fault_plan=fault_plan)
+        if task_granularity is None:
+            raw = os.environ.get("REPRO_EXEC_TASK_GRANULARITY") or ""
+            task_granularity = int(raw) if raw.strip() else None
+        self.task_granularity = task_granularity
+        self.task_overhead = (task_overhead if task_overhead is not None
+                              else _env_float("REPRO_EXEC_TASK_OVERHEAD",
+                                              DEFAULT_TASK_OVERHEAD_S))
+        self.result_arena_bytes = int(
+            result_arena_bytes if result_arena_bytes is not None
+            else _env_float("REPRO_EXEC_ARENA_BYTES", float(4 << 20)))
+        self._cfg = PoolConfig(task_sleep=task_sleep, fault_plan=fault_plan,
+                               arena_threshold=(
+                                   PoolConfig.arena_threshold
+                                   if arena_threshold is None
+                                   else int(arena_threshold)))
         if start_method is None:
             start_method = os.environ.get("REPRO_EXEC_START_METHOD") or (
                 "fork" if "fork" in mp.get_all_start_methods() else "spawn")
@@ -404,10 +467,15 @@ class ExecPool:
         self._registry: ShmRegistry = default_registry()
         self._workers: List[_Worker] = []
         self._prepared: Dict[tuple, _PreparedDB] = {}
+        self._arenas: Dict[int, ResultArena] = {}
+        self._pack_residues: Dict[str, int] = {}
         self._started = False
         self._closed = False
         self._epoch = 0
         self._task_ema: Optional[float] = None
+        #: Observed scan rate (residues/second) EMA; feeds the range
+        #: planner so task sizing tracks the actual machine.
+        self._rate_ema: Optional[float] = None
         self.last_stats: Optional[PoolStats] = None
         self.ledger = FailureLedger()
         self.total_respawns = 0
@@ -415,11 +483,27 @@ class ExecPool:
                                            self._workers)
 
     # ------------------------------------------------------------------
+    def _arena_for(self, rank: int) -> Optional[ResultArena]:
+        """The rank's result arena, created on first use (and reused by
+        a respawned replacement — its predecessor is dead, and the
+        master consumed or abandoned any descriptor it had written)."""
+        if self.result_arena_bytes <= 0:
+            return None
+        arena = self._arenas.get(rank)
+        if arena is None:
+            arena = ResultArena.create(self.result_arena_bytes,
+                                       tag=str(rank),
+                                       registry=self._registry)
+            self._arenas[rank] = arena
+        return arena
+
     def _spawn_worker(self, rank: int,
                       cfg: Optional[PoolConfig] = None) -> _Worker:
         parent_conn, child_conn = self._ctx.Pipe()
+        arena = self._arena_for(rank)
         proc = self._ctx.Process(
-            target=_worker_main, args=(rank, child_conn, cfg or self._cfg),
+            target=_worker_main, args=(rank, child_conn, cfg or self._cfg,
+                                       arena.spec if arena else None),
             name=f"repro-exec-{rank}", daemon=True)
         proc.start()
         child_conn.close()
@@ -483,21 +567,25 @@ class ExecPool:
             pass
         clean = (replace(self._cfg, fault_plan=None)
                  if self._cfg.fault_plan is not None else self._cfg)
+        if stats is not None:
+            stats.respawn_attempts += 1
         w = self._spawn_worker(old.rank, clean)
-        if not self._await_ready(w):  # pragma: no cover - spawn crash
-            try:
-                w.process.kill()
-            except Exception:
-                pass
-            w.alive = False
+        if not self._await_ready(w):
+            # The replacement never came up: reap it completely (kill
+            # *and* join, it is in no worker list) and leave the dead
+            # slot as-is — the attempt above still consumed budget, so
+            # a permanently failing spawn cannot loop forever.
+            self._reap_stillborn(w)
             self.ledger.record("respawn_failed", rank=old.rank)
             return None
         try:
             for prep in self._prepared.values():
                 for spec in prep.specs:
                     w.conn.send(("attach", spec))
-        except OSError:  # pragma: no cover - instant death
-            w.alive = False
+        except OSError:  # instant death during re-attach
+            self._reap_stillborn(w)
+            self.ledger.record("respawn_failed", rank=old.rank,
+                               detail="died during pack re-attach")
             return None
         self._workers[idx] = w
         self.total_respawns += 1
@@ -505,6 +593,21 @@ class ExecPool:
             stats.respawns += 1
         self.ledger.record("respawn", rank=w.rank)
         return w
+
+    def _reap_stillborn(self, w: _Worker) -> None:
+        """Kill and join a replacement that failed before it was ever
+        placed in ``_workers`` — nothing else will, so skipping this
+        leaks a live process."""
+        w.alive = False
+        try:
+            w.process.kill()
+            w.process.join(timeout=self.join_timeout)
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+        try:
+            w.conn.close()
+        except OSError:  # pragma: no cover
+            pass
 
     def _ensure_capacity(self) -> int:
         """Respawn every dead slot (between-runs capacity recovery)."""
@@ -517,10 +620,15 @@ class ExecPool:
         return restored
 
     def _maybe_respawn(self, stats: PoolStats) -> None:
+        """Budgeted per-run capacity recovery.  The budget counts
+        *attempts* (not successes): one worker death must consume at
+        most one unit even when its send failure and the liveness
+        sweep both observe it, and a slot whose replacements keep
+        dying cannot burn the pump loop on endless spawns."""
         if not self.respawn:
             return
         for idx, w in enumerate(self._workers):
-            if not w.alive and stats.respawns < self.max_respawns:
+            if not w.alive and stats.respawn_attempts < self.max_respawns:
                 self._respawn_slot(idx, stats)
 
     # ------------------------------------------------------------------
@@ -551,6 +659,8 @@ class ExecPool:
         prep = _PreparedDB(key=key, specs=specs,
                            ids_by_name={s.name: list(s.source_ids)
                                         for s in specs})
+        for s in specs:
+            self._pack_residues[s.name] = s.total_residues
         for w in self._live():
             try:
                 for spec in specs:
@@ -570,6 +680,7 @@ class ExecPool:
                     except OSError:
                         w.alive = False
             self._registry.release(spec.name)
+            self._pack_residues.pop(spec.name, None)
 
     def release_db(self, db) -> int:
         """Drop every pack prepared from *db* (any version); returns
@@ -633,20 +744,48 @@ class ExecPool:
         return self._fail_current(w, sched, stats, epoch)
 
     def _send_task(self, w: _Worker, jobs: Dict[int, JobSpec], qi: int,
-                   name: str, epoch: int, sched: GreedyScheduler,
+                   names: Tuple[str, ...], epoch: int,
+                   sched: GreedyScheduler,
                    stats: PoolStats) -> Optional[PoolJobError]:
         """Ship (job if new, then task) to *w*; busy bookkeeping is set
-        first so a send failure resolves the assignment as a death."""
-        w.busy = (epoch, qi, name)
+        first so a send failure resolves the assignment as a death.
+        ``jobs_sent`` is only updated after every send succeeded — a
+        half-delivered dispatch must not leave the record claiming the
+        worker holds a job spec it never received."""
+        w.busy = (epoch, qi, names)
         w.busy_since = time.monotonic()
         try:
             if qi not in w.jobs_sent:
                 w.conn.send(("job", qi, jobs[qi]))
-                w.jobs_sent.add(qi)
-            w.conn.send(("task", qi, name, epoch))
-            return None
+            w.conn.send(("task", qi, names, epoch))
         except OSError:
             return self._handle_death(w, sched, stats, epoch)
+        w.jobs_sent.add(qi)
+        return None
+
+    def _payload_pairs(self, w: "_Worker", payload: tuple,
+                       stats: PoolStats
+                       ) -> List[Tuple[str, SearchResults]]:
+        """Materialize a result payload: inline pickled pairs, or a
+        CRC-checked read from the worker's shared result arena.
+
+        The single-slot arena is safe because this read happens inside
+        the result-message handler — before the dispatch phase can hand
+        the same worker another task that would overwrite the slot.
+        Hedge copies run on *other* workers, which own their own arenas.
+        """
+        mode = payload[0]
+        if mode == "inline":
+            stats.inline_results += 1
+            return payload[1]
+        _, offset, nbytes, crc = payload
+        arena = self._arenas.get(w.rank)
+        if arena is None:
+            raise PackIntegrityError(
+                f"worker {w.rank} shipped an arena result but the master "
+                f"holds no arena for that rank")
+        stats.arena_results += 1
+        return decode_result_pairs(arena.read(offset, nbytes, crc))
 
     def _hedge_candidate(self, sched: GreedyScheduler, epoch: int,
                          now: float, soft: float) -> Optional[tuple]:
@@ -743,8 +882,8 @@ class ExecPool:
                     break
                 if not w.alive or w.busy is not None:
                     continue
-                qi, pack_name = sched.assign(w.rank)
-                err = self._send_task(w, jobs, qi, pack_name,
+                qi, names = sched.assign(w.rank)
+                err = self._send_task(w, jobs, qi, names,
                                       epoch, sched, stats)
                 failure = failure or err
             # Hedged re-issue: idle workers with nothing pending take a
@@ -781,16 +920,16 @@ class ExecPool:
                     continue
                 kind = msg[0]
                 if kind == "result":
-                    _, rank, qi, pack_name, res, elapsed = msg[:6]
+                    _, rank, qi, names, payload, elapsed = msg[:6]
                     m_epoch = msg[6] if len(msg) > 6 else epoch
                     w.busy = None
                     if m_epoch != epoch:
                         stats.stale_results += 1
                         self.ledger.record("stale_result", rank=w.rank,
-                                           task=(qi, pack_name),
+                                           task=(qi, names),
                                            detail="cross-run straggler")
                         continue
-                    key = (qi, pack_name)
+                    key = (qi, names)
                     was_done = sched.is_completed(key)
                     hedged = sched.holder_count(key) > 1
                     if w.rank in sched.outstanding:
@@ -801,20 +940,46 @@ class ExecPool:
                                            task=key, detail="hedge loser")
                         continue
                     stats.tasks_done += 1
-                    self._task_ema = (elapsed if self._task_ema is None
-                                      else 0.5 * self._task_ema
-                                      + 0.5 * elapsed)
+                    stats.fragments_done += len(names)
+                    if not hedged:
+                        # Only clean, sole-holder completions feed the
+                        # adaptive deadlines: a hedged task's elapsed
+                        # time is either the straggler's stall or a
+                        # duplicate — letting one straggler inflate the
+                        # soft deadline would disable hedging for the
+                        # rest of the run.
+                        self._task_ema = (elapsed if self._task_ema is None
+                                          else 0.5 * self._task_ema
+                                          + 0.5 * elapsed)
+                        if elapsed > 0:
+                            rate = sum(self._pack_residues.get(n, 0)
+                                       for n in names) / elapsed
+                            if rate > 0:
+                                self._rate_ema = (
+                                    rate if self._rate_ema is None
+                                    else 0.5 * self._rate_ema + 0.5 * rate)
                     if hedged:
                         stats.hedge_wins += 1
                         self.ledger.record("hedge_win", rank=w.rank, task=key)
                     if failure is None:
-                        results[qi][pack_name] = res
+                        try:
+                            pairs = self._payload_pairs(w, payload, stats)
+                        except PackIntegrityError as exc:
+                            stats.integrity_failures += 1
+                            self.ledger.record(
+                                "integrity", rank=w.rank,
+                                detail=f"result arena: {exc}")
+                            failure = exc
+                            sched.drop_pending()
+                            continue
+                        for pack_name, res in pairs:
+                            results[qi][pack_name] = res
                 elif kind == "error":
-                    _, rank, qi, pack_name, tb = msg[:5]
+                    _, rank, qi, names, tb = msg[:5]
                     m_epoch = msg[5] if len(msg) > 5 else epoch
                     stats.worker_errors += 1
                     self.ledger.record("worker_error", rank=w.rank,
-                                       task=(qi, pack_name),
+                                       task=(qi, names),
                                        detail=tb.strip().splitlines()[-1]
                                        if tb else "")
                     if qi is None:
@@ -827,7 +992,7 @@ class ExecPool:
                     except RetriesExceeded as exc:
                         sched.drop_pending()
                         self.ledger.record("retries_exceeded", rank=w.rank,
-                                           task=(qi, pack_name),
+                                           task=(qi, names),
                                            detail=str(exc))
                         failure = failure or PoolJobError(
                             f"fragment task {exc.key!r} failed "
@@ -908,8 +1073,18 @@ class ExecPool:
                                                          len(q), db))
             for qi, q in enumerate(queries)
         }
-        tasks = [((qi, spec.name), float(spec.total_residues))
-                 for qi in jobs for spec in prep.specs]
+        # Fragment-range tasks: group contiguous fragments per task so
+        # the master's dispatch/merge overhead is amortized (the 0.83x
+        # fix), sized by the observed scan rate once the pool has one.
+        weights = [float(spec.total_residues) for spec in prep.specs]
+        ranges = plan_task_ranges(
+            weights, n_queries=len(jobs), jobs=self.jobs,
+            granularity=self.task_granularity,
+            overhead_s=self.task_overhead,
+            scan_rate=self._rate_ema or DEFAULT_SCAN_RATE)
+        tasks = [((qi, tuple(prep.specs[i].name for i in rng)),
+                  sum(weights[i] for i in rng))
+                 for qi in jobs for rng in ranges]
         if tasks:
             try:
                 results, _stats = self._run_tasks(jobs, tasks)
@@ -924,25 +1099,15 @@ class ExecPool:
             results = {qi: {} for qi in jobs}
             self.last_stats = PoolStats()
 
-        out: List[SearchResults] = []
-        for qi, q in enumerate(queries):
-            merged = SearchResults(
+        return [
+            merge_fragment_results(
+                results[qi], prep.ids_by_name,
                 query_id=query_ids[qi], query_len=len(q),
-                db_residues=db.total_residues, db_sequences=len(db))
-            for pack_name, res in results[qi].items():
-                ids = prep.ids_by_name[pack_name]
-                for hit in res.hits:
-                    hit.subject_id = ids[hit.subject_id]
-                    if not keep_fragment_ids:
-                        hit.fragment_id = db.fragment_id
-                    merged.hits.append(hit)
-            # Deterministic cross-fragment tie-break: pre-order by
-            # global subject id (the order a serial scan appends hits
-            # in), then the standard stable result sort.
-            merged.hits.sort(key=lambda h: h.subject_id)
-            merged.sort()
-            out.append(merged)
-        return out
+                db_residues=db.total_residues, db_sequences=len(db),
+                fragment_id=None if keep_fragment_ids else db.fragment_id,
+                keep_fragment_ids=keep_fragment_ids)
+            for qi, q in enumerate(queries)
+        ]
 
     def search(self, query: np.ndarray, db, scheme,
                params: Optional[SearchParams] = None, *,
@@ -999,6 +1164,10 @@ class ExecPool:
             w.alive = False
         for key in list(self._prepared):
             self._release_prepared(self._prepared.pop(key), notify=False)
+        for arena in self._arenas.values():
+            arena.close()
+            self._registry.release(arena.spec.name)
+        self._arenas.clear()
         self._workers.clear()
 
 

@@ -307,6 +307,87 @@ def corrupt_segment(spec: PackSpec, field: Optional[str] = None,
     return field
 
 
+@dataclass(frozen=True)
+class ArenaSpec:
+    """Picklable descriptor of one worker's shm result arena."""
+
+    name: str
+    size: int
+
+
+class ResultArena:
+    """A per-worker shared-memory slab for batched result shipping.
+
+    The worker serializes a completed task's results
+    (:mod:`repro.exec.results`), writes the blob into its arena, and
+    sends only a small ``(offset, nbytes, crc)`` descriptor over the
+    pipe; the master reads the blob back and verifies the CRC32 before
+    decoding — the same integrity discipline as pack fields, so a torn
+    or scribbled arena raises :class:`PackIntegrityError` instead of
+    producing silent garbage hits.  One writer (the worker), one
+    reader (the master), strictly alternating: the master consumes a
+    descriptor before it dispatches the worker's next task, so a
+    single slot at offset 0 is race-free.
+    """
+
+    def __init__(self, spec: ArenaSpec, create: bool = False,
+                 registry: Optional[ShmRegistry] = None):
+        if _shm is None:  # pragma: no cover
+            raise RuntimeError("multiprocessing.shared_memory unavailable")
+        self.spec = spec
+        self._shm = _shm.SharedMemory(name=spec.name, create=create,
+                                      size=spec.size if create else 0)
+        if create:
+            (registry if registry is not None
+             else default_registry()).register(self._shm)
+
+    @classmethod
+    def create(cls, size: int, tag: str = "a",
+               registry: Optional[ShmRegistry] = None) -> "ResultArena":
+        """Allocate a fresh arena (master side; registered for unlink)."""
+        name = (f"{NAME_PREFIX}_{os.getpid()}_arena_{tag}_"
+                f"{secrets.token_hex(6)}")
+        return cls(ArenaSpec(name=name, size=max(int(size), 1)), create=True,
+                   registry=registry)
+
+    @property
+    def size(self) -> int:
+        return self.spec.size
+
+    def write(self, blob: bytes, offset: int = 0) -> Tuple[int, int, int]:
+        """Copy *blob* into the arena; returns ``(offset, nbytes, crc)``
+        — the descriptor the pipe carries instead of the payload."""
+        n = len(blob)
+        if offset < 0 or offset + n > self.spec.size:
+            raise ValueError(f"blob of {n} bytes does not fit arena "
+                             f"{self.spec.name!r} ({self.spec.size} bytes) "
+                             f"at offset {offset}")
+        self._shm.buf[offset:offset + n] = blob
+        return offset, n, zlib.crc32(blob)
+
+    def read(self, offset: int, nbytes: int, crc: int) -> bytes:
+        """Read a descriptor's payload back, verifying its CRC32;
+        raises :class:`PackIntegrityError` on mismatch."""
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.spec.size:
+            raise PackIntegrityError(
+                f"arena {self.spec.name!r}: descriptor ({offset}, {nbytes}) "
+                f"exceeds arena size {self.spec.size}")
+        blob = bytes(self._shm.buf[offset:offset + nbytes])
+        got = zlib.crc32(blob)
+        if got != crc:
+            raise PackIntegrityError(
+                f"arena {self.spec.name!r}: result blob CRC32 mismatch "
+                f"(expected {crc:#010x}, got {got:#010x})")
+        return blob
+
+    def close(self) -> None:
+        """Drop the mapping (the creating registry owns the unlink)."""
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - live views; exit soon
+            pass
+
+
 class AttachedPack:
     """A pack mapped into this process: zero-copy views, no ownership.
 

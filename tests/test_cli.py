@@ -162,6 +162,20 @@ def test_blastn_jobs_output_identical_to_serial(fasta_file, capsys):
     assert capsys.readouterr().out == serial
 
 
+def test_blastn_task_granularity_flag(fasta_file, capsys):
+    fasta, query, d = fasta_file
+    main(["formatdb", "-i", fasta, "-d", d, "-n", "mini"])
+    capsys.readouterr()
+    assert main(["blastn", "-d", f"{d}/mini", "-i", query,
+                 "-m", "tabular"]) == 0
+    serial = capsys.readouterr().out
+    # Pinned per-fragment tasks and adaptive ranges both match serial.
+    for extra in (["--task-granularity", "1"], ["--task-granularity", "2"]):
+        assert main(["blastn", "-d", f"{d}/mini", "-i", query,
+                     "-m", "tabular", "--jobs", "2"] + extra) == 0
+        assert capsys.readouterr().out == serial
+
+
 def test_blastall_jobs_falls_back_for_translated_programs(fasta_file, capsys):
     fasta, query, d = fasta_file
     main(["formatdb", "-i", fasta, "-d", d, "-n", "mini"])

@@ -168,7 +168,9 @@ def test_pool_streaming_many_queries_one_pass():
     params = SearchParams(word_size=11)
     queries = [db.sequence(i)[:100].copy() for i in range(0, 12, 2)]
     ids = [f"stream{i}" for i in range(len(queries))]
-    with ExecPool(jobs=2) as pool:
+    # Pin granularity=1 (legacy one-task-per-fragment) so the task
+    # count stays an exact function of queries x fragments.
+    with ExecPool(jobs=2, task_granularity=1) as pool:
         many = pool.search_many(queries, db, scheme, params, query_ids=ids,
                                 n_fragments=5)
         assert len(many) == len(queries)
@@ -176,6 +178,7 @@ def test_pool_streaming_many_queries_one_pass():
             assert dump(res) == dump(search(q, db, scheme, params,
                                             query_id=qid))
         assert pool.last_stats.tasks_done == len(queries) * 5
+        assert pool.last_stats.fragments_done == len(queries) * 5
 
 
 def test_pool_short_query_and_empty_db():
@@ -246,7 +249,10 @@ def test_kill_worker_mid_job_requeues_and_stays_byte_identical():
     params = SearchParams(word_size=11)
     q = db.sequence(5)[:120].copy()
     serial = search(q, db, scheme, params)
-    with ExecPool(jobs=2, task_sleep=0.15) as pool:
+    # granularity=1 keeps eight in-flight tasks, so the kill lands
+    # while the victim still holds work (range planning would collapse
+    # this little database to one task per worker and finish first).
+    with ExecPool(jobs=2, task_sleep=0.15, task_granularity=1) as pool:
         pool.start()
         victim = pool.worker_pids()[0]
         timer = threading.Timer(0.25, os.kill, (victim, signal.SIGKILL))
@@ -357,8 +363,8 @@ def test_worker_main_protocol_in_process():
             ("attach", spec),
             ("attach", spec),               # idempotent re-attach
             ("job", 0, job),
-            ("task", 0, spec.name),
-            ("task", 0, "no-such-pack"),    # -> error reply
+            ("task", 0, (spec.name,)),
+            ("task", 0, ("no-such-pack",)),  # -> error reply
             ("bogus",),                     # -> unknown-message error
             ("forget_job", 0),
             ("detach", spec.name),
@@ -369,8 +375,10 @@ def test_worker_main_protocol_in_process():
         kinds = [m[0] for m in conn.sent]
         assert kinds == ["ready", "result", "error", "error", "stopped"]
         result_msg = conn.sent[1]
-        assert result_msg[1:4] == (3, 0, spec.name)
-        assert dump(result_msg[4]) == dump(
+        assert result_msg[1:4] == (3, 0, (spec.name,))
+        mode, pairs = result_msg[4]
+        assert mode == "inline" and pairs[0][0] == spec.name
+        assert dump(pairs[0][1]) == dump(
             search(q, db, scheme, params, query_id="q"))
         assert "KeyError" in conn.sent[2][4]
         assert "unknown message" in conn.sent[3][4]

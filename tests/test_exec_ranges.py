@@ -1,0 +1,399 @@
+"""Fragment-range tasks and shared-memory result shipping: the
+overhead-aware planner, the columnar result codec, the per-worker
+result arena (CRC discipline included), and the pool behaviours that
+ride on them — EMA hygiene, send-failure death accounting, and the
+respawn attempt budget."""
+
+import dataclasses
+import os
+import signal
+import threading
+
+import numpy as np
+import pytest
+
+from repro.blast.score import NucleotideScore
+from repro.blast.search import SearchParams, search
+from repro.blast.seqdb import AA, NT, SequenceDB
+from repro.exec import (ExecPool, Fault, FaultPlan, PackIntegrityError,
+                        ResultArena, decode_result_pairs,
+                        encode_result_pairs, estimate_payload_size,
+                        plan_task_ranges)
+from repro.exec.shm import NAME_PREFIX, ShmRegistry
+
+NT_LETTERS = np.array(list("ACGT"))
+AA_LETTERS = np.array(list("ARNDCQEGHILKMFPSTWYV"))
+
+
+def shm_segments():
+    try:
+        return sorted(n for n in os.listdir("/dev/shm")
+                      if n.startswith(("psm_", NAME_PREFIX)))
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return []
+
+
+@pytest.fixture(autouse=True)
+def no_segment_leaks():
+    before = shm_segments()
+    yield
+    assert shm_segments() == before, "test leaked shared-memory segments"
+
+
+def random_nt_db(rng, n_seqs, min_len=5, max_len=300):
+    db = SequenceDB(NT)
+    for i in range(n_seqs):
+        length = int(rng.integers(min_len, max_len))
+        db.add(f"s{i} desc", "".join(NT_LETTERS[rng.integers(0, 4, length)]))
+    return db
+
+
+def random_aa_db(rng, n_seqs, min_len=5, max_len=200):
+    db = SequenceDB(AA)
+    for i in range(n_seqs):
+        length = int(rng.integers(min_len, max_len))
+        db.add(f"p{i}", "".join(AA_LETTERS[rng.integers(0, 20, length)]))
+    return db
+
+
+def dump(results):
+    """Full byte-level result dump (every HSP field, hit order, ids)."""
+    return (results.query_id, results.query_len, results.db_residues,
+            results.db_sequences,
+            [(h.subject_id, h.description, h.subject_len, h.fragment_id,
+              [dataclasses.astuple(p) for p in h.hsps])
+             for h in results.hits])
+
+
+# ----------------------------------------------------------------------
+# The planner
+# ----------------------------------------------------------------------
+def test_plan_explicit_granularity_chunks_in_order():
+    assert plan_task_ranges([1.0] * 5, 1, 2, granularity=2) == \
+        [(0, 1), (2, 3), (4,)]
+    assert plan_task_ranges([1.0] * 3, 1, 2, granularity=1) == \
+        [(0,), (1,), (2,)]
+    # granularity is clamped up to 1, and oversize chunks collapse.
+    assert plan_task_ranges([1.0] * 3, 1, 2, granularity=0) == \
+        [(0,), (1,), (2,)]
+    assert plan_task_ranges([1.0] * 3, 1, 2, granularity=99) == [(0, 1, 2)]
+    assert plan_task_ranges([], 1, 2) == []
+
+
+def test_plan_covers_every_index_exactly_once():
+    rng = np.random.default_rng(0)
+    for n in (1, 2, 3, 7, 16, 33):
+        for jobs in (1, 2, 4, 8):
+            for n_queries in (1, 3):
+                weights = rng.integers(1, 1000, n).astype(float).tolist()
+                ranges = plan_task_ranges(weights, n_queries, jobs)
+                flat = [i for r in ranges for i in r]
+                assert flat == list(range(n)), (n, jobs, n_queries)
+                assert all(r == tuple(range(r[0], r[-1] + 1))
+                           for r in ranges), "ranges must be contiguous"
+
+
+def test_plan_amortizes_small_work_into_few_tasks():
+    # The benchmark scenario that measured 0.83x: 1M residues over 4
+    # fragments at 2 workers used to be 4 dispatch round-trips; the
+    # planner folds it to one range per worker.
+    assert plan_task_ranges([250_000.0] * 4, 1, 2) == [(0, 1), (2, 3)]
+    # Tiny corpus, many workers: capacity still feeds every worker.
+    assert len(plan_task_ranges([100.0] * 8, 1, 4)) == 4
+    # Tiny corpus, one worker: a single task (no overhead to amortize).
+    assert plan_task_ranges([100.0] * 6, 1, 1) == [(0, 1, 2, 3, 4, 5)]
+
+
+def test_plan_is_weight_aware():
+    # One fat fragment up front: the first cut must come early so the
+    # fat fragment does not drag half the light ones with it.
+    ranges = plan_task_ranges([1000.0, 1.0, 1.0, 1.0, 1.0, 1.0], 1, 2,
+                              overhead_s=1e-9)
+    assert ranges[0] == (0,)
+    # Plenty of work: balance targets ~2 tasks per worker.
+    big = plan_task_ranges([10e6] * 16, 1, 4)
+    assert len(big) == 8
+
+
+# ----------------------------------------------------------------------
+# The result codec
+# ----------------------------------------------------------------------
+def _searched_pairs():
+    rng = np.random.default_rng(21)
+    db = random_nt_db(rng, 20, min_len=80, max_len=300)
+    q = db.sequence(3)[:120].copy()
+    res = search(q, db, NucleotideScore(), SearchParams(word_size=11),
+                 query_id="q3")
+    assert res.hits, "codec test needs real hits"
+    return [("pack-a", res)]
+
+
+def test_result_codec_round_trips_exactly():
+    pairs = _searched_pairs()
+    blob = encode_result_pairs(pairs)
+    back = decode_result_pairs(blob)
+    assert len(back) == 1 and back[0][0] == "pack-a"
+    assert dump(back[0][1]) == dump(pairs[0][1])
+    # Including float fields to the last ULP.
+    orig = [p for h in pairs[0][1].hits for p in h.hsps]
+    got = [p for h in back[0][1].hits for p in h.hsps]
+    assert all(a.evalue == b.evalue and a.bit_score == b.bit_score
+               for a, b in zip(orig, got))
+
+
+def test_result_codec_empty_and_multi_pack():
+    from repro.blast.search import SearchResults
+
+    empty = SearchResults(query_id="e", query_len=7, db_residues=0,
+                          db_sequences=0)
+    pairs = _searched_pairs() + [("pack-b", empty)]
+    back = decode_result_pairs(encode_result_pairs(pairs))
+    assert [name for name, _ in back] == ["pack-a", "pack-b"]
+    assert back[1][1].hits == []
+    assert back[1][1].query_id == "e"
+
+
+def test_estimate_upper_bounds_encoded_size():
+    pairs = _searched_pairs()
+    assert estimate_payload_size(pairs) >= len(encode_result_pairs(pairs))
+
+
+def test_result_codec_rejects_foreign_blob():
+    with pytest.raises(ValueError):
+        decode_result_pairs(b"not a result blob at all")
+
+
+# ----------------------------------------------------------------------
+# The result arena
+# ----------------------------------------------------------------------
+def test_arena_write_read_round_trip_and_bounds():
+    registry = ShmRegistry()
+    arena = ResultArena.create(4096, tag="t", registry=registry)
+    try:
+        blob = os.urandom(1000)
+        desc = arena.write(blob)
+        assert arena.read(*desc) == blob
+        with pytest.raises(ValueError):
+            arena.write(os.urandom(5000))      # does not fit
+        with pytest.raises(PackIntegrityError):
+            arena.read(4000, 500, 0)           # descriptor out of bounds
+    finally:
+        arena.close()
+        registry.release(arena.spec.name)
+
+
+def test_arena_crc_mismatch_raises_integrity_error():
+    registry = ShmRegistry()
+    arena = ResultArena.create(4096, tag="c", registry=registry)
+    try:
+        offset, nbytes, crc = arena.write(b"x" * 256)
+        # Scribble into the slab after the descriptor was taken — the
+        # torn-write case the CRC discipline exists to catch.
+        arena._shm.buf[17] ^= 0xFF
+        with pytest.raises(PackIntegrityError):
+            arena.read(offset, nbytes, crc)
+    finally:
+        arena.close()
+        registry.release(arena.spec.name)
+
+
+# ----------------------------------------------------------------------
+# End-to-end through the pool
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("granularity", [None, 1, 2])
+def test_range_tasks_stay_byte_identical_nt(granularity):
+    rng = np.random.default_rng(31)
+    db = random_nt_db(rng, 28)
+    scheme = NucleotideScore()
+    params = SearchParams(word_size=11)
+    queries = [db.sequence(i)[:140].copy() for i in (1, 8, 15)]
+    serial = [dump(search(q, db, scheme, params, query_id=f"q{i}"))
+              for i, q in enumerate(queries)]
+    with ExecPool(jobs=2, task_granularity=granularity) as pool:
+        got = pool.search_many(queries, db, scheme, params,
+                               query_ids=[f"q{i}"
+                                          for i in range(len(queries))],
+                               n_fragments=6)
+        stats = pool.last_stats
+    assert [dump(r) for r in got] == serial
+    assert stats.fragments_done >= 6 * len(queries)
+    if granularity == 1:
+        assert stats.tasks_done == 6 * len(queries)
+    else:
+        assert stats.tasks_done <= 6 * len(queries)
+
+
+def test_range_tasks_stay_byte_identical_aa():
+    from repro.blast.score import ProteinScore
+
+    rng = np.random.default_rng(32)
+    db = random_aa_db(rng, 22)
+    scheme = ProteinScore()
+    params = SearchParams()
+    q = db.sequence(5)[:80].copy()
+    serial = dump(search(q, db, scheme, params, both_strands=False))
+    with ExecPool(jobs=2) as pool:
+        got = pool.search(q, db, scheme, params, both_strands=False,
+                          n_fragments=5)
+    assert dump(got) == serial
+
+
+def test_arena_shipping_end_to_end():
+    rng = np.random.default_rng(33)
+    db = random_nt_db(rng, 26, min_len=100, max_len=300)
+    scheme = NucleotideScore()
+    params = SearchParams(word_size=11)
+    q = db.sequence(2)[:150].copy()
+    serial = dump(search(q, db, scheme, params))
+    # arena_threshold=0 forces every result through the arena path.
+    with ExecPool(jobs=2, arena_threshold=0) as pool:
+        got = pool.search(q, db, scheme, params, n_fragments=4)
+        stats = pool.last_stats
+    assert dump(got) == serial
+    assert stats.arena_results > 0
+    assert stats.inline_results == 0
+
+
+def test_tiny_arena_falls_back_to_inline():
+    rng = np.random.default_rng(34)
+    db = random_nt_db(rng, 18, min_len=100, max_len=250)
+    scheme = NucleotideScore()
+    params = SearchParams(word_size=11)
+    q = db.sequence(4)[:120].copy()
+    serial = dump(search(q, db, scheme, params))
+    # Forced-arena threshold but a slab too small for any blob: the
+    # worker must ship inline rather than fail the task.
+    with ExecPool(jobs=2, arena_threshold=0, result_arena_bytes=64) as pool:
+        got = pool.search(q, db, scheme, params, n_fragments=4)
+        stats = pool.last_stats
+    assert dump(got) == serial
+    assert stats.arena_results == 0
+    assert stats.inline_results > 0
+
+
+def test_hedge_reissues_whole_range_task():
+    rng = np.random.default_rng(35)
+    db = random_nt_db(rng, 24)
+    scheme = NucleotideScore()
+    params = SearchParams(word_size=11)
+    queries = [db.sequence(i)[:150].copy() for i in (2, 9, 17)]
+    serial = [dump(search(q, db, scheme, params)) for q in queries]
+    plan = FaultPlan(faults=(Fault("slow", rank=0, task_index=0,
+                                   delay=3.0),))
+    with ExecPool(jobs=2, fault_plan=plan, hedge_after=0.25,
+                  task_timeout=30.0) as pool:
+        got = pool.search_many(queries, db, scheme, params, n_fragments=4)
+        stats = pool.last_stats
+        hedged = [e.task for e in pool.ledger.entries if e.kind == "hedge"]
+    assert [dump(r) for r in got] == serial
+    assert stats.hedge_wins >= 1
+    # The hedged key is a full (query, fragment-range) task.
+    assert hedged and all(isinstance(names, tuple) and len(names) >= 1
+                          for _qi, names in hedged)
+
+
+def test_hedged_completion_does_not_feed_task_ema():
+    rng = np.random.default_rng(36)
+    db = random_nt_db(rng, 24)
+    scheme = NucleotideScore()
+    params = SearchParams(word_size=11)
+    queries = [db.sequence(i)[:150].copy() for i in (2, 9, 17)]
+    plan = FaultPlan(faults=(Fault("slow", rank=0, task_index=0,
+                                   delay=3.0),))
+    with ExecPool(jobs=2, fault_plan=plan, hedge_after=0.25,
+                  task_timeout=30.0) as pool:
+        pool.search_many(queries, db, scheme, params, n_fragments=4)
+        ema = pool._task_ema
+        assert pool.last_stats.hedges >= 1
+    # Whichever holder of the hedged task answered first (even the 3 s
+    # straggler itself), its elapsed time must not poison the EMA that
+    # sizes future soft deadlines: unhedged tasks here run in well
+    # under a second.
+    assert ema is None or ema < 1.0
+
+
+def test_send_failure_counts_one_death_and_recovers():
+    rng = np.random.default_rng(37)
+    db = random_nt_db(rng, 24, min_len=80, max_len=250)
+    scheme = NucleotideScore()
+    params = SearchParams(word_size=11)
+    q = db.sequence(3)[:130].copy()
+    serial = dump(search(q, db, scheme, params))
+    with ExecPool(jobs=2) as pool:
+        # Warm run: packs prepared and attached, so the severed pipe
+        # below fails inside task dispatch (_send_task), not attach.
+        warm = pool.search(q, db, scheme, params, n_fragments=6)
+        assert dump(warm) == serial
+        pool._workers[0].conn.close()
+        got = pool.search(q, db, scheme, params, n_fragments=6)
+        stats = pool.last_stats
+    assert dump(got) == serial
+    assert stats.worker_deaths == [0]
+    # One death, one respawn attempt — the send failure and the
+    # liveness sweep must not both bill the budget.
+    assert stats.respawn_attempts == stats.respawns == 1
+    assert not stats.fallback
+
+
+def test_respawn_budget_counts_attempts_not_successes(monkeypatch):
+    rng = np.random.default_rng(38)
+    db = random_nt_db(rng, 20, min_len=80, max_len=250)
+    scheme = NucleotideScore()
+    params = SearchParams(word_size=11)
+    q = db.sequence(2)[:120].copy()
+    serial = dump(search(q, db, scheme, params))
+    with ExecPool(jobs=2, task_sleep=0.2, task_granularity=1,
+                  max_respawns=2) as pool:
+        pool.start()
+        victim = pool.worker_pids()[0]
+        # Every replacement is stillborn from here on.
+        monkeypatch.setattr(ExecPool, "_await_ready",
+                            lambda self, w: False)
+        timer = threading.Timer(0.1, os.kill, (victim, signal.SIGKILL))
+        timer.start()
+        try:
+            got = pool.search(q, db, scheme, params, n_fragments=4)
+        finally:
+            timer.cancel()
+            timer.join()
+        stats = pool.last_stats
+        ledger = pool.ledger.summary()
+    assert dump(got) == serial              # the survivor finished alone
+    assert not stats.fallback
+    assert stats.respawns == 0
+    # Exactly the budget was attempted (the pump visits the dead slot
+    # every tick); a permanently failing spawn cannot loop forever.
+    assert stats.respawn_attempts == 2
+    assert ledger.get("respawn_failed", 0) == 2
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 2,
+                    reason="parallel speedup needs at least 2 cores")
+def test_two_workers_beat_serial():
+    """The regression this PR fixes: with >= 2 real cores the pool must
+    never be slower than the serial engine it wraps (was 0.83x)."""
+    import time
+
+    from repro.blast.alphabet import encode_dna
+    from repro.workloads import extract_query, synthetic_nt_db
+
+    db = synthetic_nt_db(600_000, seed=0)
+    query = encode_dna(extract_query(db, length=568, seed=1))
+    scheme = NucleotideScore()
+    params = SearchParams()
+
+    def median3(fn):
+        times = []
+        for _ in range(3):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return sorted(times)[1]
+
+    serial_res = search(query, db, scheme, params)
+    t_serial = median3(lambda: search(query, db, scheme, params))
+    with ExecPool(jobs=2) as pool:
+        first = pool.search(query, db, scheme, params)  # pack + attach
+        t_pool = median3(lambda: pool.search(query, db, scheme, params))
+    assert dump(first) == dump(serial_res)
+    assert t_serial / t_pool >= 1.0

@@ -22,11 +22,17 @@ Usage::
         --residues 300000 --check benchmarks/results/BENCH_blast.json
 
 ``--jobs N`` additionally times the multi-core pool (``repro.exec``)
-on the same corpus and reports its speedup over the serial warm
-search.  ``--out`` appends a compact record of every run to the JSON's
-``history`` list (carried forward from the existing file), with the
-machine's core count and CPU model alongside — absolute numbers only
-trend meaningfully on known hardware.
+at every power-of-two worker count up to ``N`` (the ``parallel_sweep``
+list) and reports each point's speedup over the serial warm search.
+Sweep points needing more workers than the machine has cores are
+recorded as annotated skips, never measured — a 1-core runner cannot
+demonstrate (or honestly refute) parallel speedup.  Any point that
+*was* measured with ``jobs >= 2`` must reach speedup >= 1.0 or the run
+fails: the pool existing at all is only justified by beating serial.
+``--out`` appends a compact record of every run to the JSON's
+``history`` list (carried forward from the existing file, deduplicated
+per git commit), with the machine's core count and CPU model alongside
+— absolute numbers only trend meaningfully on known hardware.
 """
 
 from __future__ import annotations
@@ -85,6 +91,18 @@ def _dump_results(results):
             for h in results.hits]
 
 
+def git_commit() -> str:
+    """Current HEAD (short), or None outside a git checkout."""
+    import subprocess
+
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
 def measure_parallel(db, query, scheme, params, jobs: int, rounds: int,
                      serial_warm_s: float, serial_dump) -> dict:
     """Time the process pool against the same corpus and query the
@@ -96,14 +114,67 @@ def measure_parallel(db, query, scheme, params, jobs: int, rounds: int,
         equivalent = _dump_results(first) == serial_dump
         par_s = _time(lambda: pool.search(query, db, scheme, params), rounds)
         n_fragments = sum(len(p.specs) for p in pool._prepared.values())
+        stats = pool.last_stats
     return {
         "jobs": jobs,
         "n_fragments": n_fragments,
+        "tasks": stats.tasks_done if stats else None,
         "mbps": db.total_residues / par_s / 1e6,
         "search_parallel_s": par_s,
         "speedup_over_serial": serial_warm_s / par_s,
         "equivalent": equivalent,
     }
+
+
+def sweep_jobs(max_jobs: int) -> list:
+    """Worker counts to sweep: powers of two up to *max_jobs*, plus
+    *max_jobs* itself (so ``--jobs 6`` measures 2, 4, 6)."""
+    pts = {j for j in (2 ** i for i in range(1, 11)) if j <= max_jobs}
+    if max_jobs > 1:
+        pts.add(max_jobs)
+    return sorted(pts)
+
+
+def measure_parallel_sweep(db, query, scheme, params, max_jobs: int,
+                           rounds: int, serial_warm_s: float,
+                           serial_dump) -> list:
+    """One entry per sweep point.  Points beyond the machine's core
+    count are *recorded as skips*, not measured: oversubscribed workers
+    time-slice one core, so the number would be meaningless noise — and
+    on a 1-core machine it reads as a parallel regression that isn't
+    one (the gate must not misfire there)."""
+    cpu = os.cpu_count() or 1
+    entries = []
+    for j in sweep_jobs(max_jobs):
+        if j > cpu:
+            entries.append({
+                "jobs": j,
+                "skipped": f"requires >= {j} cores (cpu_count={cpu})",
+            })
+            continue
+        entries.append(measure_parallel(db, query, scheme, params, j,
+                                        rounds, serial_warm_s, serial_dump))
+    return entries
+
+
+def parallel_gate(result: dict) -> list:
+    """Hard acceptance gate: every *measured* sweep point with
+    ``jobs >= 2`` must beat serial (speedup >= 1.0) and match its
+    results exactly.  Returns the list of failure messages (empty =
+    pass); skipped points never fail the gate."""
+    failures = []
+    for e in result.get("parallel_sweep") or []:
+        if e.get("skipped") or e.get("jobs", 0) < 2:
+            continue
+        if not e.get("equivalent", True):
+            failures.append(f"jobs={e['jobs']}: parallel pool disagrees "
+                            f"with the serial engine")
+        speedup = e.get("speedup_over_serial", 0.0)
+        if speedup < 1.0:
+            failures.append(f"jobs={e['jobs']}: speedup over serial is "
+                            f"{speedup:.2f}x < 1.0x — the pool is slower "
+                            f"than not using it")
+    return failures
 
 
 def run_benchmarks(residues: int, rounds: int,
@@ -151,9 +222,16 @@ def run_benchmarks(residues: int, rounds: int,
                    rounds)
 
     parallel = None
+    parallel_sweep = None
     if jobs and jobs > 1:
-        parallel = measure_parallel(db, query, scheme, params, jobs, rounds,
-                                    warm_s, _dump_results(r_scan))
+        parallel_sweep = measure_parallel_sweep(
+            db, query, scheme, params, jobs, rounds, warm_s,
+            _dump_results(r_scan))
+        # Headline "parallel" entry: the widest point that actually ran,
+        # else the widest skip (so a 1-core runner records *why* there
+        # is no number instead of a misleading 0.x speedup).
+        measured = [e for e in parallel_sweep if not e.get("skipped")]
+        parallel = measured[-1] if measured else parallel_sweep[-1]
 
     return {
         "schema": 2,
@@ -176,6 +254,7 @@ def run_benchmarks(residues: int, rounds: int,
             "search_loop_s": loop_s,
         },
         "parallel": parallel,
+        "parallel_sweep": parallel_sweep,
         "equivalent": equivalent,
     }
 
@@ -184,19 +263,27 @@ def _history_entry(result: dict) -> dict:
     """Compact per-run record appended to the JSON's ``history`` list."""
     entry = {
         "date": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "commit": git_commit(),
         "throughput_mbps": result["throughput_mbps"],
         "speedup_kernel_over_loop": result["speedup_kernel_over_loop"],
         "cpu_count": result["machine"]["cpu_count"],
     }
-    if result.get("parallel"):
-        entry["parallel_jobs"] = result["parallel"]["jobs"]
-        entry["parallel_speedup"] = result["parallel"]["speedup_over_serial"]
+    par = result.get("parallel")
+    if par:
+        entry["parallel_jobs"] = par["jobs"]
+        if par.get("skipped"):
+            entry["parallel_skipped"] = par["skipped"]
+        else:
+            entry["parallel_speedup"] = par["speedup_over_serial"]
     return entry
 
 
 def write_out(result: dict, path: str) -> None:
     """Write the run to *path*, carrying the existing file's history
-    forward and appending this run — trends survive regeneration."""
+    forward and appending this run — trends survive regeneration.
+    Re-running at the same commit *replaces* that commit's entry
+    instead of stacking duplicates (iterating on a branch would
+    otherwise fill the history with copies of one data point)."""
     history = []
     if os.path.exists(path):
         try:
@@ -204,8 +291,11 @@ def write_out(result: dict, path: str) -> None:
                 history = json.load(f).get("history", [])
         except (OSError, ValueError):
             history = []
+    entry = _history_entry(result)
+    if entry.get("commit") is not None:
+        history = [h for h in history if h.get("commit") != entry["commit"]]
     result = dict(result)
-    result["history"] = history + [_history_entry(result)]
+    result["history"] = history + [entry]
     with open(path, "w") as f:
         json.dump(result, f, indent=2)
         f.write("\n")
@@ -231,6 +321,25 @@ def check_against(current: dict, baseline_path: str, tolerance: float) -> int:
         ok = False
     if cur_ratio < floor:
         print("FAIL: kernel speedup regressed past tolerance")
+        ok = False
+    # Parallel speedup trend: compared only when both sides actually
+    # measured it (same machine class implied by the corpus warning
+    # above); a skipped/absent side is not a regression.
+    base_par = baseline.get("parallel") or {}
+    cur_par = current.get("parallel") or {}
+    if ("speedup_over_serial" in base_par
+            and "speedup_over_serial" in cur_par):
+        base_sp = base_par["speedup_over_serial"]
+        cur_sp = cur_par["speedup_over_serial"]
+        par_floor = (1.0 - tolerance) * base_sp
+        print(f"parallel speedup (jobs={cur_par.get('jobs')}): current "
+              f"{cur_sp:.2f}x, baseline {base_sp:.2f}x, floor "
+              f"{par_floor:.2f}x")
+        if cur_sp < par_floor:
+            print("FAIL: parallel speedup regressed past tolerance")
+            ok = False
+    for msg in parallel_gate(current):
+        print(f"FAIL: {msg}")
         ok = False
     if ok:
         print("OK: engine performance within tolerance of baseline")
@@ -268,10 +377,10 @@ def main(argv=None) -> int:
     if not result["equivalent"]:
         print("FAIL: scan and loop engines disagree on SearchResults")
         return 1
-    if result["parallel"] and not result["parallel"]["equivalent"]:
-        print("FAIL: parallel pool disagrees with the serial engine")
-        return 1
-    return 0
+    failures = parallel_gate(result)
+    for msg in failures:
+        print(f"FAIL: {msg}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

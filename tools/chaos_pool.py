@@ -84,8 +84,11 @@ def run_seed(seed, workload, verbose=False):
     db, scheme, params, queries, serial = workload
     plan = random_plan(seed, n_workers=JOBS)
     violations = []
+    # granularity=1 pins the legacy one-task-per-fragment protocol so a
+    # seeded plan's task_index selectors keep meaning the same event.
     with ExecPool(jobs=JOBS, fault_plan=plan, task_sleep=0.05,
-                  hedge_after=0.3, task_timeout=1.5) as pool:
+                  hedge_after=0.3, task_timeout=1.5,
+                  task_granularity=1) as pool:
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", RuntimeWarning)
             results = pool.search_many(queries, db, scheme, params,
