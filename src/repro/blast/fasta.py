@@ -25,40 +25,50 @@ class FastaRecord:
         return len(self.sequence)
 
 
-def parse_fasta(source: Union[str, TextIO]) -> List[FastaRecord]:
-    """Parse FASTA text (a string or a file-like object).
+def iter_fasta(source: Union[str, TextIO]) -> Iterator[FastaRecord]:
+    """Stream FASTA records one at a time.
 
-    Raises ``ValueError`` on malformed input (data before the first
-    header, empty sequences).
+    Unlike :func:`parse_fasta` this never materialises more than the
+    record currently being assembled, so a multi-gigabyte FASTA file
+    can be formatted in bounded memory (the streaming pack builder in
+    :mod:`repro.exec.diskpack` relies on this).  Raises ``ValueError``
+    on malformed input (data before the first header, empty sequences).
     """
     if isinstance(source, str):
         source = io.StringIO(source)
-    records: List[FastaRecord] = []
     desc: str | None = None
     chunks: List[str] = []
 
-    def flush():
-        if desc is None:
-            return
+    def flush() -> FastaRecord:
         seq = "".join(chunks)
         if not seq:
             raise ValueError(f"empty sequence for {desc!r}")
-        records.append(FastaRecord(desc, seq))
+        return FastaRecord(desc, seq)
 
     for lineno, line in enumerate(source, 1):
         line = line.strip()
         if not line:
             continue
         if line.startswith(">"):
-            flush()
+            if desc is not None:
+                yield flush()
             desc = line[1:].strip()
             chunks = []
         else:
             if desc is None:
                 raise ValueError(f"line {lineno}: sequence data before header")
             chunks.append(line.upper().replace(" ", ""))
-    flush()
-    return records
+    if desc is not None:
+        yield flush()
+
+
+def parse_fasta(source: Union[str, TextIO]) -> List[FastaRecord]:
+    """Parse FASTA text (a string or a file-like object).
+
+    Raises ``ValueError`` on malformed input (data before the first
+    header, empty sequences).
+    """
+    return list(iter_fasta(source))
 
 
 def write_fasta(records: Iterable[FastaRecord], width: int = 70) -> str:
@@ -70,9 +80,3 @@ def write_fasta(records: Iterable[FastaRecord], width: int = 70) -> str:
         for i in range(0, len(seq), width):
             out.append(seq[i:i + width])
     return "\n".join(out) + ("\n" if out else "")
-
-
-def iter_fasta(source: Union[str, TextIO]) -> Iterator[FastaRecord]:
-    """Iterator form of :func:`parse_fasta` (materialises internally —
-    provided for API symmetry)."""
-    return iter(parse_fasta(source))

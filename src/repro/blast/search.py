@@ -448,7 +448,13 @@ def search(query: np.ndarray, db: SequenceDB, scheme: ScoringScheme,
         # Explicit None check: an *empty* ScanCache is falsy (__len__).
         cache = scan_cache if scan_cache is not None else default_scan_cache()
         base = len(PROTEIN) if is_protein else len(DNA)
-        structs = cache.get(db, params.word_size, base)
+        # A pack-backed db (shm segment or mmapped disk pack) already
+        # *is* the scan structure — take it directly; the cache only
+        # serves databases that must be (re)built.
+        provider = getattr(db, "scan_structures", None)
+        structs = provider(params.word_size, base) if provider else None
+        if structs is None:
+            structs = cache.get(db, params.word_size, base)
         per_sid: Dict[int, List[HSP]] = {}
         for oriented_query, oriented_index, strand in orientations:
             for sid, spos, qpos in scan_fragment(oriented_index, structs):

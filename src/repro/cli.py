@@ -4,13 +4,20 @@ Mirrors the tools of the paper's era plus the experiment layer::
 
     python -m repro.cli formatdb  -i seqs.fasta -d DIR -n nt [-p]
     python -m repro.cli blastall  -p blastn -d DIR/nt -i query.fasta
+    python -m repro.cli packdb    build -i seqs.fasta -o PACKDIR
+    python -m repro.cli blastall  -p blastn --db-pack PACKDIR -i query.fasta
     python -m repro.cli segmentdb -d DIR/nt -o OUTDIR -n 8
     python -m repro.cli experiment --variant ceft-pvfs --workers 8 \\
         --servers 8 --stress 1 --scale 0.1
     python -m repro.cli synthdb   -o DIR -n nt --residues 1000000
 
 ``blastall`` dispatches the five programs through one interface, like
-NCBI's binary (paper Section 2.1).
+NCBI's binary (paper Section 2.1).  ``packdb`` is this engine's
+``formatdb``: it streams FASTA into a persistent on-disk pack store
+(checksummed, mmap-able — :mod:`repro.exec.diskpack`) that
+``--db-pack`` runs then cold-start from without rebuilding anything,
+serially (zero-copy mmap) or with ``--jobs`` (one memcpy into shared
+memory per fragment).
 
 Exit codes (parallel ``--jobs`` runs):
 
@@ -47,6 +54,77 @@ def _load_db(dbpath: str, protein: bool):
     directory, name = os.path.split(dbpath)
     return SequenceDB.load(directory or ".", name,
                            seqtype="aa" if protein else "nt")
+
+
+def _open_store(directory: str):
+    from repro.exec.diskpack import PackStore
+
+    return PackStore.open(directory)
+
+
+def _print_store(store, verbose: bool = True) -> None:
+    print(f"pack store {store.directory}: {store.seqtype}, "
+          f"{len(store)} sequences, {store.total_residues} residues, "
+          f"{len(store.packs)} pack(s), word size {store.k}, "
+          f"db version {store._version}")
+    if not verbose:
+        return
+    for entry in store.packs:
+        nbytes = os.path.getsize(store.pack_path(entry))
+        print(f"  {entry.file}: fragment {entry.fragment_id} "
+              f"v{entry.version}, {entry.n_sequences} seqs, "
+              f"{entry.total_residues} residues, {nbytes} bytes")
+
+
+def cmd_packdb_build(args) -> int:
+    from repro.exec.diskpack import build_pack_store
+
+    if bool(args.input) == bool(args.from_db):
+        print("# packdb build: exactly one of -i/--input or --from-db "
+              "is required", file=sys.stderr)
+        return 2
+    if args.from_db:
+        source = _load_db(args.from_db, args.protein)
+        store = build_pack_store(
+            source, args.output, seqtype=source.seqtype,
+            name=args.name or source.name, n_fragments=args.fragments,
+            word_size=args.word_size)
+    else:
+        with open(args.input) as f:
+            store = build_pack_store(
+                f, args.output, seqtype="aa" if args.protein else "nt",
+                name=args.name or "db", n_fragments=args.fragments,
+                word_size=args.word_size)
+    _print_store(store)
+    return 0
+
+
+def cmd_packdb_info(args) -> int:
+    from repro.exec import PackIntegrityError
+
+    try:
+        store = _open_store(args.directory)
+        _print_store(store)
+        if args.verify:
+            n = store.verify()
+            print(f"verified {n} pack(s): every section CRC32 OK")
+    except PackIntegrityError as exc:
+        print(f"# pack integrity failure: {exc}", file=sys.stderr)
+        return EXIT_INTEGRITY
+    return 0
+
+
+def cmd_packdb_verify(args) -> int:
+    from repro.exec import PackIntegrityError
+
+    try:
+        store = _open_store(args.directory)
+        n = store.verify()
+    except PackIntegrityError as exc:
+        print(f"# pack integrity failure: {exc}", file=sys.stderr)
+        return EXIT_INTEGRITY
+    print(f"verified {n} pack(s): every section CRC32 OK")
+    return 0
 
 
 def cmd_formatdb(args) -> int:
@@ -109,6 +187,20 @@ def _parallel_results(program: str, db, queries, params, jobs: int,
         return results, degraded
 
 
+def _search_store_serial(program: str, store, rec, params):
+    """One query against a mmapped pack store, scored exactly as the
+    program's serial whole-database dispatch would score it."""
+    from repro.blast.alphabet import encode_dna, encode_protein
+    from repro.blast.programs import program_defaults
+    from repro.exec.diskpack import search_store
+
+    scheme, sparams = program_defaults(program, params)
+    encode = encode_dna if program == "blastn" else encode_protein
+    return search_store(encode(rec.sequence), store, scheme, sparams,
+                        query_id=rec.id or "query",
+                        both_strands=(program == "blastn"))
+
+
 def cmd_blastall(args) -> int:
     from repro.blast.fasta import parse_fasta
     from repro.blast.programs import blastall
@@ -116,7 +208,40 @@ def cmd_blastall(args) -> int:
     from repro.blast.search import SearchParams
 
     protein_db = args.program in ("blastp", "blastx")
-    db = _load_db(args.database, protein_db)
+    store = None
+    db_pack = getattr(args, "db_pack", None)
+    if db_pack:
+        if args.database:
+            print("# use either -d/--database or --db-pack, not both",
+                  file=sys.stderr)
+            return 2
+        if args.program not in ("blastn", "blastp"):
+            print(f"# --db-pack supports blastn/blastp only, "
+                  f"not {args.program}", file=sys.stderr)
+            return 2
+        from repro.exec import PackIntegrityError
+
+        try:
+            store = _open_store(db_pack)
+        except PackIntegrityError as exc:
+            print(f"# pack integrity failure: {exc}", file=sys.stderr)
+            return EXIT_INTEGRITY
+        need = "nt" if args.program == "blastn" else "aa"
+        if store.seqtype != need:
+            print(f"# {args.program} needs a {need} pack store; "
+                  f"{db_pack} holds {store.seqtype}", file=sys.stderr)
+            return 2
+        if args.alignments:
+            print("# --db-pack ignores -a/--alignments (pack stores "
+                  "serve hit reports, not pairwise renders)",
+                  file=sys.stderr)
+        db = store
+    elif args.database:
+        db = _load_db(args.database, protein_db)
+    else:
+        print("# one of -d/--database or --db-pack is required",
+              file=sys.stderr)
+        return 2
     with open(args.input) as f:
         queries = parse_fasta(f.read())
     params = None
@@ -143,12 +268,29 @@ def cmd_blastall(args) -> int:
             except PoolJobError as exc:
                 print(f"# pool failure: {exc}", file=sys.stderr)
                 return EXIT_POOL_FAILURE
+            except ValueError as exc:
+                if store is None:
+                    raise
+                print(f"# {exc}", file=sys.stderr)
+                return 2
         else:
             print(f"# --jobs applies to blastn/blastp only; "
                   f"running {args.program} serially", file=sys.stderr)
     for qi, rec in enumerate(queries):
         if parallel is not None:
             results = parallel[qi]
+        elif store is not None:
+            from repro.exec import PackIntegrityError
+
+            try:
+                results = _search_store_serial(args.program, store, rec,
+                                               params)
+            except PackIntegrityError as exc:
+                print(f"# pack integrity failure: {exc}", file=sys.stderr)
+                return EXIT_INTEGRITY
+            except ValueError as exc:
+                print(f"# {exc}", file=sys.stderr)
+                return 2
         else:
             results = blastall(args.program, rec.sequence, db, params=params,
                                query_id=rec.id or "query")
@@ -158,8 +300,9 @@ def cmd_blastall(args) -> int:
             from repro.blast.xmlout import to_xml
 
             print(to_xml(results, program=args.program,
-                         database=args.database))
-        elif args.alignments and args.program in ("blastn", "blastp"):
+                         database=args.database or db_pack))
+        elif args.alignments and store is None and \
+                args.program in ("blastn", "blastp"):
             print(render_results(rec.sequence, db, results,
                                  max_hits=args.max_hits))
         else:
@@ -298,8 +441,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("blastall", help="run one of the five BLAST programs")
     p.add_argument("-p", "--program", required=True,
                    choices=["blastn", "blastp", "blastx", "tblastn", "tblastx"])
-    p.add_argument("-d", "--database", required=True,
+    p.add_argument("-d", "--database", default=None,
                    help="database path (directory/name)")
+    p.add_argument("--db-pack", default=None, metavar="DIR",
+                   help="search a persistent on-disk pack store (built "
+                        "with `packdb build`) instead of -d: cold start "
+                        "via mmap, no rebuild; blastn/blastp only")
     p.add_argument("-i", "--input", required=True, help="FASTA query file")
     p.add_argument("-e", "--evalue", type=float, default=None)
     p.add_argument("-F", "--filter", action="store_true",
@@ -322,8 +469,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("blastn", help="nucleotide search (blastall -p "
                                       "blastn shortcut with --jobs)")
-    p.add_argument("-d", "--database", required=True,
+    p.add_argument("-d", "--database", default=None,
                    help="database path (directory/name)")
+    p.add_argument("--db-pack", default=None, metavar="DIR",
+                   help="search a persistent on-disk pack store (built "
+                        "with `packdb build`) instead of -d")
     p.add_argument("-i", "--input", required=True, help="FASTA query file")
     p.add_argument("-e", "--evalue", type=float, default=None)
     p.add_argument("-F", "--filter", action="store_true",
@@ -340,6 +490,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="database fragments for --jobs (default 2x jobs)")
     _add_pool_args(p)
     p.set_defaults(fn=cmd_blastall, program="blastn")
+
+    p = sub.add_parser(
+        "packdb",
+        help="persistent on-disk fragment packs (formatdb for the "
+             "multi-core engine): build, inspect, verify")
+    psub = p.add_subparsers(dest="packdb_cmd", required=True)
+    b = psub.add_parser("build", help="stream FASTA (or an existing "
+                                      "database) into a pack store")
+    b.add_argument("-i", "--input", default=None, help="FASTA file "
+                   "(streamed — bounded memory at any corpus size)")
+    b.add_argument("--from-db", default=None, metavar="DIR/NAME",
+                   help="pack an existing formatdb-style database "
+                        "instead of FASTA")
+    b.add_argument("-o", "--output", required=True,
+                   help="store directory (created if missing)")
+    b.add_argument("-n", "--name", default=None, help="store name")
+    b.add_argument("-p", "--protein", action="store_true")
+    b.add_argument("--fragments", type=int, default=4,
+                   help="fragment packs to cut the corpus into")
+    b.add_argument("--word-size", type=int, default=None,
+                   help="scan word size baked into the packs "
+                        "(default: 11 nt / 3 aa)")
+    b.set_defaults(fn=cmd_packdb_build)
+    i = psub.add_parser("info", help="print a store's manifest summary")
+    i.add_argument("directory")
+    i.add_argument("--verify", action="store_true",
+                   help="also CRC-verify every pack section")
+    i.set_defaults(fn=cmd_packdb_info)
+    v = psub.add_parser("verify", help="CRC-verify every pack; exit 4 "
+                                       "on any integrity failure")
+    v.add_argument("directory")
+    v.set_defaults(fn=cmd_packdb_verify)
 
     p = sub.add_parser("psiblast", help="position-specific iterated search")
     p.add_argument("-d", "--database", required=True)

@@ -18,9 +18,18 @@ master/worker design on actual cores:
   engine, with worker respawn and graceful serial fallback;
 * :mod:`repro.exec.faults` — deterministic fault injection (kill /
   hang / slow / drop-result / corrupt-pack) and the structured
-  :class:`FailureLedger` the pool's recovery actions append to.
+  :class:`FailureLedger` the pool's recovery actions append to;
+* :mod:`repro.exec.diskpack` — the persistent on-disk pack format
+  (``formatdb`` for this engine): checksummed mmap-able pack files
+  whose data region matches the shm layout byte-for-byte, a streaming
+  bounded-memory builder with atomic commit, and the pool's
+  mmap-then-memcpy cold-start path.
 """
 
+from repro.exec.diskpack import (DiskPack, PackFormatError, PackStore,
+                                 PackStoreBuilder, build_pack_store,
+                                 corrupt_pack_file, search_store,
+                                 sweep_build_leftovers, write_pack)
 from repro.exec.faults import (ANOMALY_KINDS, FAULT_KINDS, FAULT_PLAN_ENV,
                                FailureLedger, Fault, FaultInjector,
                                FaultPlan, LedgerEntry, random_plan)
@@ -34,9 +43,14 @@ from repro.exec.schedule import (DEFAULT_SCAN_RATE, DEFAULT_TASK_OVERHEAD_S,
 from repro.exec.shm import (ArenaSpec, AttachedPack, PackDB,
                             PackIntegrityError, PackSpec, ResultArena,
                             ShmRegistry, corrupt_segment, create_pack,
-                            default_registry, pack_fragment)
+                            default_registry, pack_fragment, pack_layout,
+                            publish_pack_bytes)
 
 __all__ = [
+    "DiskPack", "PackFormatError", "PackStore", "PackStoreBuilder",
+    "build_pack_store", "corrupt_pack_file", "search_store",
+    "sweep_build_leftovers", "write_pack",
+    "pack_layout", "publish_pack_bytes",
     "ExecPool", "JobSpec", "PoolConfig", "PoolJobError", "PoolStats",
     "search_parallel",
     "DEFAULT_SCAN_RATE", "DEFAULT_TASK_OVERHEAD_S",

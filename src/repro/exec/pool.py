@@ -79,7 +79,8 @@ from repro.exec.schedule import (DEFAULT_SCAN_RATE, DEFAULT_TASK_OVERHEAD_S,
 from repro.exec.shm import (ArenaSpec, AttachedPack, PackDB,
                             PackIntegrityError, PackSpec, ResultArena,
                             ShmRegistry, corrupt_segment, default_registry,
-                            ensure_tracker, pack_fragment)
+                            ensure_tracker, pack_fragment,
+                            publish_pack_bytes)
 
 #: Adaptive soft-deadline floor and multiplier: with no observed task
 #: times yet a task is hedge-eligible after this many seconds; once an
@@ -634,6 +635,8 @@ class ExecPool:
     # ------------------------------------------------------------------
     def _prepare(self, db, k: int, base: int,
                  n_fragments: Optional[int]) -> _PreparedDB:
+        if getattr(db, "is_pack_store", False):
+            return self._prepare_from_store(db, k, base)
         token = db_token(db)
         version = getattr(db, "_version", 0)
         nf = n_fragments or max(1, min(len(db) or 1, 2 * self.jobs))
@@ -641,12 +644,7 @@ class ExecPool:
         prep = self._prepared.get(key)
         if prep is not None:
             return prep
-        # The registry is keyed by token+version: a mutated database
-        # invalidates every pack built from its previous version.
-        stale = [kk for kk in self._prepared
-                 if kk[0] == token and kk[1] != version]
-        for kk in stale:
-            self._release_prepared(self._prepared.pop(kk))
+        self._drop_stale(token, version)
         specs: List[PackSpec] = []
         for frag_id, ids in enumerate(plan_fragments(db, nf)
                                       if len(db) else []):
@@ -656,6 +654,67 @@ class ExecPool:
             specs.append(pack_fragment(sub, k, base,
                                        cache_token=(token, version, frag_id),
                                        registry=self._registry))
+        return self._install_prepared(key, specs)
+
+    def _prepare_from_store(self, store, k: int, base: int) -> _PreparedDB:
+        """Cold start from an on-disk pack store: mmap each committed
+        pack, bulk-copy its data region into a fresh shm segment (one
+        memcpy per fragment — no scan structures are rebuilt), verify
+        CRCs from the segment, and drop the mappings immediately.  The
+        packs keep their own ``(("rpk", store_id), version,
+        fragment_id)`` ScanCache identities, so worker caches and
+        stale-version invalidation behave exactly as for in-RAM
+        databases."""
+        from repro.exec.diskpack import DiskPack
+        if k != store.k or base != store.base:
+            raise ValueError(
+                f"pack store {store.directory!r} was built with word size "
+                f"{store.k} over base {store.base}; this search needs "
+                f"({k}, {base}) — rebuild the store")
+        token = db_token(store)
+        version = store._version
+        key = (token, version, k, base, len(store.packs))
+        prep = self._prepared.get(key)
+        if prep is not None:
+            return prep
+        self._drop_stale(token, version)
+        specs: List[PackSpec] = []
+        packs: List[DiskPack] = []
+        try:
+            packs = store.open_packs(verify=True)
+            for pack in packs:
+                specs.append(publish_pack_bytes(
+                    pack.data, pack.layout, pack.checksums,
+                    seqtype=pack.spec.seqtype,
+                    cache_token=pack.spec.cache_token,
+                    fragment_id=pack.spec.fragment_id,
+                    k=pack.spec.k, base=pack.spec.base,
+                    n_sequences=pack.spec.n_sequences,
+                    total_residues=pack.spec.total_residues,
+                    source_ids=pack.spec.source_ids,
+                    size=pack.spec.size, registry=self._registry))
+        except BaseException:
+            for spec in specs:
+                self._registry.release(spec.name)
+            raise
+        finally:
+            # Publish-and-close: after this point the pool serves from
+            # shm only; no mmap or store fd survives (ExecPool.close()
+            # therefore has nothing disk-side to leak).
+            for pack in packs:
+                pack.close()
+        return self._install_prepared(key, specs)
+
+    def _drop_stale(self, token, version) -> None:
+        """The registry is keyed by token+version: a mutated database
+        invalidates every pack built from its previous version."""
+        stale = [kk for kk in self._prepared
+                 if kk[0] == token and kk[1] != version]
+        for kk in stale:
+            self._release_prepared(self._prepared.pop(kk))
+
+    def _install_prepared(self, key: tuple,
+                          specs: List[PackSpec]) -> _PreparedDB:
         prep = _PreparedDB(key=key, specs=specs,
                            ids_by_name={s.name: list(s.source_ids)
                                         for s in specs})
@@ -1029,6 +1088,12 @@ class ExecPool:
         warnings.warn(
             f"exec pool degraded ({exc}); serving this batch with the "
             f"serial scan engine", RuntimeWarning, stacklevel=3)
+        if getattr(db, "is_pack_store", False):
+            from repro.exec.diskpack import search_store
+            return [search_store(q, db, scheme, params,
+                                 query_id=query_ids[qi],
+                                 both_strands=both_strands)
+                    for qi, q in enumerate(queries)]
         return [search(q, db, scheme, params, query_id=query_ids[qi],
                        both_strands=both_strands)
                 for qi, q in enumerate(queries)]

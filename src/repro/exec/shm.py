@@ -201,19 +201,18 @@ def default_registry() -> ShmRegistry:
 
 
 # ----------------------------------------------------------------------
-def create_pack(structs: ScanStructures, descriptions: Sequence[str],
-                seqtype: str, cache_token: tuple,
-                fragment_id: Optional[int] = None,
-                source_ids: Optional[Sequence[int]] = None,
-                registry: Optional[ShmRegistry] = None) -> PackSpec:
-    """Copy packed scan structures into a fresh shared-memory segment.
+def pack_layout(structs: ScanStructures, descriptions: Sequence[str]):
+    """Compute the canonical pack byte layout for *structs*.
 
-    Returns the :class:`PackSpec` workers attach with.  The segment is
-    registered for unlink in *registry* (default: the process-wide
-    one).
+    Returns ``(arrays, layout, size)`` where *arrays* maps field name →
+    contiguous ndarray, *layout* is the ``(field, dtype, shape, offset)``
+    section table with every offset rounded up to :data:`_ALIGN`, and
+    *size* is the total data-region length.  This single function
+    defines the layout for **both** shared-memory segments
+    (:func:`create_pack`) and on-disk packs
+    (:mod:`repro.exec.diskpack`), which is what lets a pack file be
+    bulk-copied into a segment without re-encoding.
     """
-    if _shm is None:  # pragma: no cover
-        raise RuntimeError("multiprocessing.shared_memory unavailable")
     hdr_parts = [d.encode() for d in descriptions]
     hdr_offsets = np.zeros(len(hdr_parts) + 1, dtype=np.int64)
     if hdr_parts:
@@ -233,6 +232,23 @@ def create_pack(structs: ScanStructures, descriptions: Sequence[str],
         arrays[field] = arr
         layout.append((field, arr.dtype.str, tuple(arr.shape), offset))
         offset += -(-arr.nbytes // _ALIGN) * _ALIGN
+    return arrays, tuple(layout), offset
+
+
+def create_pack(structs: ScanStructures, descriptions: Sequence[str],
+                seqtype: str, cache_token: tuple,
+                fragment_id: Optional[int] = None,
+                source_ids: Optional[Sequence[int]] = None,
+                registry: Optional[ShmRegistry] = None) -> PackSpec:
+    """Copy packed scan structures into a fresh shared-memory segment.
+
+    Returns the :class:`PackSpec` workers attach with.  The segment is
+    registered for unlink in *registry* (default: the process-wide
+    one).
+    """
+    if _shm is None:  # pragma: no cover
+        raise RuntimeError("multiprocessing.shared_memory unavailable")
+    arrays, layout, offset = pack_layout(structs, descriptions)
 
     name = _segment_name(fragment_id)
     shm = _shm.SharedMemory(name=name, create=True, size=max(offset, 1))
@@ -273,6 +289,57 @@ def pack_fragment(db, k: int, base: int, cache_token: tuple,
                        fragment_id=db.fragment_id,
                        source_ids=getattr(db, "source_ids", None),
                        registry=registry)
+
+
+def publish_pack_bytes(data, layout, checksums, *, seqtype: str,
+                       cache_token: tuple, fragment_id: Optional[int],
+                       k: int, base: int, n_sequences: int,
+                       total_residues: int,
+                       source_ids: Sequence[int], size: int,
+                       registry: Optional[ShmRegistry] = None) -> PackSpec:
+    """Publish an already-encoded pack data region into shared memory.
+
+    *data* is the raw byte region of a pack whose sections follow the
+    canonical :func:`pack_layout` — in practice a ``memoryview`` over a
+    mmapped on-disk pack (:class:`repro.exec.diskpack.DiskPack`).  The
+    bytes are bulk-copied into a fresh segment (one memcpy, no
+    re-encoding) and every field is re-checksummed from the segment
+    itself against the recorded CRC32s, so a torn copy or a corrupted
+    source fails with :class:`PackIntegrityError` before any worker can
+    attach.  This is the pool's cold-start path: disk → shm without
+    rebuilding a single scan structure.
+    """
+    if _shm is None:  # pragma: no cover
+        raise RuntimeError("multiprocessing.shared_memory unavailable")
+    if len(data) != size:
+        raise PackIntegrityError(
+            f"pack data region is {len(data)} bytes, layout expects {size}")
+    name = _segment_name(fragment_id)
+    shm = _shm.SharedMemory(name=name, create=True, size=max(size, 1))
+    try:
+        if size:
+            shm.buf[:size] = data
+        crc_map = dict(checksums)
+        for field, dtype, shape, off in layout:
+            view = np.ndarray(tuple(shape), dtype=dtype, buffer=shm.buf,
+                              offset=off)
+            got = _crc(view)
+            expected = crc_map.get(field)
+            if expected is None or got != expected:
+                raise _integrity_error(name, field, expected or 0, got)
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    (registry if registry is not None else default_registry()).register(shm)
+    return PackSpec(
+        name=name, cache_token=cache_token, seqtype=seqtype,
+        fragment_id=fragment_id, k=k, base=base,
+        n_sequences=n_sequences, total_residues=total_residues,
+        source_ids=tuple(int(i) for i in source_ids),
+        arrays=tuple((f, d, tuple(s), o) for f, d, s, o in layout),
+        size=max(size, 1), checksums=tuple((f, int(c)) for f, c in checksums),
+    )
 
 
 def corrupt_segment(spec: PackSpec, field: Optional[str] = None,
@@ -478,6 +545,17 @@ class PackDB:
 
     def lengths(self) -> List[int]:
         return [int(x) for x in self._pack.structs.lengths]
+
+    def scan_structures(self, k: int, base: int):
+        """The pack's pre-built structures when they match ``(k, base)``.
+
+        ``search(engine="scan")`` prefers this provider over a
+        :class:`~repro.blast.scankernel.ScanCache` rebuild — the pack
+        already *is* the scan structure, in shm or mmapped from disk —
+        and falls back to the cache on mismatch (``None``).
+        """
+        s = self._pack.structs
+        return s if (s.k == k and s.base == base) else None
 
     def sequence(self, i: int) -> np.ndarray:
         return self._pack.structs.subject(i)

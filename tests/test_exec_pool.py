@@ -33,11 +33,29 @@ def shm_segments():
         return []
 
 
+def diskpack_leftovers():
+    """Build artifacts the streaming pack builder must never leak:
+    spool directories and half-committed ``*.tmp`` files inside any
+    store directory a builder of this process targeted."""
+    from repro.exec import diskpack
+
+    found = []
+    for root in sorted(diskpack.build_roots()):
+        if not os.path.isdir(root):
+            continue
+        for entry in sorted(os.listdir(root)):
+            if (entry.startswith(diskpack.BUILD_DIR_PREFIX)
+                    or entry.endswith(".tmp")):
+                found.append(os.path.join(root, entry))
+    return found
+
+
 @pytest.fixture(autouse=True)
 def no_segment_leaks():
     before = shm_segments()
     yield
     assert shm_segments() == before, "test leaked shared-memory segments"
+    assert diskpack_leftovers() == [], "test leaked pack build artifacts"
 
 
 def random_nt_db(rng, n_seqs, min_len=5, max_len=300):
@@ -429,3 +447,42 @@ def test_task_sleep_env_hook(monkeypatch):
         assert pool._cfg.task_sleep == 0.5
     finally:
         pool.close()
+
+
+def test_pool_cold_start_leaves_no_mmap_open(tmp_path):
+    """The cold-start path mmaps each pack only long enough to memcpy it
+    into shm: no disk mapping may survive _prepare, and ExecPool.close()
+    must not be holding pack-file descriptors either."""
+    from repro.exec.diskpack import build_pack_store, open_pack_count
+
+    rng = np.random.default_rng(21)
+    db = random_nt_db(rng, 14)
+    store = build_pack_store(db, str(tmp_path / "store"),
+                             seqtype=NT, n_fragments=3)
+    query = db.sequence(3)[:80].copy()
+    params = SearchParams(word_size=11)
+
+    def store_fds():
+        fds = []
+        for fd in os.listdir("/proc/self/fd"):
+            try:
+                target = os.readlink(f"/proc/self/fd/{fd}")
+            except OSError:
+                continue
+            if str(tmp_path) in target:
+                fds.append(target)
+        return fds
+
+    assert open_pack_count() == 0
+    pool = ExecPool(jobs=2)
+    try:
+        got = pool.search(query, store, NucleotideScore(), params,
+                          query_id="q")
+        assert open_pack_count() == 0, "pool kept a disk pack mmapped"
+        assert store_fds() == [], "pool kept pack-file descriptors open"
+    finally:
+        pool.close()
+    assert open_pack_count() == 0
+    assert store_fds() == []
+    want = search(query, db, NucleotideScore(), params, query_id="q")
+    assert dump(got) == dump(want)

@@ -29,6 +29,11 @@ recorded as annotated skips, never measured — a 1-core runner cannot
 demonstrate (or honestly refute) parallel speedup.  Any point that
 *was* measured with ``jobs >= 2`` must reach speedup >= 1.0 or the run
 fails: the pool existing at all is only justified by beating serial.
+Every run also times the on-disk pack store (``repro.exec.diskpack``):
+building packs from FASTA, a full rebuild-from-FASTA restart, and the
+mmap cold start that replaces it.  Cold start must come in under 25%
+of the rebuild (``DISKPACK_COLD_CEILING``) or the run fails — the
+format's entire justification is killing that startup cost.
 ``--out`` appends a compact record of every run to the JSON's
 ``history`` list (carried forward from the existing file, deduplicated
 per git commit), with the machine's core count and CPU model alongside
@@ -126,6 +131,106 @@ def measure_parallel(db, query, scheme, params, jobs: int, rounds: int,
     }
 
 
+def measure_diskpack(db, query, scheme, params, rounds: int,
+                     serial_dump) -> dict:
+    """Time the pack-store cold start against a full rebuild.
+
+    Both sides are timed to *search-ready* — the first query's own scan
+    costs the same either way and would only dilute the ratio.
+    ``rebuild_from_fasta_s`` is the formatdb-equivalent path a restart
+    without packs pays: parse the FASTA corpus, encode it, build the
+    scan structures.  ``cold_start_s`` is the pack path: open the
+    manifest, mmap + CRC-verify every pack (the structures are zero-copy
+    views into the mappings, so at that point the store is serving).
+    The ratio is the startup cost the format exists to eliminate; the
+    gate requires cold start under 25% of the rebuild.  Answer fidelity
+    is asserted separately: one query through the cold store must match
+    the in-RAM engine byte for byte."""
+    import shutil
+    import tempfile
+
+    from repro.blast.fasta import FastaRecord, write_fasta
+    from repro.blast.seqdb import SequenceDB
+    from repro.exec.diskpack import (PackStore, build_pack_store,
+                                     search_store)
+
+    tmp = tempfile.mkdtemp(prefix="bench-rpk-")
+    try:
+        fasta_path = os.path.join(tmp, "corpus.fasta")
+        records = [FastaRecord(db.description(i), db.sequence_str(i))
+                   for i in range(len(db))]
+        with open(fasta_path, "w") as f:
+            f.write(write_fasta(records))
+        store_dir = os.path.join(tmp, "store")
+
+        t0 = time.perf_counter()
+        build_pack_store(fasta_path, store_dir, seqtype=db.seqtype,
+                         n_fragments=4, word_size=params.word_size)
+        build_s = time.perf_counter() - t0
+        store_bytes = sum(
+            os.path.getsize(os.path.join(store_dir, f))
+            for f in os.listdir(store_dir))
+
+        from repro.blast.scankernel import build_scan_structures
+
+        base = 25 if db.seqtype == "aa" else 4
+
+        def rebuild():
+            with open(fasta_path) as f:
+                fresh = SequenceDB.from_fasta_text(f.read(),
+                                                   seqtype=db.seqtype)
+            build_scan_structures(fresh, params.word_size, base)
+
+        def cold_start():
+            store = PackStore.open(store_dir)
+            for pack in store.open_packs(verify=True):
+                pack.close()
+
+        cold_results = search_store(query, PackStore.open(store_dir),
+                                    scheme, params)
+        equivalent = _dump_results(cold_results) == serial_dump
+        # Millisecond-scale timings: extra rounds are nearly free and
+        # keep the gate's median out of scheduler noise on small CI
+        # runners.
+        dp_rounds = max(rounds, 7)
+        rebuild_s = _time(rebuild, dp_rounds)
+        cold_s = _time(cold_start, dp_rounds)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "build_s": build_s,
+        "rebuild_from_fasta_s": rebuild_s,
+        "cold_start_s": cold_s,
+        "cold_over_rebuild": cold_s / rebuild_s,
+        "store_bytes": store_bytes,
+        "n_fragments": 4,
+        "equivalent": equivalent,
+    }
+
+
+#: Acceptance ceiling: pack cold start must cost less than this
+#: fraction of the rebuild-from-FASTA path it replaces.
+DISKPACK_COLD_CEILING = 0.25
+
+
+def diskpack_gate(result: dict) -> list:
+    """Hard gate on the pack cold-start measurement (empty = pass)."""
+    dp = result.get("diskpack")
+    if not dp:
+        return []
+    failures = []
+    if not dp.get("equivalent", True):
+        failures.append("diskpack: cold-start or rebuild results disagree "
+                        "with the in-RAM engine")
+    ratio = dp.get("cold_over_rebuild", 0.0)
+    if ratio >= DISKPACK_COLD_CEILING:
+        failures.append(
+            f"diskpack: cold start is {ratio:.1%} of a rebuild "
+            f"(ceiling {DISKPACK_COLD_CEILING:.0%}) — the pack format is "
+            f"not paying for itself")
+    return failures
+
+
 def sweep_jobs(max_jobs: int) -> list:
     """Worker counts to sweep: powers of two up to *max_jobs*, plus
     *max_jobs* itself (so ``--jobs 6`` measures 2, 4, 6)."""
@@ -221,6 +326,9 @@ def run_benchmarks(residues: int, rounds: int,
     loop_s = _time(lambda: search(query, db, scheme, params, engine="loop"),
                    rounds)
 
+    diskpack = measure_diskpack(db, query, scheme, params, rounds,
+                                _dump_results(r_scan))
+
     parallel = None
     parallel_sweep = None
     if jobs and jobs > 1:
@@ -234,7 +342,7 @@ def run_benchmarks(residues: int, rounds: int,
         parallel = measured[-1] if measured else parallel_sweep[-1]
 
     return {
-        "schema": 2,
+        "schema": 3,
         "corpus": {"residues": db.total_residues,
                    "n_sequences": len(db),
                    "query_len": int(len(query)),
@@ -253,6 +361,7 @@ def run_benchmarks(residues: int, rounds: int,
             "search_warm_s": warm_s,
             "search_loop_s": loop_s,
         },
+        "diskpack": diskpack,
         "parallel": parallel,
         "parallel_sweep": parallel_sweep,
         "equivalent": equivalent,
@@ -275,6 +384,9 @@ def _history_entry(result: dict) -> dict:
             entry["parallel_skipped"] = par["skipped"]
         else:
             entry["parallel_speedup"] = par["speedup_over_serial"]
+    dp = result.get("diskpack")
+    if dp:
+        entry["diskpack_cold_over_rebuild"] = dp["cold_over_rebuild"]
     return entry
 
 
@@ -305,8 +417,14 @@ def check_against(current: dict, baseline_path: str, tolerance: float) -> int:
     with open(baseline_path) as f:
         baseline = json.load(f)
     if baseline.get("corpus") != current.get("corpus"):
+        # The kernel-over-loop ratio shifts with corpus shape (smaller
+        # corpora flatter the loop), so a cross-corpus comparison can
+        # only catch gross regressions: double the allowed drop instead
+        # of pretending the numbers are commensurable.
+        tolerance = min(0.9, tolerance * 2)
         print("WARNING: corpus differs from baseline; the speedup ratio "
-              "shifts with corpus shape, so the comparison is loose "
+              "shifts with corpus shape, so the comparison is loose and "
+              f"tolerance is widened to {tolerance:.0%} "
               f"(baseline {baseline.get('corpus')}, "
               f"current {current.get('corpus')})")
     base_ratio = baseline["speedup_kernel_over_loop"]
@@ -338,7 +456,13 @@ def check_against(current: dict, baseline_path: str, tolerance: float) -> int:
         if cur_sp < par_floor:
             print("FAIL: parallel speedup regressed past tolerance")
             ok = False
-    for msg in parallel_gate(current):
+    cur_dp = current.get("diskpack") or {}
+    if "cold_over_rebuild" in cur_dp:
+        print(f"diskpack cold start: {cur_dp['cold_start_s']*1e3:.1f} ms, "
+              f"{cur_dp['cold_over_rebuild']:.1%} of a "
+              f"{cur_dp['rebuild_from_fasta_s']*1e3:.1f} ms rebuild "
+              f"(ceiling {DISKPACK_COLD_CEILING:.0%})")
+    for msg in parallel_gate(current) + diskpack_gate(current):
         print(f"FAIL: {msg}")
         ok = False
     if ok:
@@ -377,7 +501,7 @@ def main(argv=None) -> int:
     if not result["equivalent"]:
         print("FAIL: scan and loop engines disagree on SearchResults")
         return 1
-    failures = parallel_gate(result)
+    failures = parallel_gate(result) + diskpack_gate(result)
     for msg in failures:
         print(f"FAIL: {msg}")
     return 1 if failures else 0
