@@ -124,10 +124,105 @@ def ungapped_extend(query: np.ndarray, subject: np.ndarray,
     )
 
 
+#: Window width of the vectorised bulk X-drop pass: extensions that do
+#: not terminate within this many positions (true alignments, not the
+#: random-hit noise that dominates seed counts) fall back to the exact
+#: per-seed chunked scan.
+_BULK_WINDOW = 64
+#: Row-chunk bound of the bulk pass, capping peak scratch memory at
+#: roughly ``8 * _BULK_ROWS * _BULK_WINDOW * 8`` bytes.
+_BULK_ROWS = 4096
+
+
+def _bulk_prefix(qcat: np.ndarray, scat: np.ndarray,
+                 q0: np.ndarray, s0: np.ndarray, avail: np.ndarray,
+                 step: int, scheme: ScoringScheme, xdrop: int,
+                 window: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised :func:`_best_prefix` over many seeds at once.
+
+    Row ``i`` walks ``avail[i]`` positions from ``(q0[i], s0[i])`` in
+    *step* direction (+1 right, -1 left) through the flat query /
+    subject concatenations.  The first *window* positions of every row
+    are scored in one 2-D gather; positions past a row's ``avail`` are
+    padded with ``-(xdrop + 1)``, which trips the X-drop test exactly
+    at the boundary, so any row whose scan terminates inside the window
+    gets the same (length, score) answer as the scalar pass.  Rows that
+    neither drop nor end within the window re-run the exact per-seed
+    scan.  Returns ``(lengths, scores)`` int64 arrays.
+    """
+    n = len(q0)
+    out_len = np.zeros(n, dtype=np.int64)
+    out_score = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return out_len, out_score
+    pad = -(xdrop + 1)
+    cols = np.arange(window, dtype=np.int64)
+    for lo in range(0, n, _BULK_ROWS):
+        hi = min(n, lo + _BULK_ROWS)
+        av = avail[lo:hi]
+        valid = cols < av[:, None]
+        # Out-of-window gathers are masked anyway; clamp their indexes
+        # to 0 so the matrix lookup never leaves the concatenations.
+        qi = np.where(valid, q0[lo:hi, None] + step * cols, 0)
+        si = np.where(valid, s0[lo:hi, None] + step * cols, 0)
+        pair = scheme.pair_scores(qcat[qi], scat[si]).astype(np.int64,
+                                                            copy=False)
+        scores = np.where(valid, pair, pad)
+        cum = np.cumsum(scores, axis=1, dtype=np.int64)
+        runmax = np.maximum.accumulate(np.maximum(cum, 0), axis=1)
+        dropped = (runmax - cum) > xdrop
+        has_drop = dropped.any(axis=1)
+        stop = np.where(has_drop, np.argmax(dropped, axis=1), window)
+        head = np.where(cols < stop[:, None], cum, np.int64(-(2 ** 62)))
+        best = np.argmax(head, axis=1)
+        val = head[np.arange(hi - lo), best]
+        pos = val > 0
+        out_len[lo:hi][pos] = best[pos] + 1
+        out_score[lo:hi][pos] = val[pos]
+        # Exact re-scan of rows the window could not settle.
+        for i in np.nonzero(~has_drop & (av > window))[0]:
+            a = int(av[i])
+            walk = step * np.arange(a, dtype=np.int64)
+            row = scheme.pair_scores(qcat[int(q0[lo + i]) + walk],
+                                     scat[int(s0[lo + i]) + walk])
+            out_len[lo + i], out_score[lo + i] = _best_prefix(row, xdrop)
+    return out_len, out_score
+
+
+def bulk_ungapped_extend(qcat: np.ndarray, scat: np.ndarray,
+                         gq: np.ndarray, gs: np.ndarray,
+                         avail_l: np.ndarray, avail_r: np.ndarray,
+                         scheme: ScoringScheme, xdrop: int = 20
+                         ) -> Tuple[np.ndarray, np.ndarray,
+                                    np.ndarray, np.ndarray]:
+    """X-drop extend many seeds across many query/subject pairs at once.
+
+    The batched search driver's extension kernel: *gq*/*gs* are seed
+    anchors as **flat positions** into the query concatenation *qcat*
+    and the packed fragment *scat*, so one 2-D gather scores seeds
+    belonging to different queries, strands and subjects together —
+    no per-(query, subject) numpy dispatch at all.  ``avail_l`` /
+    ``avail_r`` bound each seed's walk to its own sequence, which is
+    what keeps sentinels and neighbouring sequences out of the scoring
+    window.
+
+    Per seed the answer — ``(left_len, left_score, right_len,
+    right_score)`` — is exactly what :func:`ungapped_extend` computes
+    from the equivalent per-sequence slices.
+    """
+    right_len, right_score = _bulk_prefix(qcat, scat, gq, gs, avail_r,
+                                          +1, scheme, xdrop, _BULK_WINDOW)
+    left_len, left_score = _bulk_prefix(qcat, scat, gq - 1, gs - 1, avail_l,
+                                        -1, scheme, xdrop, _BULK_WINDOW)
+    return left_len, left_score, right_len, right_score
+
+
 def batched_ungapped_extend(query: np.ndarray, subject: np.ndarray,
                             seeds: Sequence[Tuple[int, int]],
                             scheme: ScoringScheme,
-                            xdrop: int = 20) -> List[UngappedHSP]:
+                            xdrop: int = 20,
+                            stats: Optional[Dict[str, int]] = None
+                            ) -> List[UngappedHSP]:
     """Extend many seeds against one subject, batched per diagonal.
 
     *seeds* are ``(query position, subject position)`` pairs as produced
@@ -135,14 +230,22 @@ def batched_ungapped_extend(query: np.ndarray, subject: np.ndarray,
     position within a diagonal).  For each diagonal run the full
     diagonal's substitution scores are computed once; every seed on it
     then extends from slices of that array.  Seeds falling inside an
-    HSP already extended on their diagonal are skipped, and only
-    positive-score HSPs are returned — the same coverage-dedup rule the
-    per-seed driver applied.
+    HSP already extended on their diagonal are filtered out *before*
+    paying any extension cost, and only positive-score HSPs are
+    returned — the same coverage-dedup rule the per-seed driver
+    applied, so extension work stays bounded by accepted diagonal runs
+    instead of growing linearly in redundant word hits.
+
+    *stats*, when given, accumulates ``seeds`` (seen) and
+    ``seeds_skipped`` (dropped by the covered-run prefilter) counters —
+    the profiling hook's view of how much extension the filter saved.
     """
     out: List[UngappedHSP] = []
     covered: Dict[int, int] = {}
     m, n = len(query), len(subject)
     i, n_seeds = 0, len(seeds)
+    if stats is not None:
+        stats["seeds"] = stats.get("seeds", 0) + n_seeds
     while i < n_seeds:
         qp0, sp0 = seeds[i]
         dg = sp0 - qp0
@@ -157,6 +260,8 @@ def batched_ungapped_extend(query: np.ndarray, subject: np.ndarray,
         for t in range(i, j):
             qp, sp = seeds[t]
             if covered.get(dg, -1) >= sp:
+                if stats is not None:
+                    stats["seeds_skipped"] = stats.get("seeds_skipped", 0) + 1
                 continue
             anchor = qp - q_lo
             right_len, right_score = _best_prefix(diag_scores[anchor:], xdrop)

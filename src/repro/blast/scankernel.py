@@ -38,7 +38,7 @@ import itertools
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -153,11 +153,23 @@ def build_scan_structures(db, k: int, base: int) -> ScanStructures:
         for j in range(k):
             codes_full *= base
             codes_full += concat[j:j + n_windows]
-        # A window is valid iff it contains no sentinel.
-        is_sent = np.zeros(length + 1, dtype=np.int64)
-        np.cumsum(concat == sentinel, out=is_sent[1:])
-        valid = (is_sent[k:] - is_sent[:-k]) == 0
-        code_pos = np.nonzero(valid)[0].astype(np.int64)
+        # A window is valid iff it contains no sentinel — i.e. iff it
+        # lies wholly inside one sequence.  The sentinel positions are
+        # known from the layout, so the valid positions are constructed
+        # directly (sequence i contributes ``starts[i] + arange(w_i)``
+        # windows) instead of the old cumsum-over-sentinels scan, which
+        # cost three extra full-length passes over the concatenation.
+        per_seq = np.maximum(lengths - (k - 1), 0)
+        nz = per_seq > 0
+        reps = per_seq[nz]
+        total_windows = int(reps.sum())
+        if total_windows:
+            rep_starts = np.repeat(starts[nz], reps)
+            within = np.arange(total_windows, dtype=np.int64) - np.repeat(
+                np.concatenate([[0], np.cumsum(reps)[:-1]]), reps)
+            code_pos = rep_starts + within
+        else:
+            code_pos = np.empty(0, dtype=np.int64)
         codes = codes_full[code_pos]
 
     return ScanStructures(k=k, base=base, n_sequences=n,
@@ -187,6 +199,137 @@ def scan_fragment(index: WordIndex, structs: ScanStructures
              local[bounds[t]:bounds[t + 1]],
              qpos[bounds[t]:bounds[t + 1]])
             for t in range(len(bounds) - 1)]
+
+
+class QueryBatch:
+    """N query word-indexes packed into one combined lookup structure.
+
+    The serial driver pays one full pass over a fragment's cached word
+    codes *per query orientation* (the presence-bitmap gather inside
+    ``WordIndex.scan`` touches every code).  A batch folds every
+    entry's words into one sorted table — ``unique_codes`` with
+    ``offsets`` into parallel ``positions``/``eids`` arrays, plus one
+    shared presence bitmap — so a single pass serves all N entries and
+    every hit comes back tagged with the entry id it belongs to.
+
+    Entries are whatever the caller treats as independent scans; the
+    batched search driver uses one entry per (query, orientation).  All
+    indexes must share ``(k, base)``.  Within one subject position the
+    expanded hits appear entry-major, and within an entry in that
+    index's own order — so filtering the combined hit stream down to
+    one entry reproduces exactly what ``index.scan`` would have
+    returned for it (the byte-identity argument of the batched path).
+    """
+
+    def __init__(self, indexes: Sequence[WordIndex]):
+        if not indexes:
+            raise ValueError("QueryBatch needs at least one index")
+        k, base = indexes[0].k, indexes[0].base
+        for ix in indexes[1:]:
+            if ix.k != k or ix.base != base:
+                raise ValueError(
+                    f"all indexes in a batch must share (k, base); got "
+                    f"({ix.k}, {ix.base}) vs ({k}, {base})")
+        self.k = k
+        self.base = base
+        self.n_entries = len(indexes)
+        codes_parts: List[np.ndarray] = []
+        pos_parts: List[np.ndarray] = []
+        eid_parts: List[np.ndarray] = []
+        for eid, ix in enumerate(indexes):
+            if ix.n_words == 0:
+                continue
+            counts = np.diff(ix.offsets)
+            # ``positions`` is already stored code-major inside the
+            # index; repeating the unique codes by their counts
+            # reconstructs the aligned (code, position) pairs.
+            codes_parts.append(np.repeat(ix.unique_codes, counts))
+            pos_parts.append(ix.positions)
+            eid_parts.append(np.full(ix.n_words, eid, dtype=np.int64))
+        if codes_parts:
+            codes = np.concatenate(codes_parts)
+            positions = np.concatenate(pos_parts)
+            eids = np.concatenate(eid_parts)
+        else:
+            codes = np.empty(0, dtype=np.int64)
+            positions = np.empty(0, dtype=np.int64)
+            eids = np.empty(0, dtype=np.int64)
+        # Stable sort keeps, within one code, the entry-major order of
+        # the concatenation — and within one entry, the index's own
+        # (already code-sorted) position order.
+        order = np.argsort(codes, kind="stable")
+        codes = codes[order]
+        self.positions = positions[order]
+        self.eids = eids[order]
+        self.unique_codes, starts = np.unique(codes, return_index=True)
+        self.offsets = np.append(starts, len(codes)).astype(np.int64)
+        space = base ** k
+        if 0 < space <= WordIndex._BITMAP_LIMIT:
+            self._present = np.zeros(space, dtype=bool)
+            self._present[self.unique_codes] = True
+        else:
+            self._present = None
+
+    @property
+    def n_words(self) -> int:
+        return len(self.positions)
+
+    def scan(self, subject_codes: np.ndarray
+             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Find all word hits of every entry in one subject pass.
+
+        Returns ``(subject_positions, entry_ids, query_positions)``,
+        one row per (subject word, matching entry word) pair — the
+        multi-entry form of :meth:`WordIndex.scan`.
+        """
+        empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+                 np.empty(0, dtype=np.int64))
+        if len(subject_codes) == 0 or len(self.unique_codes) == 0:
+            return empty
+        if self._present is not None:
+            spos = np.nonzero(self._present[subject_codes])[0]
+            if len(spos) == 0:
+                return empty
+            uidx = np.searchsorted(self.unique_codes, subject_codes[spos])
+        else:
+            idx = np.searchsorted(self.unique_codes, subject_codes)
+            idx_clipped = np.minimum(idx, len(self.unique_codes) - 1)
+            valid = self.unique_codes[idx_clipped] == subject_codes
+            spos = np.nonzero(valid)[0]
+            if len(spos) == 0:
+                return empty
+            uidx = idx_clipped[spos]
+        starts = self.offsets[uidx]
+        counts = self.offsets[uidx + 1] - starts
+        total = int(counts.sum())
+        rep_starts = np.repeat(starts, counts)
+        within = np.arange(total) - np.repeat(
+            np.concatenate([[0], np.cumsum(counts)[:-1]]), counts)
+        flat = rep_starts + within
+        return (np.repeat(spos, counts), self.eids[flat],
+                self.positions[flat])
+
+
+def scan_fragment_batch(batch: QueryBatch, structs: ScanStructures
+                        ) -> List[Tuple[int, int, np.ndarray, np.ndarray]]:
+    """Scan a whole query batch against a packed fragment in one pass.
+
+    Returns ``(entry_id, sid, subject_positions, query_positions)``
+    groups, entry-major with ascending ``sid`` inside each entry.  For
+    every entry the groups are exactly what :func:`scan_fragment` would
+    have produced for that entry's index alone — one combined bitmap
+    gather, ``searchsorted`` hit-mapping pass, and grouping sort serve
+    all N entries instead of N separate traversals.
+    """
+    from repro.blast.seed import group_hits_by_entry
+
+    cpos, eids, qpos = batch.scan(structs.codes)
+    if len(cpos) == 0:
+        return []
+    gpos = structs.code_pos[cpos]
+    sids = np.searchsorted(structs.starts, gpos, side="right") - 1
+    local = gpos - structs.starts[sids]
+    return group_hits_by_entry(eids, sids, local, qpos)
 
 
 class ScanCache:

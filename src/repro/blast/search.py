@@ -24,19 +24,23 @@ exactly what the mpiBLAST master does with worker results.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.blast.alphabet import DNA, PROTEIN, reverse_complement
 from repro.blast.extend import (UngappedHSP, batched_ungapped_extend,
-                                ungapped_extend)
+                                bulk_ungapped_extend, ungapped_extend)
 from repro.blast.gapped import GappedAlignment, banded_local_align
 from repro.blast.kmer import WordIndex, dna_word_codes, protein_word_codes
-from repro.blast.scankernel import ScanCache, default_scan_cache, scan_fragment
+from repro.blast.profile import current_profile, profiled
+from repro.blast.scankernel import (QueryBatch, ScanCache, default_scan_cache,
+                                    scan_fragment, scan_fragment_batch)
 from repro.blast.score import NucleotideScore, ProteinScore, ScoringScheme
-from repro.blast.seed import one_hit_seeds, two_hit_seeds
+from repro.blast.seed import (one_hit_seeds, one_hit_seeds_grouped,
+                              two_hit_seeds)
 from repro.blast.seqdb import AA, NT, SequenceDB
 from repro.blast.stats import (KarlinAltschul, effective_search_space,
                                karlin_altschul_params)
@@ -309,20 +313,43 @@ def _hsps_from_hits(query: np.ndarray, subject: np.ndarray,
                     identity_query: Optional[np.ndarray] = None
                     ) -> List[HSP]:
     """Steps 2-4 from word hits for one orientation/subject pair."""
-    id_query = query if identity_query is None else identity_query
+    prof = current_profile()
+    t0 = time.perf_counter() if prof is not None else 0.0
     if is_protein and params.two_hit_window > 0:
         seeds = two_hit_seeds(spos, qpos, params.word_size, params.two_hit_window)
     else:
         seeds = one_hit_seeds(spos, qpos)
+    if prof is not None:
+        prof.add("seed", time.perf_counter() - t0)
     if not seeds:
         return []
 
     # Ungapped extension, batched per diagonal, with coverage dedup:
     # a seed already inside a previous HSP on its diagonal is skipped.
-    candidates = batched_ungapped_extend(query, subject, seeds, scheme,
-                                         xdrop=params.xdrop_ungapped)
+    t0 = time.perf_counter() if prof is not None else 0.0
+    candidates = batched_ungapped_extend(
+        query, subject, seeds, scheme, xdrop=params.xdrop_ungapped,
+        stats=prof.counters if prof is not None else None)
+    if prof is not None:
+        prof.add("extend", time.perf_counter() - t0)
+    return _candidates_to_hsps(query, subject, candidates, scheme, params,
+                               is_protein, ka, m_eff, n_eff, strand,
+                               identity_query=identity_query)
+
+
+def _candidates_to_hsps(query: np.ndarray, subject: np.ndarray,
+                        candidates: List[UngappedHSP],
+                        scheme: ScoringScheme, params: SearchParams,
+                        is_protein: bool, ka: KarlinAltschul,
+                        m_eff: int, n_eff: int, strand: int,
+                        identity_query: Optional[np.ndarray] = None
+                        ) -> List[HSP]:
+    """Steps 4-5 (gapped refinement, dedup, E-value filter) from
+    ungapped candidates for one orientation/subject pair."""
     if not candidates:
         return []
+    id_query = query if identity_query is None else identity_query
+    prof = current_profile()
     candidates.sort(key=lambda h: -h.score)
     candidates = candidates[:params.max_hsps]
 
@@ -332,6 +359,7 @@ def _hsps_from_hits(query: np.ndarray, subject: np.ndarray,
         if params.gapped and cand.score >= params.gapped_trigger:
             mid_q = cand.q_start + cand.length // 2
             mid_s = cand.s_start + cand.length // 2
+            t0 = time.perf_counter() if prof is not None else 0.0
             if params.gapped_method == "xdrop":
                 from repro.blast.xdrop import xdrop_gapped_extend
 
@@ -341,6 +369,8 @@ def _hsps_from_hits(query: np.ndarray, subject: np.ndarray,
                 aln = banded_local_align(query, subject, mid_s - mid_q,
                                          scheme, band=params.band,
                                          identity_query=identity_query)
+            if prof is not None:
+                prof.add("gapped", time.perf_counter() - t0)
             if aln.score <= 0:
                 continue
             q0, q1, s0, s1 = aln.q_start, aln.q_end, aln.s_start, aln.s_end
@@ -397,7 +427,26 @@ def search(query: np.ndarray, db: SequenceDB, scheme: ScoringScheme,
     *whole* database's space to every fragment search so per-fragment
     E-values — and the cutoff they are filtered by — come out exactly
     as a serial whole-database search would produce them.
+
+    With ``REPRO_PROFILE=1`` in the environment each top-level call
+    emits one JSON line of per-stage timings to stderr (see
+    :mod:`repro.blast.profile`).
     """
+    with profiled("search", query_id=query_id, query_len=len(query)):
+        return _search_impl(query, db, scheme, params, query_id, ka,
+                            both_strands, identity_query, engine,
+                            scan_cache, effective_space)
+
+
+def _search_impl(query: np.ndarray, db: SequenceDB, scheme: ScoringScheme,
+                 params: Optional[SearchParams],
+                 query_id: str,
+                 ka: Optional[KarlinAltschul],
+                 both_strands: bool,
+                 identity_query: Optional[np.ndarray],
+                 engine: Optional[str],
+                 scan_cache: Optional[ScanCache],
+                 effective_space: Optional[Tuple[int, int]]) -> SearchResults:
     params = params or SearchParams()
     engine = engine or DEFAULT_ENGINE
     if engine not in ("scan", "loop"):
@@ -427,6 +476,8 @@ def search(query: np.ndarray, db: SequenceDB, scheme: ScoringScheme,
         _, skip = apply_query_filter(oriented, is_protein, params.word_size)
         return skip
 
+    prof = current_profile()
+    t0 = time.perf_counter() if prof is not None else 0.0
     if is_protein:
         index = WordIndex.for_protein(query, scheme, params.word_size,
                                       params.neighbor_threshold,
@@ -441,6 +492,8 @@ def search(query: np.ndarray, db: SequenceDB, scheme: ScoringScheme,
             orientations.append(
                 (rc, WordIndex.for_dna(rc, params.word_size,
                                        skip=word_skip(rc)), -1))
+    if prof is not None:
+        prof.add("index", time.perf_counter() - t0)
 
     if engine == "scan":
         # Vectorized kernel: one scan over the packed fragment, then
@@ -451,13 +504,20 @@ def search(query: np.ndarray, db: SequenceDB, scheme: ScoringScheme,
         # A pack-backed db (shm segment or mmapped disk pack) already
         # *is* the scan structure — take it directly; the cache only
         # serves databases that must be (re)built.
+        t0 = time.perf_counter() if prof is not None else 0.0
         provider = getattr(db, "scan_structures", None)
         structs = provider(params.word_size, base) if provider else None
         if structs is None:
             structs = cache.get(db, params.word_size, base)
+        if prof is not None:
+            prof.add("pack", time.perf_counter() - t0)
         per_sid: Dict[int, List[HSP]] = {}
         for oriented_query, oriented_index, strand in orientations:
-            for sid, spos, qpos in scan_fragment(oriented_index, structs):
+            t0 = time.perf_counter() if prof is not None else 0.0
+            groups = scan_fragment(oriented_index, structs)
+            if prof is not None:
+                prof.add("scan", time.perf_counter() - t0)
+            for sid, spos, qpos in groups:
                 hsps = _hsps_from_hits(
                     oriented_query, structs.subject(sid), spos, qpos,
                     scheme, params, is_protein, ka, m_eff, n_eff, strand,
@@ -494,3 +554,262 @@ def search(query: np.ndarray, db: SequenceDB, scheme: ScoringScheme,
                 ))
     results.sort()
     return results
+
+
+def search_batch(queries: Sequence[np.ndarray], db: SequenceDB,
+                 scheme: ScoringScheme,
+                 params: Optional[SearchParams] = None, *,
+                 query_ids: Optional[Sequence[str]] = None,
+                 ka: Optional[KarlinAltschul] = None,
+                 both_strands: bool = True,
+                 identity_queries: Optional[Sequence[Optional[np.ndarray]]] = None,
+                 engine: Optional[str] = None,
+                 scan_cache: Optional[ScanCache] = None,
+                 effective_spaces: Optional[Sequence[Optional[Tuple[int, int]]]]
+                 = None) -> List[SearchResults]:
+    """Search N queries against *db* in one pass over the fragment.
+
+    Byte-identical to N sequential :func:`search` calls — same hits,
+    same HSPs, same ordering — but all query orientations are packed
+    into one :class:`~repro.blast.scankernel.QueryBatch` so the
+    fragment's cached word codes are traversed **once** (one presence
+    gather + one hit-mapping ``searchsorted``) instead of once per
+    orientation.  Per-(query, subject) seeding and extension then run
+    on exactly the hit groups the per-query scan would have produced.
+
+    Per-query arguments (*query_ids*, *identity_queries*,
+    *effective_spaces*) are parallel sequences; ``None`` entries take
+    the same defaults as :func:`search`.  *ka* is resolved once and
+    shared — the parallel runtime ships one set of Karlin–Altschul
+    parameters per job batch for the same reason.
+
+    ``engine="loop"`` falls back to sequential reference searches.
+    """
+    with profiled("search_batch", n_queries=len(queries)):
+        return _search_batch_impl(queries, db, scheme, params, query_ids,
+                                  ka, both_strands, identity_queries,
+                                  engine, scan_cache, effective_spaces)
+
+
+def _search_batch_impl(queries, db, scheme, params, query_ids, ka,
+                       both_strands, identity_queries, engine, scan_cache,
+                       effective_spaces) -> List[SearchResults]:
+    params = params or SearchParams()
+    engine = engine or DEFAULT_ENGINE
+    if engine not in ("scan", "loop"):
+        raise ValueError(f"engine must be 'scan' or 'loop', got {engine!r}")
+    n_q = len(queries)
+    if query_ids is None:
+        query_ids = ["query"] * n_q
+    if identity_queries is None:
+        identity_queries = [None] * n_q
+    if effective_spaces is None:
+        effective_spaces = [None] * n_q
+    if not (len(query_ids) == len(identity_queries)
+            == len(effective_spaces) == n_q):
+        raise ValueError("per-query argument sequences must match "
+                         "len(queries)")
+    is_protein = db.seqtype == AA
+    if ka is None:
+        ka = resolve_ka(scheme, params, is_protein)
+
+    if engine == "loop":
+        return [search(q, db, scheme, params, query_id=query_ids[qi],
+                       ka=ka, both_strands=both_strands,
+                       identity_query=identity_queries[qi], engine="loop",
+                       scan_cache=scan_cache,
+                       effective_space=effective_spaces[qi])
+                for qi, q in enumerate(queries)]
+
+    n_total = db.total_residues
+    results = [SearchResults(query_id=query_ids[qi], query_len=len(q),
+                             db_residues=n_total, db_sequences=len(db))
+               for qi, q in enumerate(queries)]
+
+    def word_skip(oriented: np.ndarray):
+        if not params.filter_low_complexity:
+            return None
+        from repro.blast.filter import apply_query_filter
+
+        _, skip = apply_query_filter(oriented, is_protein, params.word_size)
+        return skip
+
+    prof = current_profile()
+    # One entry per (query, orientation), in (query, +strand-first)
+    # order — the order the sequential driver accumulates HSPs in,
+    # which is what keeps the batched path byte-identical.  Queries
+    # shorter than the word size contribute no entries (the sequential
+    # driver returns their empty results before building an index).
+    t0 = time.perf_counter() if prof is not None else 0.0
+    entries: List[Tuple[int, np.ndarray, int]] = []
+    indexes: List[WordIndex] = []
+    spaces: List[Optional[Tuple[int, int]]] = [None] * n_q
+    for qi, q in enumerate(queries):
+        if len(q) < params.word_size:
+            continue
+        if effective_spaces[qi] is not None:
+            spaces[qi] = tuple(effective_spaces[qi])
+        elif params.effective_lengths:
+            spaces[qi] = effective_search_space(ka, len(q), n_total, len(db))
+        else:
+            spaces[qi] = (len(q), n_total)
+        if is_protein:
+            entries.append((qi, q, 1))
+            indexes.append(WordIndex.for_protein(
+                q, scheme, params.word_size, params.neighbor_threshold,
+                skip=word_skip(q)))
+        else:
+            entries.append((qi, q, 1))
+            indexes.append(WordIndex.for_dna(q, params.word_size,
+                                             skip=word_skip(q)))
+            if both_strands:
+                rc = reverse_complement(q)
+                entries.append((qi, rc, -1))
+                indexes.append(WordIndex.for_dna(rc, params.word_size,
+                                                 skip=word_skip(rc)))
+    if not entries:
+        return results
+    batch = QueryBatch(indexes)
+    if prof is not None:
+        prof.add("index", time.perf_counter() - t0)
+
+    cache = scan_cache if scan_cache is not None else default_scan_cache()
+    base = len(PROTEIN) if is_protein else len(DNA)
+    t0 = time.perf_counter() if prof is not None else 0.0
+    provider = getattr(db, "scan_structures", None)
+    structs = provider(params.word_size, base) if provider else None
+    if structs is None:
+        structs = cache.get(db, params.word_size, base)
+    if prof is not None:
+        prof.add("pack", time.perf_counter() - t0)
+
+    t0 = time.perf_counter() if prof is not None else 0.0
+    groups = scan_fragment_batch(batch, structs)
+    if prof is not None:
+        prof.add("scan", time.perf_counter() - t0)
+
+    per_q: Dict[int, Dict[int, List[HSP]]] = {}
+    if is_protein and params.two_hit_window > 0:
+        # Two-hit seeding is an inherently sequential per-diagonal scan;
+        # run the per-group reference pipeline on each hit group.
+        for eid, sid, spos, qpos in groups:
+            qi, oriented_query, strand = entries[eid]
+            m_eff, n_eff = spaces[qi]
+            hsps = _hsps_from_hits(oriented_query, structs.subject(sid),
+                                   spos, qpos, scheme, params, is_protein,
+                                   ka, m_eff, n_eff, strand,
+                                   identity_query=identity_queries[qi])
+            if hsps:
+                per_q.setdefault(qi, {}).setdefault(sid, []).extend(hsps)
+    elif groups:
+        _bulk_groups_to_hsps(groups, entries, structs, scheme, params,
+                             is_protein, ka, spaces, identity_queries,
+                             per_q)
+    for qi, per_sid in per_q.items():
+        res = results[qi]
+        for sid in sorted(per_sid):
+            hsps = per_sid[sid]
+            hsps.sort(key=lambda h: (h.evalue, -h.score))
+            res.hits.append(Hit(
+                subject_id=sid,
+                description=db.description(sid),
+                subject_len=int(structs.lengths[sid]),
+                hsps=hsps[:params.max_hsps],
+                fragment_id=db.fragment_id,
+            ))
+        res.sort()
+    return results
+
+
+def _bulk_groups_to_hsps(groups, entries, structs, scheme, params,
+                         is_protein, ka, spaces, identity_queries,
+                         per_q) -> None:
+    """Steps 2-3 for every batched hit group at once (one-hit seeding).
+
+    Instead of paying per-(query, subject) numpy dispatch for seeding
+    and ungapped extension — which dominates once the shared scan pass
+    is amortised over the batch — the whole hit stream is seeded with
+    one grouped lexsort and extended with one flat 2-D gather against
+    the query/subject concatenations.  The per-diagonal coverage dedup
+    is then replayed per group from the bulk extents, and gapped
+    refinement (inherently per-candidate) runs through the same
+    :func:`_candidates_to_hsps` tail as the sequential driver — so
+    each group contributes exactly the HSPs :func:`_hsps_from_hits`
+    would have produced for it.  Accumulates into *per_q* keyed
+    ``[query][subject id]``.
+    """
+    prof = current_profile()
+    # Flat concatenation of every entry's oriented query, mirroring the
+    # fragment concatenation: one pair of flat arrays serves every
+    # (entry, subject) extension.
+    qlens = np.array([len(e[1]) for e in entries], dtype=np.int64)
+    qstarts = np.zeros(len(entries), dtype=np.int64)
+    np.cumsum(qlens[:-1], out=qstarts[1:])
+    qcat = np.concatenate([e[1] for e in entries])
+
+    g_eid = np.array([g[0] for g in groups], dtype=np.int64)
+    g_sid = np.array([g[1] for g in groups], dtype=np.int64)
+    gid_of_hit = np.repeat(
+        np.arange(len(groups), dtype=np.int64),
+        np.array([len(g[2]) for g in groups], dtype=np.int64))
+    sp_all = np.concatenate([g[2] for g in groups])
+    qp_all = np.concatenate([g[3] for g in groups])
+
+    t0 = time.perf_counter() if prof is not None else 0.0
+    sgid, sqp, ssp = one_hit_seeds_grouped(gid_of_hit, sp_all, qp_all)
+    if prof is not None:
+        prof.add("seed", time.perf_counter() - t0)
+        prof.count("seeds", len(sgid))
+
+    t0 = time.perf_counter() if prof is not None else 0.0
+    seid = g_eid[sgid]
+    ssid = g_sid[sgid]
+    ll, ls, rl, rs = bulk_ungapped_extend(
+        qcat, structs.concat,
+        qstarts[seid] + sqp, structs.starts[ssid] + ssp,
+        np.minimum(sqp, ssp),
+        np.minimum(qlens[seid] - sqp, structs.lengths[ssid] - ssp),
+        scheme, xdrop=params.xdrop_ungapped)
+    if prof is not None:
+        prof.add("extend", time.perf_counter() - t0)
+
+    # sgid is group-major; per-group seed slices by binary search.
+    bounds = np.searchsorted(sgid, np.arange(len(groups) + 1))
+    sqp_l, ssp_l = sqp.tolist(), ssp.tolist()
+    ll_l, ls_l = ll.tolist(), ls.tolist()
+    rl_l, rs_l = rl.tolist(), rs.tolist()
+    skipped = 0
+    for gi, (eid, sid, _, _) in enumerate(groups):
+        lo, hi = int(bounds[gi]), int(bounds[gi + 1])
+        if lo == hi:
+            continue
+        # Replay of the per-diagonal coverage dedup: a seed inside the
+        # extent of the previously accepted extension on its diagonal
+        # contributes nothing (identical to batched_ungapped_extend).
+        covered: Dict[int, int] = {}
+        cands: List[UngappedHSP] = []
+        for i in range(lo, hi):
+            qp, sp = sqp_l[i], ssp_l[i]
+            dg = sp - qp
+            if covered.get(dg, -1) >= sp:
+                skipped += 1
+                continue
+            s0 = sp - ll_l[i]
+            length = ll_l[i] + rl_l[i]
+            covered[dg] = s0 + length
+            score = ls_l[i] + rs_l[i]
+            if score > 0:
+                cands.append(UngappedHSP(q_start=qp - ll_l[i], s_start=s0,
+                                         length=length, score=score))
+        if not cands:
+            continue
+        qi, oriented_query, strand = entries[eid]
+        m_eff, n_eff = spaces[qi]
+        hsps = _candidates_to_hsps(oriented_query, structs.subject(sid),
+                                   cands, scheme, params, is_protein, ka,
+                                   m_eff, n_eff, strand,
+                                   identity_query=identity_queries[qi])
+        if hsps:
+            per_q.setdefault(qi, {}).setdefault(sid, []).extend(hsps)
+    if prof is not None and skipped:
+        prof.count("seeds_skipped", skipped)

@@ -18,6 +18,74 @@ import numpy as np
 Seed = Tuple[int, int]
 
 
+def group_hits_by_entry(eids: np.ndarray, sids: np.ndarray,
+                        spos: np.ndarray, qpos: np.ndarray
+                        ) -> List[Tuple[int, int, np.ndarray, np.ndarray]]:
+    """Vectorized per-(entry, subject) grouping of batched scan hits.
+
+    The four arrays are parallel rows of a multi-query scan: entry id
+    (one per query orientation), subject sequence id, subject-local
+    position, query position.  Rows must arrive scan-ordered — within
+    one entry, ascending subject position — which is what
+    ``QueryBatch.scan`` hit-mapping produces.  One stable sort by entry
+    id replaces the per-query Python grouping loop: it preserves each
+    entry's scan order (so subject ids stay non-decreasing inside an
+    entry and group boundaries are just adjacent differences), and the
+    per-group slices come back exactly as the per-query
+    ``scan_fragment`` path would have built them.
+
+    Returns ``(entry_id, sid, subject_positions, query_positions)``
+    groups, entry-major, ascending ``sid`` within an entry.
+    """
+    if len(eids) == 0:
+        return []
+    order = np.argsort(eids, kind="stable")
+    e = eids[order]
+    s = sids[order]
+    sp = spos[order]
+    qp = qpos[order]
+    cuts = np.nonzero((e[1:] != e[:-1]) | (s[1:] != s[:-1]))[0] + 1
+    bounds = np.concatenate([[0], cuts, [len(e)]])
+    return [(int(e[bounds[t]]), int(s[bounds[t]]),
+             sp[bounds[t]:bounds[t + 1]], qp[bounds[t]:bounds[t + 1]])
+            for t in range(len(bounds) - 1)]
+
+
+def one_hit_seeds_grouped(gids: np.ndarray, spos: np.ndarray,
+                          qpos: np.ndarray
+                          ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`one_hit_seeds` across many hit groups in one pass.
+
+    *gids* labels each (subject position, query position) hit row with
+    its group — one group per (query orientation, subject) pair in the
+    batched scan.  A single three-key lexsort replaces the per-group
+    sort-and-dedup calls the sequential driver pays per subject: runs
+    of consecutive diagonal hits are detected over the whole stream,
+    with group boundaries forcing a new run so no run ever spans two
+    groups.
+
+    Returns ``(gid, qpos, spos)`` seed arrays ordered group-major and,
+    within a group, by (diagonal, subject position) — each group's
+    slice is element-for-element what :func:`one_hit_seeds` returns for
+    that group alone.
+    """
+    if len(spos) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    diag = spos - qpos
+    order = np.lexsort((spos, diag, gids))
+    g = gids[order]
+    d = diag[order]
+    s = spos[order]
+    q = qpos[order]
+    new_run = np.empty(len(d), dtype=bool)
+    new_run[0] = True
+    new_run[1:] = ((g[1:] != g[:-1]) | (d[1:] != d[:-1])
+                   | (s[1:] != s[:-1] + 1))
+    idx = np.nonzero(new_run)[0]
+    return g[idx], q[idx], s[idx]
+
+
 def one_hit_seeds(spos: np.ndarray, qpos: np.ndarray) -> List[Seed]:
     """Every word hit is a seed, deduplicated to the first hit per
     run of consecutive hits on a diagonal (consecutive overlapping word

@@ -174,6 +174,8 @@ def _parallel_results(program: str, db, queries, params, jobs: int,
         pool_kw["respawn"] = False
     if args is not None and getattr(args, "no_fallback", False):
         pool_kw["serial_fallback"] = False
+    if args is not None and getattr(args, "no_query_batch", False):
+        pool_kw["query_batch"] = 0
     with ExecPool(jobs=jobs, n_fragments=n_fragments, **pool_kw) as pool:
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always", RuntimeWarning)
@@ -185,6 +187,27 @@ def _parallel_results(program: str, db, queries, params, jobs: int,
             print(f"# {w.message}", file=sys.stderr)
         degraded = bool(pool.last_stats and pool.last_stats.fallback)
         return results, degraded
+
+
+def _serial_batch_results(program: str, db, queries, params):
+    """All queries of a serial multi-query invocation through one
+    batched pass per database traversal
+    (:func:`repro.blast.search.search_batch`); byte-identical to the
+    per-query program dispatch."""
+    from repro.blast.alphabet import encode_dna, encode_protein
+    from repro.blast.programs import program_defaults
+    from repro.blast.search import search_batch
+    from repro.blast.seqdb import AA, NT
+
+    need = NT if program == "blastn" else AA
+    if db.seqtype != need:
+        raise ValueError(f"{program} needs a {need} database")
+    scheme, sparams = program_defaults(program, params)
+    encode = encode_dna if program == "blastn" else encode_protein
+    return search_batch(
+        [encode(rec.sequence) for rec in queries], db, scheme, sparams,
+        query_ids=[rec.id or "query" for rec in queries],
+        both_strands=(program == "blastn"))
 
 
 def _search_store_serial(program: str, store, rec, params):
@@ -207,6 +230,10 @@ def cmd_blastall(args) -> int:
     from repro.blast.render import render_results
     from repro.blast.search import SearchParams
 
+    if getattr(args, "profile", False):
+        from repro.blast.profile import PROFILE_ENV
+
+        os.environ[PROFILE_ENV] = "1"
     protein_db = args.program in ("blastp", "blastx")
     store = None
     db_pack = getattr(args, "db_pack", None)
@@ -276,9 +303,19 @@ def cmd_blastall(args) -> int:
         else:
             print(f"# --jobs applies to blastn/blastp only; "
                   f"running {args.program} serially", file=sys.stderr)
+    # Serial multi-query runs go through the batched kernel by default:
+    # one database pass serves every query (byte-identical to the
+    # per-query dispatch).  --no-query-batch restores the query loop.
+    batched = None
+    if (parallel is None and store is None and len(queries) > 1
+            and args.program in ("blastn", "blastp")
+            and not getattr(args, "no_query_batch", False)):
+        batched = _serial_batch_results(args.program, db, queries, params)
     for qi, rec in enumerate(queries):
         if parallel is not None:
             results = parallel[qi]
+        elif batched is not None:
+            results = batched[qi]
         elif store is not None:
             from repro.exec import PackIntegrityError
 
@@ -464,6 +501,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "a serial run)")
     p.add_argument("--fragments", type=int, default=None,
                    help="database fragments for --jobs (default 2x jobs)")
+    p.add_argument("--no-query-batch", action="store_true",
+                   help="search multi-query FASTA one query at a time "
+                        "instead of the multi-query batched kernel "
+                        "(results are identical; batching is the default "
+                        "for blastn/blastp)")
+    p.add_argument("--profile", action="store_true",
+                   help="emit per-stage timing JSON (pack/index/scan/"
+                        "seed/extend/gapped) to stderr; equivalent to "
+                        "REPRO_PROFILE=1")
     _add_pool_args(p)
     p.set_defaults(fn=cmd_blastall)
 
@@ -488,6 +534,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "segmentation)")
     p.add_argument("--fragments", type=int, default=None,
                    help="database fragments for --jobs (default 2x jobs)")
+    p.add_argument("--no-query-batch", action="store_true",
+                   help="search multi-query FASTA one query at a time "
+                        "instead of the multi-query batched kernel")
+    p.add_argument("--profile", action="store_true",
+                   help="emit per-stage timing JSON to stderr; "
+                        "equivalent to REPRO_PROFILE=1")
     _add_pool_args(p)
     p.set_defaults(fn=cmd_blastall, program="blastn")
 

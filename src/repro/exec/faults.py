@@ -219,16 +219,22 @@ class FaultInjector:
         return self._take(lambda f: f.kind == "corrupt_pack" and (
             f.fragment is None or f.fragment == fragment_id))
 
-    def on_task(self, query: int, fragment_id=None) -> Optional[Fault]:
+    def on_task(self, query, fragment_id=None) -> Optional[Fault]:
         """The fault (if any) armed against the task just received.
 
-        *fragment_id* is one fragment id or, for a fragment-range task,
-        a sequence of ids — a ``fragment`` selector matches when the
-        armed fragment is anywhere in the range.  Either way the task
-        counter advances once per task (one range = one task), so
+        *query* is one query index or, for a multi-query batched task,
+        a sequence of indices; *fragment_id* likewise is one fragment
+        id or, for a fragment-range task, a sequence of ids.  A
+        ``query``/``fragment`` selector matches when the armed value is
+        anywhere in the batch/range.  Either way the task counter
+        advances once per task (one batch × range = one task), so
         ``task_index`` keeps counting what the worker actually serves.
         """
         self._task_no += 1
+        if query is None or isinstance(query, int):
+            queries = (query,)
+        else:
+            queries = tuple(query)
         if fragment_id is None or isinstance(fragment_id, int):
             frags = (fragment_id,)
         else:
@@ -236,7 +242,7 @@ class FaultInjector:
         return self._take(lambda f: f.kind != "corrupt_pack"
                           and (f.task_index is None
                                or f.task_index == self._task_no)
-                          and (f.query is None or f.query == query)
+                          and (f.query is None or f.query in queries)
                           and (f.fragment is None
                                or f.fragment in frags))
 

@@ -67,15 +67,17 @@ import numpy as np
 from repro.blast.alphabet import DNA, PROTEIN
 from repro.blast.scankernel import ScanCache, db_token
 from repro.blast.search import (SearchParams, SearchResults,
-                                merge_fragment_results, resolve_ka, search)
+                                merge_fragment_results, resolve_ka, search,
+                                search_batch)
 from repro.blast.seqdb import AA
 from repro.blast.stats import KarlinAltschul, effective_search_space
 from repro.exec.faults import FailureLedger, FaultInjector, FaultPlan
 from repro.exec.results import (decode_result_pairs, encode_result_pairs,
                                 estimate_payload_size)
-from repro.exec.schedule import (DEFAULT_SCAN_RATE, DEFAULT_TASK_OVERHEAD_S,
-                                 GreedyScheduler, RetriesExceeded,
-                                 plan_fragments, plan_task_ranges)
+from repro.exec.schedule import (DEFAULT_MAX_QUERY_BATCH, DEFAULT_SCAN_RATE,
+                                 DEFAULT_TASK_OVERHEAD_S, GreedyScheduler,
+                                 RetriesExceeded, plan_fragments,
+                                 plan_query_batches, plan_task_ranges)
 from repro.exec.shm import (ArenaSpec, AttachedPack, PackDB,
                             PackIntegrityError, PackSpec, ResultArena,
                             ShmRegistry, corrupt_segment, default_registry,
@@ -178,8 +180,9 @@ class _Worker:
     conn: object
     alive: bool = True
     jobs_sent: set = field(default_factory=set)
-    #: The task this worker is serving: ``(epoch, qi, names)`` where
-    #: ``names`` is the tuple of pack names in the fragment range.
+    #: The task this worker is serving: ``(epoch, qis, names)`` where
+    #: ``qis`` is the tuple of query indexes in the batch and ``names``
+    #: the tuple of pack names in the fragment range.
     #: Pool-level (not scheduler-level) so a straggler from a previous
     #: run is still recognised — and reaped — across run boundaries.
     busy: Optional[tuple] = None
@@ -204,9 +207,12 @@ def _worker_main(rank: int, conn, cfg: PoolConfig,
 
     Runs in a child process, but takes any connection-like object so
     the protocol is unit-testable in-process with a scripted pipe.
-    A task is a contiguous *range* of fragment packs (a tuple of pack
-    names); the worker scans them all and ships the per-pack results
-    back in one message — through its shared-memory result arena when
+    A task is a *query batch* (a tuple of query indexes) crossed with a
+    contiguous *range* of fragment packs (a tuple of pack names); the
+    worker scans every pack once for the whole batch — via
+    :func:`~repro.blast.search.search_batch` when the batch holds more
+    than one query — and ships the per-(pack, query) results back in
+    one message — through its shared-memory result arena when
     the payload is large (descriptor over the pipe, CRC-checked),
     pickled inline when it is small.  Task messages carry the master's
     run epoch, echoed back on every result/error so the master can
@@ -275,13 +281,15 @@ def _worker_main(rank: int, conn, cfg: PoolConfig,
             elif kind == "forget_job":
                 jobs.pop(msg[1], None)
             elif kind == "task":
-                qi, names = msg[1], msg[2]
+                qis, names = msg[1], msg[2]
+                if isinstance(qis, int):     # legacy single-query task
+                    qis = (qis,)
                 if isinstance(names, str):   # legacy single-name task
                     names = (names,)
                 epoch = msg[3] if len(msg) > 3 else 0
                 if injector is not None:
                     fault = injector.on_task(
-                        qi, tuple(frag_ids.get(n) for n in names))
+                        qis, tuple(frag_ids.get(n) for n in names))
                     if fault is not None:
                         if fault.kind == "kill":
                             os._exit(_FAULT_EXIT)
@@ -292,22 +300,42 @@ def _worker_main(rank: int, conn, cfg: PoolConfig,
                 try:
                     if cfg.task_sleep > 0:
                         time.sleep(cfg.task_sleep)
-                    job = jobs[qi]
+                    specs = [jobs[q] for q in qis]
                     t0 = time.perf_counter()
                     pairs = []
                     for name in names:
                         pack, db = packs[name]
-                        res = search(job.query, db, job.scheme, job.params,
-                                     query_id=job.query_id, ka=job.ka,
-                                     both_strands=job.both_strands,
-                                     engine="scan", scan_cache=cache,
-                                     effective_space=job.effective_space)
+                        if len(specs) == 1:
+                            job = specs[0]
+                            res = search(job.query, db, job.scheme,
+                                         job.params, query_id=job.query_id,
+                                         ka=job.ka,
+                                         both_strands=job.both_strands,
+                                         engine="scan", scan_cache=cache,
+                                         effective_space=job.effective_space)
+                            pairs.append((name, qis[0], res))
+                        else:
+                            # Multi-query batch: one pass over this pack
+                            # for every query in the group.  scheme /
+                            # params / ka / both_strands are batch-wide
+                            # (search_many builds them once); the
+                            # effective space is per query.
+                            job = specs[0]
+                            batch_res = search_batch(
+                                [s.query for s in specs], db, job.scheme,
+                                job.params,
+                                query_ids=[s.query_id for s in specs],
+                                ka=job.ka, both_strands=job.both_strands,
+                                engine="scan", scan_cache=cache,
+                                effective_spaces=[s.effective_space
+                                                  for s in specs])
+                            for q, res in zip(qis, batch_res):
+                                pairs.append((name, q, res))
                         fragments_done.append(pack.spec.fragment_id)
-                        pairs.append((name, res))
-                    conn.send(("result", rank, qi, names, _ship(pairs),
+                    conn.send(("result", rank, qis, names, _ship(pairs),
                                time.perf_counter() - t0, epoch))
                 except Exception:
-                    conn.send(("error", rank, qi, names,
+                    conn.send(("error", rank, qis, names,
                                traceback.format_exc(), epoch))
             elif kind == "stop":
                 for name in list(packs):
@@ -398,6 +426,14 @@ class ExecPool:
     ``fault_plan``
         a :class:`~repro.exec.faults.FaultPlan` armed in every worker
         (``REPRO_EXEC_FAULT_PLAN``); ``None`` in production.
+    ``query_batch``
+        max queries per batched task (``REPRO_EXEC_QUERY_BATCH``,
+        default 32): ``search_many`` groups its queries into batches
+        of at most this size and each task scans its fragment range
+        once for the whole batch via
+        :func:`~repro.blast.search.search_batch`.  ``0`` (or ``1``)
+        disables batching — one query per task, the pre-batch
+        protocol.
 
     Every recovery action is appended to :attr:`ledger`, a
     :class:`~repro.exec.faults.FailureLedger` spanning the pool's
@@ -418,6 +454,7 @@ class ExecPool:
                  serial_fallback: bool = True,
                  min_workers: int = 1,
                  fault_plan: Optional[FaultPlan] = None,
+                 query_batch: Optional[int] = None,
                  task_granularity: Optional[int] = None,
                  task_overhead: Optional[float] = None,
                  result_arena_bytes: Optional[int] = None,
@@ -436,6 +473,13 @@ class ExecPool:
             raw = os.environ.get("REPRO_EXEC_TASK_GRANULARITY") or ""
             task_granularity = int(raw) if raw.strip() else None
         self.task_granularity = task_granularity
+        if query_batch is None:
+            raw = os.environ.get("REPRO_EXEC_QUERY_BATCH") or ""
+            query_batch = (int(raw) if raw.strip()
+                           else DEFAULT_MAX_QUERY_BATCH)
+        #: Max queries per batched task; <= 1 disables query batching
+        #: (every task carries a single query, the pre-batch protocol).
+        self.query_batch = int(query_batch)
         self.task_overhead = (task_overhead if task_overhead is not None
                               else _env_float("REPRO_EXEC_TASK_OVERHEAD",
                                               DEFAULT_TASK_OVERHEAD_S))
@@ -802,30 +846,31 @@ class ExecPool:
             pass
         return self._fail_current(w, sched, stats, epoch)
 
-    def _send_task(self, w: _Worker, jobs: Dict[int, JobSpec], qi: int,
-                   names: Tuple[str, ...], epoch: int,
+    def _send_task(self, w: _Worker, jobs: Dict[int, JobSpec],
+                   qis: Tuple[int, ...], names: Tuple[str, ...], epoch: int,
                    sched: GreedyScheduler,
                    stats: PoolStats) -> Optional[PoolJobError]:
-        """Ship (job if new, then task) to *w*; busy bookkeeping is set
-        first so a send failure resolves the assignment as a death.
+        """Ship (any new jobs, then task) to *w*; busy bookkeeping is
+        set first so a send failure resolves the assignment as a death.
         ``jobs_sent`` is only updated after every send succeeded — a
         half-delivered dispatch must not leave the record claiming the
         worker holds a job spec it never received."""
-        w.busy = (epoch, qi, names)
+        w.busy = (epoch, qis, names)
         w.busy_since = time.monotonic()
         try:
-            if qi not in w.jobs_sent:
-                w.conn.send(("job", qi, jobs[qi]))
-            w.conn.send(("task", qi, names, epoch))
+            for qi in qis:
+                if qi not in w.jobs_sent:
+                    w.conn.send(("job", qi, jobs[qi]))
+            w.conn.send(("task", qis, names, epoch))
         except OSError:
             return self._handle_death(w, sched, stats, epoch)
-        w.jobs_sent.add(qi)
+        w.jobs_sent.update(qis)
         return None
 
     def _payload_pairs(self, w: "_Worker", payload: tuple,
                        stats: PoolStats
-                       ) -> List[Tuple[str, SearchResults]]:
-        """Materialize a result payload: inline pickled pairs, or a
+                       ) -> List[Tuple[str, int, SearchResults]]:
+        """Materialize a result payload: inline pickled triples, or a
         CRC-checked read from the worker's shared result arena.
 
         The single-slot arena is safe because this read happens inside
@@ -941,8 +986,8 @@ class ExecPool:
                     break
                 if not w.alive or w.busy is not None:
                     continue
-                qi, names = sched.assign(w.rank)
-                err = self._send_task(w, jobs, qi, names,
+                qis, names = sched.assign(w.rank)
+                err = self._send_task(w, jobs, qis, names,
                                       epoch, sched, stats)
                 failure = failure or err
             # Hedged re-issue: idle workers with nothing pending take a
@@ -979,16 +1024,16 @@ class ExecPool:
                     continue
                 kind = msg[0]
                 if kind == "result":
-                    _, rank, qi, names, payload, elapsed = msg[:6]
+                    _, rank, qis, names, payload, elapsed = msg[:6]
                     m_epoch = msg[6] if len(msg) > 6 else epoch
                     w.busy = None
                     if m_epoch != epoch:
                         stats.stale_results += 1
                         self.ledger.record("stale_result", rank=w.rank,
-                                           task=(qi, names),
+                                           task=(qis, names),
                                            detail="cross-run straggler")
                         continue
-                    key = (qi, names)
+                    key = (qis, names)
                     was_done = sched.is_completed(key)
                     hedged = sched.holder_count(key) > 1
                     if w.rank in sched.outstanding:
@@ -1011,8 +1056,12 @@ class ExecPool:
                                           else 0.5 * self._task_ema
                                           + 0.5 * elapsed)
                         if elapsed > 0:
-                            rate = sum(self._pack_residues.get(n, 0)
-                                       for n in names) / elapsed
+                            # A batched task scans the range once per
+                            # query in the batch, so its effective scan
+                            # throughput is residues x batch size.
+                            rate = (len(qis)
+                                    * sum(self._pack_residues.get(n, 0)
+                                          for n in names)) / elapsed
                             if rate > 0:
                                 self._rate_ema = (
                                     rate if self._rate_ema is None
@@ -1031,17 +1080,17 @@ class ExecPool:
                             failure = exc
                             sched.drop_pending()
                             continue
-                        for pack_name, res in pairs:
-                            results[qi][pack_name] = res
+                        for pack_name, tqi, res in pairs:
+                            results[tqi][pack_name] = res
                 elif kind == "error":
-                    _, rank, qi, names, tb = msg[:5]
+                    _, rank, qis, names, tb = msg[:5]
                     m_epoch = msg[5] if len(msg) > 5 else epoch
                     stats.worker_errors += 1
                     self.ledger.record("worker_error", rank=w.rank,
-                                       task=(qi, names),
+                                       task=(qis, names),
                                        detail=tb.strip().splitlines()[-1]
                                        if tb else "")
-                    if qi is None:
+                    if qis is None:
                         continue            # attach-time failure
                     w.busy = None
                     if m_epoch != epoch:
@@ -1051,7 +1100,7 @@ class ExecPool:
                     except RetriesExceeded as exc:
                         sched.drop_pending()
                         self.ledger.record("retries_exceeded", rank=w.rank,
-                                           task=(qi, names),
+                                           task=(qis, names),
                                            detail=str(exc))
                         failure = failure or PoolJobError(
                             f"fragment task {exc.key!r} failed "
@@ -1103,17 +1152,22 @@ class ExecPool:
                     query_ids: Optional[Sequence[str]] = None,
                     both_strands: bool = True,
                     n_fragments: Optional[int] = None,
-                    keep_fragment_ids: bool = False
+                    keep_fragment_ids: bool = False,
+                    query_batch: Optional[int] = None
                     ) -> List[SearchResults]:
         """Search a batch of encoded queries through one scheduler pass.
 
         Returns one :class:`SearchResults` per query, in input order,
         each byte-identical to ``search(query, db, ...)`` run serially.
-        If the pool cannot finish the batch (capacity collapse, retry
-        exhaustion) and ``serial_fallback`` is on, the batch is served
-        by the serial engine instead — same bytes, plus a
-        ``RuntimeWarning`` and a ledger ``fallback`` entry.  A pack
-        failing CRC verification always raises
+        Queries are grouped into batches of at most *query_batch*
+        (default: the pool's ``query_batch`` knob) and each task scans
+        its fragment range once for a whole batch, so a multi-query
+        workload amortizes the database pass itself.  If the pool
+        cannot finish the batch (capacity collapse, retry exhaustion)
+        and ``serial_fallback`` is on, the batch is served by the
+        serial engine instead — same bytes, plus a ``RuntimeWarning``
+        and a ledger ``fallback`` entry.  A pack failing CRC
+        verification always raises
         :class:`~repro.exec.shm.PackIntegrityError`.
         """
         self.start()
@@ -1138,18 +1192,26 @@ class ExecPool:
                                                          len(q), db))
             for qi, q in enumerate(queries)
         }
-        # Fragment-range tasks: group contiguous fragments per task so
-        # the master's dispatch/merge overhead is amortized (the 0.83x
-        # fix), sized by the observed scan rate once the pool has one.
+        # Query-batch x fragment-range tasks: queries are grouped into
+        # contiguous batches (one shared database pass per batch) and
+        # contiguous fragments grouped per task so the master's
+        # dispatch/merge overhead is amortized (the 0.83x fix), sized
+        # by the observed scan rate once the pool has one.
+        max_qb = self.query_batch if query_batch is None else int(query_batch)
+        if max_qb > 1:
+            qgroups = plan_query_batches(len(jobs), self.jobs, max_qb)
+        else:
+            qgroups = [(qi,) for qi in jobs]
         weights = [float(spec.total_residues) for spec in prep.specs]
         ranges = plan_task_ranges(
-            weights, n_queries=len(jobs), jobs=self.jobs,
+            weights, n_queries=len(qgroups), jobs=self.jobs,
             granularity=self.task_granularity,
             overhead_s=self.task_overhead,
-            scan_rate=self._rate_ema or DEFAULT_SCAN_RATE)
-        tasks = [((qi, tuple(prep.specs[i].name for i in rng)),
-                  sum(weights[i] for i in rng))
-                 for qi in jobs for rng in ranges]
+            scan_rate=self._rate_ema or DEFAULT_SCAN_RATE,
+            queries_per_task=max((len(g) for g in qgroups), default=1))
+        tasks = [((qg, tuple(prep.specs[i].name for i in rng)),
+                  len(qg) * sum(weights[i] for i in rng))
+                 for qg in qgroups for rng in ranges]
         if tasks:
             try:
                 results, _stats = self._run_tasks(jobs, tasks)

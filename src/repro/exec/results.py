@@ -3,11 +3,14 @@
 The pool's original protocol pickled every ``SearchResults`` over the
 worker pipe — per-object pickle overhead that mpiBLAST's profile
 (PAPERS.md) identifies as the parallel-BLAST bottleneck: result
-movement.  This module flattens a task's ``(pack_name, SearchResults)``
-pairs into a handful of fixed-dtype numpy arrays plus two byte blobs,
-so a large result set ships through the worker's shared-memory
-:class:`~repro.exec.shm.ResultArena` as one CRC-checked copy instead
-of thousands of pickled objects.
+movement.  This module flattens a task's ``(pack_name, query_index,
+SearchResults)`` triples into a handful of fixed-dtype numpy arrays
+plus two byte blobs, so a large result set ships through the worker's
+shared-memory :class:`~repro.exec.shm.ResultArena` as one CRC-checked
+copy instead of thousands of pickled objects.  Version 2 of the format
+added the per-result query index — a batched task returns results for
+several queries per pack, and the master demultiplexes them by the
+``qi`` column.
 
 The round trip is exact: float fields (``bit_score``, ``evalue``)
 travel as raw float64 bytes, so a decoded result compares equal to the
@@ -25,7 +28,7 @@ import numpy as np
 from repro.blast.search import HSP, Hit, SearchResults
 
 #: Format magic + version; a mismatched blob fails loudly.
-_MAGIC = b"RRES1\n"
+_MAGIC = b"RRES2\n"
 
 #: Per-hit int64 columns.
 _HIT_COLS = 5      # subject_id, subject_len, n_hsps, desc_len, fragment_id
@@ -36,12 +39,13 @@ _HSP_ICOLS = 9     # q_start q_end s_start s_end score identities align_len
 _HSP_FCOLS = 2     # bit_score, evalue
 
 
-def estimate_payload_size(pairs: Sequence[Tuple[str, SearchResults]]) -> int:
+def estimate_payload_size(
+        pairs: Sequence[Tuple[str, int, SearchResults]]) -> int:
     """Cheap upper-bound estimate of the encoded size, used to decide
     inline-pickle vs arena shipping without encoding twice."""
     est = 256
-    for name, res in pairs:
-        est += 160 + len(name) + len(res.query_id)
+    for name, _qi, res in pairs:
+        est += 176 + len(name) + len(res.query_id)
         for hit in res.hits:
             est += _HIT_COLS * 8 + len(hit.description)
             for hsp in hit.hsps:
@@ -49,17 +53,20 @@ def estimate_payload_size(pairs: Sequence[Tuple[str, SearchResults]]) -> int:
     return est
 
 
-def encode_result_pairs(pairs: Sequence[Tuple[str, SearchResults]]) -> bytes:
-    """Flatten ``(pack_name, SearchResults)`` pairs into one blob."""
+def encode_result_pairs(
+        pairs: Sequence[Tuple[str, int, SearchResults]]) -> bytes:
+    """Flatten ``(pack_name, query_index, SearchResults)`` triples into
+    one blob."""
     meta: List[dict] = []
     hit_rows: List[Tuple[int, int, int, int, int]] = []
     hsp_irows: List[Tuple[int, ...]] = []
     hsp_frows: List[Tuple[float, float]] = []
     desc_parts: List[bytes] = []
     ops_parts: List[bytes] = []
-    for name, res in pairs:
+    for name, qi, res in pairs:
         meta.append({
             "name": name,
+            "qi": int(qi),
             "query_id": res.query_id,
             "query_len": int(res.query_len),
             "db_residues": int(res.db_residues),
@@ -99,7 +106,8 @@ def encode_result_pairs(pairs: Sequence[Tuple[str, SearchResults]]) -> bytes:
     ])
 
 
-def decode_result_pairs(blob: bytes) -> List[Tuple[str, SearchResults]]:
+def decode_result_pairs(blob: bytes
+                        ) -> List[Tuple[str, int, SearchResults]]:
     """Inverse of :func:`encode_result_pairs`; exact round trip."""
     if blob[:len(_MAGIC)] != _MAGIC:
         raise ValueError("not an encoded result blob (bad magic)")
@@ -124,7 +132,7 @@ def decode_result_pairs(blob: bytes) -> List[Tuple[str, SearchResults]]:
     pos += header["desc_bytes"]
     ops_blob = blob[pos:pos + header["ops_bytes"]]
 
-    pairs: List[Tuple[str, SearchResults]] = []
+    pairs: List[Tuple[str, int, SearchResults]] = []
     hi = pi = dpos = opos = 0
     for m in header["results"]:
         res = SearchResults(query_id=m["query_id"],
@@ -151,5 +159,5 @@ def decode_result_pairs(blob: bytes) -> List[Tuple[str, SearchResults]]:
                     ops=ops_blob[opos:opos + olen].decode()))
                 opos += olen
             res.hits.append(hit)
-        pairs.append((m["name"], res))
+        pairs.append((m["name"], int(m["qi"]), res))
     return pairs

@@ -48,6 +48,12 @@ AMORTIZE_FACTOR = 8
 #: paper's static-partitioning tail).
 BALANCE_TASKS_PER_WORKER = 2
 
+#: Most queries one batched task carries.  Past this the multi-query
+#: kernel's shared-scan saving has flattened out while the task's
+#: result payload and straggler cost keep growing, so query streams
+#: are cut into groups of at most this size.
+DEFAULT_MAX_QUERY_BATCH = 32
+
 
 class RetriesExceeded(RuntimeError):
     """A task failed more times than the retry budget allows."""
@@ -82,10 +88,42 @@ def plan_fragments(db, n_fragments: int) -> List[List[int]]:
     return bins
 
 
+def plan_query_batches(n_queries: int, jobs: int,
+                       max_batch: int = DEFAULT_MAX_QUERY_BATCH
+                       ) -> List[Tuple[int, ...]]:
+    """Cut a query stream into contiguous batches for multi-query tasks.
+
+    Pure batching: the group count is the fewest needed to respect
+    *max_batch*, with near-equal sizes (remainder spread one-per-group
+    from the front).  Keeping workers fed is :func:`plan_task_ranges`'s
+    job — its capacity pressure sees ``n_queries = len(batches)`` and
+    issues more ranges per batch when there are fewer batches than
+    workers.  ``max_batch <= 1`` (or a single query) degenerates to one
+    query per group, the legacy per-query protocol.
+
+    Returns tuples of query indices covering ``range(n_queries)`` in
+    order.
+    """
+    n_queries = int(n_queries)
+    if n_queries <= 0:
+        return []
+    max_batch = max(1, int(max_batch))
+    n_groups = -(-n_queries // max_batch)
+    base, extra = divmod(n_queries, n_groups)
+    out: List[Tuple[int, ...]] = []
+    lo = 0
+    for g in range(n_groups):
+        size = base + (1 if g < extra else 0)
+        out.append(tuple(range(lo, lo + size)))
+        lo += size
+    return out
+
+
 def plan_task_ranges(weights: Sequence[float], n_queries: int, jobs: int,
                      granularity: Optional[int] = None, *,
                      overhead_s: float = DEFAULT_TASK_OVERHEAD_S,
-                     scan_rate: float = DEFAULT_SCAN_RATE
+                     scan_rate: float = DEFAULT_SCAN_RATE,
+                     queries_per_task: int = 1
                      ) -> List[Tuple[int, ...]]:
     """Group fragment indices into contiguous ranges sized so the
     per-task round-trip overhead is amortized.
@@ -109,7 +147,10 @@ def plan_task_ranges(weights: Sequence[float], n_queries: int, jobs: int,
     *weights* is the per-fragment residue count, in fragment order.
     An explicit *granularity* (fragments per task; ``1`` reproduces
     the legacy one-task-per-fragment protocol) bypasses the adaptive
-    logic.  Returns a list of index tuples, each contiguous in
+    logic.  *queries_per_task* scales only the amortization pressure:
+    a task carrying a batch of Q queries scans Q times the residues of
+    its range, so the same range amortizes its round-trip Q times
+    sooner.  Returns a list of index tuples, each contiguous in
     fragment order, together covering every index exactly once.
     """
     n = len(weights)
@@ -122,8 +163,10 @@ def plan_task_ranges(weights: Sequence[float], n_queries: int, jobs: int,
     jobs = max(1, int(jobs))
     n_queries = max(1, int(n_queries))
     total_w = float(sum(weights))
+    # A batched task re-scans its range once per query it carries.
+    total_scan_w = total_w * max(1, int(queries_per_task))
     amortized_w = AMORTIZE_FACTOR * max(overhead_s, 1e-9) * max(scan_rate, 1.0)
-    c_amortize = max(1, int(total_w // amortized_w))
+    c_amortize = max(1, int(total_scan_w // amortized_w))
     c_capacity = -(-jobs // n_queries)
     c_balance = -(-BALANCE_TASKS_PER_WORKER * jobs // n_queries)
     c = min(max(c_balance, c_capacity), n)

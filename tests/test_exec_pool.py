@@ -186,9 +186,10 @@ def test_pool_streaming_many_queries_one_pass():
     params = SearchParams(word_size=11)
     queries = [db.sequence(i)[:100].copy() for i in range(0, 12, 2)]
     ids = [f"stream{i}" for i in range(len(queries))]
-    # Pin granularity=1 (legacy one-task-per-fragment) so the task
-    # count stays an exact function of queries x fragments.
-    with ExecPool(jobs=2, task_granularity=1) as pool:
+    # Pin granularity=1 (legacy one-task-per-fragment) and disable
+    # query batching so the task count stays an exact function of
+    # queries x fragments.
+    with ExecPool(jobs=2, task_granularity=1, query_batch=0) as pool:
         many = pool.search_many(queries, db, scheme, params, query_ids=ids,
                                 n_fragments=5)
         assert len(many) == len(queries)
@@ -197,6 +198,14 @@ def test_pool_streaming_many_queries_one_pass():
                                             query_id=qid))
         assert pool.last_stats.tasks_done == len(queries) * 5
         assert pool.last_stats.fragments_done == len(queries) * 5
+        # Batched: the whole query set rides one task per fragment (6
+        # queries fit one batch), byte-identical to the serial runs.
+        batched = pool.search_many(queries, db, scheme, params,
+                                   query_ids=ids, n_fragments=5,
+                                   query_batch=32)
+        assert [dump(r) for r in batched] == [dump(r) for r in many]
+        assert pool.last_stats.tasks_done == 5
+        assert pool.last_stats.fragments_done == 5
 
 
 def test_pool_short_query_and_empty_db():
@@ -327,7 +336,7 @@ def test_worker_error_exhausts_retries_without_killing_pool():
         # Poison the job table: the worker raises on every task, which
         # must surface as a clean PoolJobError after retries.
         jobs = {0: None}
-        tasks = [((0, spec.name), 1.0) for spec in prep.specs]
+        tasks = [(((0,), (spec.name,)), 1.0) for spec in prep.specs]
         with pytest.raises(PoolJobError) as err:
             pool._run_tasks(jobs, tasks)
         assert "failed 2 times" in str(err.value)
@@ -381,8 +390,8 @@ def test_worker_main_protocol_in_process():
             ("attach", spec),
             ("attach", spec),               # idempotent re-attach
             ("job", 0, job),
-            ("task", 0, (spec.name,)),
-            ("task", 0, ("no-such-pack",)),  # -> error reply
+            ("task", 0, (spec.name,)),       # legacy int-qi task
+            ("task", (0,), ("no-such-pack",)),  # -> error reply
             ("bogus",),                     # -> unknown-message error
             ("forget_job", 0),
             ("detach", spec.name),
@@ -393,10 +402,12 @@ def test_worker_main_protocol_in_process():
         kinds = [m[0] for m in conn.sent]
         assert kinds == ["ready", "result", "error", "error", "stopped"]
         result_msg = conn.sent[1]
-        assert result_msg[1:4] == (3, 0, (spec.name,))
+        # A legacy int-qi task is normalized to a one-query batch and
+        # echoed back as such; result pairs are (name, qi, res) triples.
+        assert result_msg[1:4] == (3, (0,), (spec.name,))
         mode, pairs = result_msg[4]
-        assert mode == "inline" and pairs[0][0] == spec.name
-        assert dump(pairs[0][1]) == dump(
+        assert mode == "inline" and pairs[0][:2] == (spec.name, 0)
+        assert dump(pairs[0][2]) == dump(
             search(q, db, scheme, params, query_id="q"))
         assert "KeyError" in conn.sent[2][4]
         assert "unknown message" in conn.sent[3][4]

@@ -125,18 +125,18 @@ def _searched_pairs():
     res = search(q, db, NucleotideScore(), SearchParams(word_size=11),
                  query_id="q3")
     assert res.hits, "codec test needs real hits"
-    return [("pack-a", res)]
+    return [("pack-a", 0, res)]
 
 
 def test_result_codec_round_trips_exactly():
     pairs = _searched_pairs()
     blob = encode_result_pairs(pairs)
     back = decode_result_pairs(blob)
-    assert len(back) == 1 and back[0][0] == "pack-a"
-    assert dump(back[0][1]) == dump(pairs[0][1])
+    assert len(back) == 1 and back[0][:2] == ("pack-a", 0)
+    assert dump(back[0][2]) == dump(pairs[0][2])
     # Including float fields to the last ULP.
-    orig = [p for h in pairs[0][1].hits for p in h.hsps]
-    got = [p for h in back[0][1].hits for p in h.hsps]
+    orig = [p for h in pairs[0][2].hits for p in h.hsps]
+    got = [p for h in back[0][2].hits for p in h.hsps]
     assert all(a.evalue == b.evalue and a.bit_score == b.bit_score
                for a, b in zip(orig, got))
 
@@ -146,11 +146,12 @@ def test_result_codec_empty_and_multi_pack():
 
     empty = SearchResults(query_id="e", query_len=7, db_residues=0,
                           db_sequences=0)
-    pairs = _searched_pairs() + [("pack-b", empty)]
+    pairs = _searched_pairs() + [("pack-b", 5, empty)]
     back = decode_result_pairs(encode_result_pairs(pairs))
-    assert [name for name, _ in back] == ["pack-a", "pack-b"]
-    assert back[1][1].hits == []
-    assert back[1][1].query_id == "e"
+    assert [(name, qi) for name, qi, _ in back] == [("pack-a", 0),
+                                                    ("pack-b", 5)]
+    assert back[1][2].hits == []
+    assert back[1][2].query_id == "e"
 
 
 def test_estimate_upper_bounds_encoded_size():
@@ -209,7 +210,10 @@ def test_range_tasks_stay_byte_identical_nt(granularity):
     queries = [db.sequence(i)[:140].copy() for i in (1, 8, 15)]
     serial = [dump(search(q, db, scheme, params, query_id=f"q{i}"))
               for i, q in enumerate(queries)]
-    with ExecPool(jobs=2, task_granularity=granularity) as pool:
+    # query_batch=0 pins the one-query-per-task protocol this test's
+    # task accounting is written against.
+    with ExecPool(jobs=2, task_granularity=granularity,
+                  query_batch=0) as pool:
         got = pool.search_many(queries, db, scheme, params,
                                query_ids=[f"q{i}"
                                           for i in range(len(queries))],

@@ -29,6 +29,11 @@ recorded as annotated skips, never measured — a 1-core runner cannot
 demonstrate (or honestly refute) parallel speedup.  Any point that
 *was* measured with ``jobs >= 2`` must reach speedup >= 1.0 or the run
 fails: the pool existing at all is only justified by beating serial.
+Every run also times the multi-query batched kernel
+(``search_batch``) against N sequential searches at 8 and 32 queries
+(the ``multi_query`` section: speedup, aggregate MB/s, per-query
+latency); on a gate-sized corpus the 8-query batch must reach
+``MULTI_QUERY_FLOOR`` (1.5x) or the run fails.
 Every run also times the on-disk pack store (``repro.exec.diskpack``):
 building packs from FASTA, a full rebuild-from-FASTA restart, and the
 mmap cold start that replaces it.  Cold start must come in under 25%
@@ -212,6 +217,89 @@ def measure_diskpack(db, query, scheme, params, rounds: int,
 #: fraction of the rebuild-from-FASTA path it replaces.
 DISKPACK_COLD_CEILING = 0.25
 
+#: Acceptance floor: the batched multi-query kernel must beat N
+#: sequential searches by at least this factor at 8 queries...
+MULTI_QUERY_FLOOR = 1.5
+#: ...but only on corpora at least this large: on tiny corpora the
+#: per-hit gapped work (identical either way) dominates the database
+#: pass the batch amortizes, so the ratio says nothing about the
+#: kernel.
+MULTI_QUERY_GATE_RESIDUES = 1_000_000
+
+
+def measure_multi_query(db, scheme, params, rounds: int) -> dict:
+    """Batched vs sequential multi-query search on warm structures.
+
+    For each batch size, times N sequential ``search()`` calls against
+    one ``search_batch()`` over the same queries (distinct extracts of
+    the corpus, so hit volume is realistic), asserts the results match
+    byte for byte, and reports aggregate scan throughput (residues x
+    queries per second) plus the per-query latency the batch amortizes
+    the database pass down to."""
+    from repro.blast.alphabet import encode_dna
+    from repro.blast.scankernel import ScanCache
+    from repro.blast.search import search, search_batch
+    from repro.workloads import extract_query
+
+    cache = ScanCache()
+    points = []
+    for n in (8, 32):
+        queries = [encode_dna(extract_query(db, length=568, seed=100 + i))
+                   for i in range(n)]
+        ids = [f"mq{i}" for i in range(n)]
+
+        def sequential():
+            return [search(q, db, scheme, params, query_id=ids[i],
+                           engine="scan", scan_cache=cache)
+                    for i, q in enumerate(queries)]
+
+        def batched():
+            return search_batch(queries, db, scheme, params,
+                                query_ids=ids, scan_cache=cache)
+
+        seq_res = sequential()     # also warms the scan structures
+        bat_res = batched()
+        equivalent = ([_dump_results(r) for r in seq_res]
+                      == [_dump_results(r) for r in bat_res])
+        seq_s = _time(sequential, rounds)
+        bat_s = _time(batched, rounds)
+        points.append({
+            "n_queries": n,
+            "sequential_s": seq_s,
+            "batched_s": bat_s,
+            "speedup": seq_s / bat_s,
+            "aggregate_mbps": n * db.total_residues / bat_s / 1e6,
+            "per_query_latency_s": bat_s / n,
+            "equivalent": equivalent,
+        })
+    return {"floor": MULTI_QUERY_FLOOR,
+            "gate_residues": MULTI_QUERY_GATE_RESIDUES,
+            "points": points}
+
+
+def multi_query_gate(result: dict) -> list:
+    """Hard gate on the batched kernel (empty = pass): results must
+    match sequential searches exactly at every point, and at 8 queries
+    on a gate-sized corpus the batch must reach the speedup floor."""
+    mq = result.get("multi_query")
+    if not mq:
+        return []
+    failures = []
+    for e in mq.get("points", []):
+        if not e.get("equivalent", True):
+            failures.append(f"multi_query n={e['n_queries']}: batched "
+                            f"results disagree with sequential searches")
+    if result.get("corpus", {}).get("residues", 0) >= \
+            mq.get("gate_residues", MULTI_QUERY_GATE_RESIDUES):
+        pt8 = next((e for e in mq.get("points", [])
+                    if e.get("n_queries") == 8), None)
+        if pt8 and pt8["speedup"] < mq.get("floor", MULTI_QUERY_FLOOR):
+            failures.append(
+                f"multi_query: batched speedup at 8 queries is "
+                f"{pt8['speedup']:.2f}x < {mq.get('floor'):.1f}x floor — "
+                f"the batched kernel is not paying for itself")
+    return failures
+
 
 def diskpack_gate(result: dict) -> list:
     """Hard gate on the pack cold-start measurement (empty = pass)."""
@@ -328,6 +416,7 @@ def run_benchmarks(residues: int, rounds: int,
 
     diskpack = measure_diskpack(db, query, scheme, params, rounds,
                                 _dump_results(r_scan))
+    multi_query = measure_multi_query(db, scheme, params, rounds)
 
     parallel = None
     parallel_sweep = None
@@ -342,7 +431,7 @@ def run_benchmarks(residues: int, rounds: int,
         parallel = measured[-1] if measured else parallel_sweep[-1]
 
     return {
-        "schema": 3,
+        "schema": 4,
         "corpus": {"residues": db.total_residues,
                    "n_sequences": len(db),
                    "query_len": int(len(query)),
@@ -362,6 +451,7 @@ def run_benchmarks(residues: int, rounds: int,
             "search_loop_s": loop_s,
         },
         "diskpack": diskpack,
+        "multi_query": multi_query,
         "parallel": parallel,
         "parallel_sweep": parallel_sweep,
         "equivalent": equivalent,
@@ -387,6 +477,10 @@ def _history_entry(result: dict) -> dict:
     dp = result.get("diskpack")
     if dp:
         entry["diskpack_cold_over_rebuild"] = dp["cold_over_rebuild"]
+    mq8 = next((e for e in (result.get("multi_query") or {})
+                .get("points", []) if e.get("n_queries") == 8), None)
+    if mq8:
+        entry["multi_query_speedup_8"] = mq8["speedup"]
     return entry
 
 
@@ -462,7 +556,23 @@ def check_against(current: dict, baseline_path: str, tolerance: float) -> int:
               f"{cur_dp['cold_over_rebuild']:.1%} of a "
               f"{cur_dp['rebuild_from_fasta_s']*1e3:.1f} ms rebuild "
               f"(ceiling {DISKPACK_COLD_CEILING:.0%})")
-    for msg in parallel_gate(current) + diskpack_gate(current):
+    # Multi-query batched speedup trend: like the parallel trend, only
+    # compared when both sides measured the 8-query point.
+    def _mq8(doc):
+        return next((e for e in (doc.get("multi_query") or {})
+                     .get("points", []) if e.get("n_queries") == 8), None)
+    base_mq8, cur_mq8 = _mq8(baseline), _mq8(current)
+    if base_mq8 and cur_mq8:
+        mq_floor = (1.0 - tolerance) * base_mq8["speedup"]
+        print(f"multi-query batched speedup (8 queries): current "
+              f"{cur_mq8['speedup']:.2f}x, baseline "
+              f"{base_mq8['speedup']:.2f}x, floor {mq_floor:.2f}x")
+        if cur_mq8["speedup"] < mq_floor:
+            print("FAIL: multi-query batched speedup regressed past "
+                  "tolerance")
+            ok = False
+    for msg in (parallel_gate(current) + diskpack_gate(current)
+                + multi_query_gate(current)):
         print(f"FAIL: {msg}")
         ok = False
     if ok:
@@ -501,7 +611,8 @@ def main(argv=None) -> int:
     if not result["equivalent"]:
         print("FAIL: scan and loop engines disagree on SearchResults")
         return 1
-    failures = parallel_gate(result) + diskpack_gate(result)
+    failures = (parallel_gate(result) + diskpack_gate(result)
+                + multi_query_gate(result))
     for msg in failures:
         print(f"FAIL: {msg}")
     return 1 if failures else 0
