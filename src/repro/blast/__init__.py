@@ -36,6 +36,7 @@ from repro.blast.score import (
 )
 from repro.blast.stats import KarlinAltschul, karlin_altschul_params
 from repro.blast.seqdb import SequenceDB, format_db, segment_db
+from repro.blast.gapped import banded_local_align, bulk_banded_score
 from repro.blast.search import Hit, HSP, SearchParams, SearchResults, search
 from repro.blast.programs import blastall, blastn, blastp, blastx, tblastn, tblastx
 from repro.blast.psiblast import PSSM, PsiBlastResult, build_pssm, psiblast
@@ -97,7 +98,9 @@ __all__ = [
     "SearchParams",
     "SearchResults",
     "SequenceDB",
+    "banded_local_align",
     "blastn",
+    "bulk_banded_score",
     "blastp",
     "blastx",
     "decode_dna",

@@ -43,6 +43,13 @@ class UngappedHSP:
     def s_end(self) -> int:
         return self.s_start + self.length
 
+    @property
+    def diag(self) -> int:
+        """Diagonal ``s_start - q_start`` — also the diagonal the
+        banded gapped stage centres its band on, since the candidate's
+        midpoint lies on this diagonal."""
+        return self.s_start - self.q_start
+
 
 _CHUNK = 128
 

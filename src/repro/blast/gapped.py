@@ -30,6 +30,23 @@ the open/extend traceback tie-break matches the scan's only for
 ``open > ext`` — so the vectorised pass runs exactly when
 ``gap_open > gap_extend`` (every standard scheme) and the reference
 scan loop handles the rest.
+
+Two entry points share the DP:
+
+* :func:`banded_local_align` — one (query, subject, diag), full affine
+  traceback with pointer matrices.  Rows whose entire band falls
+  outside the subject (a prefix and/or suffix of the row range, since
+  the band's column window moves one column per row) are never
+  computed: an all-invalid row resets the DP state to exactly the
+  initial one (H = 0, F = -inf), so clipping them changes nothing but
+  the allocation size.
+* :func:`bulk_banded_score` — many candidates at once, **score only**
+  (no pointer matrices): the same recurrences stacked candidate-major
+  so each DP row is one set of vectorised passes over a
+  ``(candidates, band)`` block.  It returns per candidate the best
+  score and its end cell, which is all the search driver needs to
+  decide which candidates deserve the (much more expensive) traceback
+  pass.
 """
 
 from __future__ import annotations
@@ -141,11 +158,24 @@ def banded_local_align(query: np.ndarray, subject: np.ndarray,
     go = scheme.gap_open
     ge = scheme.gap_extend
 
-    ptrH = np.zeros((m + 1, w), dtype=np.int8)
+    # Row i's band covers subject columns [i+diag-band, i+diag+band];
+    # rows whose window lies entirely outside [1, n] form a prefix
+    # and/or suffix of 1..m.  A fully-invalid row is masked to H = 0,
+    # F = NEG — exactly the DP's initial state — so the leading ones
+    # can be skipped and the trailing ones can never improve the best
+    # cell: only rows [row_lo, row_hi] are computed and allocated.
+    # Short diagonals near sequence edges stop paying full-length DP.
+    row_lo = max(1, 1 - diag - band)
+    row_hi = min(m, n - diag + band)
+    if row_lo > row_hi:
+        return GappedAlignment(0, 0, 0, 0, 0, 0, 0)
+    n_rows = row_hi - row_lo + 1
+
+    ptrH = np.zeros((n_rows, w), dtype=np.int8)
     # ptrE / ptrF: 1 if the gap state was *extended* (came from the same
     # gap matrix), 0 if freshly *opened* (came from H).
-    ptrE = np.zeros((m + 1, w), dtype=np.int8)
-    ptrF = np.zeros((m + 1, w), dtype=np.int8)
+    ptrE = np.zeros((n_rows, w), dtype=np.int8)
+    ptrF = np.zeros((n_rows, w), dtype=np.int8)
 
     best = 0
     best_pos = (0, 0)
@@ -156,12 +186,13 @@ def banded_local_align(query: np.ndarray, subject: np.ndarray,
     vector_scan = go > ge
 
     # Per-row substitution gathers and validity masks, computed in one
-    # shot: row i uses slice i-1 of each.
-    cols = np.arange(1, m + 1)[:, None] + (diag - band) + band_arange
+    # shot: row i uses slice i-row_lo of each.
+    cols = (np.arange(row_lo, row_hi + 1)[:, None] + (diag - band)
+            + band_arange)
     valid_all = (cols >= 1) & (cols <= n)
     row_invalid = ~valid_all.all(axis=1)
     safe_all = np.clip(cols - 1, 0, n - 1)
-    sub_all = scheme.matrix[query[:, None],
+    sub_all = scheme.matrix[query[row_lo - 1:row_hi][:, None],
                             subject_idx[safe_all]].astype(np.int64)
 
     # Ping-pong row buffers (allocation per row is measurable at this
@@ -175,14 +206,15 @@ def banded_local_align(query: np.ndarray, subject: np.ndarray,
     F_ext = np.empty(w, dtype=np.int64)
     scratch = np.empty(w, dtype=np.int64)
 
-    for i in range(1, m + 1):
+    for i in range(row_lo, row_hi + 1):
+        r = i - row_lo
         cur = i & 1
         H_prev = bufs[0][1 - cur]
         F_prev = bufs[1][1 - cur]
         H = bufs[0][cur]
         F = bufs[1][cur]
 
-        np.add(H_prev, sub_all[i - 1], out=diag_score)
+        np.add(H_prev, sub_all[r], out=diag_score)
 
         # F: gap in subject, from row i-1 slot b+1.
         up_H[:-1] = H_prev[1:]
@@ -190,11 +222,11 @@ def banded_local_align(query: np.ndarray, subject: np.ndarray,
         np.subtract(up_H, go, out=F_open)
         np.subtract(up_F, ge, out=F_ext)
         np.maximum(F_open, F_ext, out=F)
-        np.greater(F_ext, F_open, out=ptrF[i].view(bool))
+        np.greater(F_ext, F_open, out=ptrF[r].view(bool))
 
         # H before E (E needs H within the row, computed left to right);
         # diag >= max(diag, 0) iff diag >= 0, and _DIAG/_STOP are 1/0.
-        codes = ptrH[i]
+        codes = ptrH[r]
         np.maximum(diag_score, 0, out=H)
         np.greater_equal(diag_score, 0, out=codes.view(bool))
         take_f = F > H
@@ -202,13 +234,13 @@ def banded_local_align(query: np.ndarray, subject: np.ndarray,
         codes[take_f] = _FROM_F
 
         if vector_scan:
-            _e_scan_vectorized(H, codes, ptrE[i], go, ge, slot_ge,
+            _e_scan_vectorized(H, codes, ptrE[r], go, ge, slot_ge,
                                open_cost, scratch)
         else:
-            _e_scan_loop(H, codes, ptrE[i], go, ge)
+            _e_scan_loop(H, codes, ptrE[r], go, ge)
 
-        if row_invalid[i - 1]:
-            invalid = ~valid_all[i - 1]
+        if row_invalid[r]:
+            invalid = ~valid_all[r]
             H[invalid] = 0
             codes[invalid] = _STOP
             F[invalid] = NEG
@@ -222,6 +254,12 @@ def banded_local_align(query: np.ndarray, subject: np.ndarray,
         return GappedAlignment(0, 0, 0, 0, 0, 0, 0)
 
     # ------------------------------------------------------------ traceback
+    # Pointer rows exist only for [row_lo, row_hi]; rows below row_lo
+    # are all-_STOP in the unclipped DP (fully invalid), so stepping
+    # under row_lo ends the walk exactly where reading their codes
+    # would have.  (The walk cannot *consume* ops below row_lo: F is
+    # never selected there — its values derive from H = 0 minus at
+    # least a gap-open — and E stays within its row.)
     i, b = best_pos
     j = i + diag - band + b
     q_end, s_end = i, j
@@ -229,9 +267,9 @@ def banded_local_align(query: np.ndarray, subject: np.ndarray,
     align_len = 0
     ops_rev = []
     state = "H"
-    while i > 0 and 0 <= b < w:
+    while i >= row_lo and 0 <= b < w:
         if state == "H":
-            code = ptrH[i, b]
+            code = ptrH[i - row_lo, b]
             if code == _STOP:
                 break
             if code == _DIAG:
@@ -248,14 +286,14 @@ def banded_local_align(query: np.ndarray, subject: np.ndarray,
                 state = "E"
         elif state == "F":
             # consume one query residue (gap in subject)
-            extended = ptrF[i, b]
+            extended = ptrF[i - row_lo, b]
             align_len += 1
             ops_rev.append("D")
             i -= 1
             b += 1
             state = "F" if extended else "H"
         else:  # state == "E": consume one subject residue (gap in query)
-            extended = ptrE[i, b]
+            extended = ptrE[i - row_lo, b]
             align_len += 1
             ops_rev.append("I")
             j -= 1
@@ -266,3 +304,131 @@ def banded_local_align(query: np.ndarray, subject: np.ndarray,
         score=best, identities=identities, align_len=align_len,
         ops="".join(reversed(ops_rev)),
     )
+
+
+#: Candidate-chunk bound of the bulk score pass: peak scratch is about
+#: ``12 * _BULK_CANDIDATES * (2 * band + 1) * 8`` bytes per DP row.
+_BULK_CANDIDATES = 4096
+
+
+def bulk_banded_score(qcat: np.ndarray, scat: np.ndarray,
+                      q_off: np.ndarray, q_len: np.ndarray,
+                      s_off: np.ndarray, s_len: np.ndarray,
+                      diag: np.ndarray, scheme: ScoringScheme,
+                      band: int = 24
+                      ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Score-only banded affine DP over many candidates at once.
+
+    Candidate ``c`` is the alignment :func:`banded_local_align` would
+    compute for ``(qcat[q_off[c]:q_off[c]+q_len[c]],
+    scat[s_off[c]:s_off[c]+s_len[c]], diag[c])`` — queries and subjects
+    live as slices of flat concatenations (the scan kernel's fragment
+    concatenation and the driver's query concatenation), so one 2-D
+    gather per DP row scores candidates belonging to different queries,
+    strands and subjects together.  Only ``H``/``F`` row states are
+    kept — no pointer matrices, which is the bulk of the scalar
+    routine's memory traffic — and the recurrences are evaluated in
+    the same order with the same int64 arithmetic, so per candidate
+    the returned ``(score, q_end, s_end)`` equals the scalar
+    alignment's ``(score, q_end, s_end)`` exactly (``0, 0, 0`` when no
+    cell scores positive).
+
+    Candidates are processed longest-first in chunks of
+    ``_BULK_CANDIDATES`` so the per-row working set shrinks as shorter
+    candidates finish, and each candidate only sweeps the rows whose
+    band overlaps its subject (the same clipping as the scalar
+    routine).
+    """
+    n_cand = len(diag)
+    out_score = np.zeros(n_cand, dtype=np.int64)
+    out_qend = np.zeros(n_cand, dtype=np.int64)
+    out_send = np.zeros(n_cand, dtype=np.int64)
+    if n_cand == 0:
+        return out_score, out_qend, out_send
+    q_len = np.asarray(q_len, dtype=np.int64)
+    s_len = np.asarray(s_len, dtype=np.int64)
+    diag = np.asarray(diag, dtype=np.int64)
+    q_off = np.asarray(q_off, dtype=np.int64)
+    s_off = np.asarray(s_off, dtype=np.int64)
+
+    w = 2 * band + 1
+    go = scheme.gap_open
+    ge = scheme.gap_extend
+    matrix = scheme.matrix
+    barange = np.arange(w, dtype=np.int64)
+    slot_ge = ge * barange
+    open_cost = go + slot_ge[:-1]
+    vector_scan = go > ge
+
+    row_lo = np.maximum(1, 1 - diag - band)
+    row_hi = np.minimum(q_len, s_len - diag + band)
+    n_rows = np.maximum(0, row_hi - row_lo + 1)
+    # Longest-first within each chunk: the active set is then always a
+    # prefix, shrinking as candidates run out of rows.
+    order = np.argsort(-n_rows, kind="stable")
+
+    for lo in range(0, n_cand, _BULK_CANDIDATES):
+        idx = order[lo:lo + _BULK_CANDIDATES]
+        nr = n_rows[idx]
+        if nr[0] == 0:
+            continue
+        rl = row_lo[idx]
+        qo = q_off[idx]
+        so = s_off[idx]
+        sl = s_len[idx]
+        jbase0 = rl + diag[idx] - band      # subject col at (r=0, b=0)
+        c_all = len(idx)
+        H = np.zeros((c_all, w), dtype=np.int64)
+        F = np.full((c_all, w), NEG, dtype=np.int64)
+        best = np.zeros(c_all, dtype=np.int64)
+        best_i = np.zeros(c_all, dtype=np.int64)
+        best_j = np.zeros(c_all, dtype=np.int64)
+        max_rows = int(nr[0])
+        neg_nr = -nr
+        for r in range(max_rows):
+            # Active prefix: candidates with more than r rows.
+            a = int(np.searchsorted(neg_nr, -r, side="left"))
+            if a == 0:
+                break
+            i_abs = rl[:a] + r
+            jb = jbase0[:a] + r
+            j = jb[:, None] + barange
+            valid = (j >= 1) & (j <= sl[:a, None])
+            sj = so[:a, None] + np.clip(j - 1, 0, (sl[:a] - 1)[:, None])
+            sub = matrix[qcat[qo[:a] + i_abs - 1][:, None],
+                         scat[sj]].astype(np.int64)
+            Hp = H[:a]
+            Fp = F[:a]
+            diag_score = Hp + sub
+            F_new = np.full((a, w), NEG, dtype=np.int64)
+            np.maximum(Hp[:, 1:] - go, Fp[:, 1:] - ge, out=F_new[:, :-1])
+            H_new = np.maximum(diag_score, 0)
+            np.maximum(H_new, F_new, out=H_new)
+            if vector_scan:
+                # Closed-form within-row E (same identity as the
+                # scalar _e_scan_vectorized, rows stacked).
+                T = H_new + slot_ge
+                P = np.maximum.accumulate(T, axis=1)
+                np.maximum(H_new[:, 1:], P[:, :-1] - open_cost,
+                           out=H_new[:, 1:])
+            else:
+                E = np.full(a, NEG, dtype=np.int64)
+                for b in range(1, w):
+                    np.maximum(H_new[:, b - 1] - go, E - ge, out=E)
+                    np.maximum(H_new[:, b], E, out=H_new[:, b])
+            H_new[~valid] = 0
+            F_new[~valid] = NEG
+            row_best = H_new.max(axis=1)
+            upd = row_best > best[:a]
+            if upd.any():
+                slot = np.argmax(H_new, axis=1)
+                best[:a][upd] = row_best[upd]
+                best_i[:a][upd] = i_abs[upd]
+                best_j[:a][upd] = (jb + slot)[upd]
+            H[:a] = H_new
+            F[:a] = F_new
+        pos = best > 0
+        out_score[idx[pos]] = best[pos]
+        out_qend[idx[pos]] = best_i[pos]
+        out_send[idx[pos]] = best_j[pos]
+    return out_score, out_qend, out_send

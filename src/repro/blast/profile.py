@@ -3,10 +3,17 @@
 ``REPRO_PROFILE=1`` (or the CLI's ``--profile``) makes every top-level
 :func:`repro.blast.search.search` / ``search_batch`` call emit one JSON
 line to stderr with per-stage wall times — pack, index, scan, seed,
-extend, gapped — plus counters like how many seeds the covered-run
-prefilter dropped.  The point is to stop guessing where the numpy
-passes go: kernel PRs read the stage split instead of re-deriving it
-with ad-hoc timers.
+extend, gapped_bulk (the batched score-only gapped pass), gapped (the
+pointer-matrix tracebacks) — plus counters like how many seeds the
+covered-run prefilter dropped.  The gapped stage threads three
+counters: ``gapped_trials`` (score-pass DP problems — every triggered
+candidate on the scalar path, distinct diagonals on the bulk path),
+``gapped_traceback`` (pointer-matrix DPs actually run), and
+``gapped_culled`` (triggered candidates resolved without a
+pointer-matrix DP: diagonal-memo hits, E-value-reject skips,
+``max_gapped_per_subject`` drops, zero-score results).  The point is
+to stop guessing where the numpy passes go: kernel PRs read the stage
+split instead of re-deriving it with ad-hoc timers.
 
 The hook is designed to cost nothing when off: the drivers consult
 :func:`current_profile` (a module-global read) and skip every timer
@@ -86,13 +93,16 @@ class StageProfile:
 
 
 @contextmanager
-def profiled(label: str, enabled: Optional[bool] = None, **meta):
+def profiled(label: str, enabled: Optional[bool] = None,
+             emit: bool = True, **meta):
     """Activate a :class:`StageProfile` for the dynamic extent.
 
     Yields the active profile (or ``None`` when profiling is off).  A
     profile already being active means this call is nested inside
     another profiled search: the outer one keeps collecting and no new
-    line is emitted.
+    line is emitted.  ``emit=False`` collects stage times without
+    printing the JSON line — benchmarks use it to read stage splits
+    programmatically from the yielded profile.
     """
     global _active
     if enabled is None:
@@ -106,4 +116,5 @@ def profiled(label: str, enabled: Optional[bool] = None, **meta):
         yield prof
     finally:
         _active = None
-        prof.emit()
+        if emit:
+            prof.emit()

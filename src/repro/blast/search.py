@@ -24,6 +24,7 @@ exactly what the mpiBLAST master does with worker results.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -33,7 +34,9 @@ import numpy as np
 from repro.blast.alphabet import DNA, PROTEIN, reverse_complement
 from repro.blast.extend import (UngappedHSP, batched_ungapped_extend,
                                 bulk_ungapped_extend, ungapped_extend)
-from repro.blast.gapped import GappedAlignment, banded_local_align
+from repro.blast.gapped import (GappedAlignment, banded_local_align,
+                                bulk_banded_score)
+from repro.blast.xdrop import xdrop_gapped_extend
 from repro.blast.kmer import WordIndex, dna_word_codes, protein_word_codes
 from repro.blast.profile import current_profile, profiled
 from repro.blast.scankernel import (QueryBatch, ScanCache, default_scan_cache,
@@ -82,6 +85,15 @@ class SearchParams:
     #: "xdrop" (NCBI's adaptive-region extension; finds indels larger
     #: than the band at somewhat higher cost).
     gapped_method: str = "banded"
+    #: Run banded gapped refinement as the two-pass batched pipeline
+    #: (score-only bulk forward pass, pointer-matrix traceback only for
+    #: survivors).  Output is byte-identical to the scalar path; this
+    #: and ``REPRO_GAPPED_BULK=0`` exist as an exact fallback switch.
+    gapped_bulk: bool = True
+    #: At most this many gapped DP problems per (orientation, subject)
+    #: group; further triggered candidates are dropped.  0 (default)
+    #: disables the cap — with it off, output never changes.
+    max_gapped_per_subject: int = 0
 
 
 @dataclass
@@ -313,6 +325,19 @@ def _hsps_from_hits(query: np.ndarray, subject: np.ndarray,
                     identity_query: Optional[np.ndarray] = None
                     ) -> List[HSP]:
     """Steps 2-4 from word hits for one orientation/subject pair."""
+    candidates = _collect_candidates(query, subject, spos, qpos, scheme,
+                                     params, is_protein)
+    return _candidates_to_hsps(query, subject, candidates, scheme, params,
+                               is_protein, ka, m_eff, n_eff, strand,
+                               identity_query=identity_query)
+
+
+def _collect_candidates(query: np.ndarray, subject: np.ndarray,
+                        spos: np.ndarray, qpos: np.ndarray,
+                        scheme: ScoringScheme, params: SearchParams,
+                        is_protein: bool) -> List[UngappedHSP]:
+    """Steps 2-3 (seeding + ungapped extension) from word hits for one
+    orientation/subject pair."""
     prof = current_profile()
     t0 = time.perf_counter() if prof is not None else 0.0
     if is_protein and params.two_hit_window > 0:
@@ -332,9 +357,7 @@ def _hsps_from_hits(query: np.ndarray, subject: np.ndarray,
         stats=prof.counters if prof is not None else None)
     if prof is not None:
         prof.add("extend", time.perf_counter() - t0)
-    return _candidates_to_hsps(query, subject, candidates, scheme, params,
-                               is_protein, ka, m_eff, n_eff, strand,
-                               identity_query=identity_query)
+    return candidates
 
 
 def _candidates_to_hsps(query: np.ndarray, subject: np.ndarray,
@@ -345,7 +368,8 @@ def _candidates_to_hsps(query: np.ndarray, subject: np.ndarray,
                         identity_query: Optional[np.ndarray] = None
                         ) -> List[HSP]:
     """Steps 4-5 (gapped refinement, dedup, E-value filter) from
-    ungapped candidates for one orientation/subject pair."""
+    ungapped candidates for one orientation/subject pair — the scalar
+    reference path (one DP with traceback per triggered candidate)."""
     if not candidates:
         return []
     id_query = query if identity_query is None else identity_query
@@ -355,14 +379,19 @@ def _candidates_to_hsps(query: np.ndarray, subject: np.ndarray,
 
     out: List[HSP] = []
     seen_spans: List[Tuple[int, int]] = []
+    n_gapped = 0
     for cand in candidates:
         if params.gapped and cand.score >= params.gapped_trigger:
+            if (params.max_gapped_per_subject > 0
+                    and n_gapped >= params.max_gapped_per_subject):
+                if prof is not None:
+                    prof.count("gapped_culled")
+                continue
+            n_gapped += 1
             mid_q = cand.q_start + cand.length // 2
             mid_s = cand.s_start + cand.length // 2
             t0 = time.perf_counter() if prof is not None else 0.0
             if params.gapped_method == "xdrop":
-                from repro.blast.xdrop import xdrop_gapped_extend
-
                 aln = xdrop_gapped_extend(query, subject, mid_q, mid_s,
                                           scheme, xdrop=2 * params.band)
             else:
@@ -371,6 +400,8 @@ def _candidates_to_hsps(query: np.ndarray, subject: np.ndarray,
                                          identity_query=identity_query)
             if prof is not None:
                 prof.add("gapped", time.perf_counter() - t0)
+                prof.count("gapped_trials")
+                prof.count("gapped_traceback")
             if aln.score <= 0:
                 continue
             q0, q1, s0, s1 = aln.q_start, aln.q_end, aln.s_start, aln.s_end
@@ -400,6 +431,253 @@ def _candidates_to_hsps(query: np.ndarray, subject: np.ndarray,
             ops=ops,
         ))
     return out
+
+
+#: Environment kill-switch for the batched gapped pipeline: ``0``
+#: forces the scalar reference path regardless of ``SearchParams``.
+GAPPED_BULK_ENV = "REPRO_GAPPED_BULK"
+
+#: Below this many triggered candidates the scalar path wins — the
+#: batched forward pass re-scores everything and then still pays the
+#: survivor tracebacks, which only pays off once there is enough to
+#: cull (measured crossover is well under this on the dev box; the
+#: routing is invisible in output, both paths are exact).
+_BULK_MIN_CANDIDATES = 24
+
+
+def _gapped_bulk_enabled(params: SearchParams) -> bool:
+    """Whether the two-pass batched gapped pipeline should run."""
+    if not params.gapped_bulk:
+        return False
+    return (os.environ.get(GAPPED_BULK_ENV) or "").strip() != "0"
+
+
+@dataclass
+class _GappedJob:
+    """One orientation/subject group's ungapped candidates awaiting
+    steps 4-5, plus everything needed to finalize them into HSPs.
+
+    *q_off* / *s_off* locate the oriented query and the subject inside
+    the flat concatenations handed to :func:`_finalize_candidates`;
+    finalized HSPs are appended to *sink* so callers can batch many
+    groups through one bulk DP and still read results back in their
+    original accumulation order.
+    """
+
+    query: np.ndarray
+    subject: np.ndarray
+    q_off: int
+    s_off: int
+    candidates: List[UngappedHSP]
+    m_eff: int
+    n_eff: int
+    strand: int
+    identity_query: Optional[np.ndarray]
+    sink: List[HSP]
+
+
+def _finalize_candidates(jobs: List[_GappedJob], qcat: np.ndarray,
+                         scat: np.ndarray, scheme: ScoringScheme,
+                         params: SearchParams, is_protein: bool,
+                         ka: KarlinAltschul) -> None:
+    """Steps 4-5 for many orientation/subject groups at once.
+
+    The batched pipeline runs gapped refinement in two passes.  **Pass
+    1** scores every distinct (group, diagonal) band DP with one
+    :func:`~repro.blast.gapped.bulk_banded_score` call — every
+    triggered candidate on a diagonal shares the band DP centred on
+    it, because ``banded_local_align`` depends on the seed only
+    through the diagonal.  **Pass 2** replays each group's scalar
+    decision sequence from the pass-1 scores and runs the
+    pointer-matrix traceback only for candidates that still need one:
+    zero-score and over-cap candidates are dropped outright, and an
+    E-value-rejected candidate skips traceback when its subject end
+    position (known exactly from pass 1) is unique among the group's
+    prospective spans — the only way its never-rendered span could
+    influence later dedup decisions would be colliding with a span
+    sharing that end.  Output is byte-identical to running
+    :func:`_candidates_to_hsps` per group.
+
+    The scalar reference path serves ungapped searches, the xdrop
+    method, and ``gapped_bulk`` opt-outs.
+    """
+    if not jobs:
+        return
+    # Both paths are exact, so routing is purely a cost call: with only
+    # a handful of triggered candidates (typical blastn — seeds match
+    # little but the true source) the batched forward pass plus the
+    # survivor tracebacks costs more than just running the scalar DPs.
+    n_triggered = sum(1 for job in jobs for c in job.candidates
+                      if c.score >= params.gapped_trigger)
+    if (not params.gapped or params.gapped_method != "banded"
+            or n_triggered < _BULK_MIN_CANDIDATES
+            or not _gapped_bulk_enabled(params)):
+        for job in jobs:
+            job.sink.extend(_candidates_to_hsps(
+                job.query, job.subject, job.candidates, scheme, params,
+                is_protein, ka, job.m_eff, job.n_eff, job.strand,
+                identity_query=job.identity_query))
+        return
+
+    prof = current_profile()
+    cap = params.max_gapped_per_subject
+    # Scalar preamble, replayed exactly: best-first order, max_hsps.
+    for job in jobs:
+        job.candidates.sort(key=lambda h: -h.score)
+        del job.candidates[params.max_hsps:]
+
+    # Pass 1: collect one score-only DP problem per distinct
+    # (group, diagonal) among the triggered, under-cap candidates.
+    diags_of: List[Dict[int, int]] = []
+    e_qoff: List[int] = []
+    e_qlen: List[int] = []
+    e_soff: List[int] = []
+    e_slen: List[int] = []
+    e_diag: List[int] = []
+    for job in jobs:
+        diags: Dict[int, int] = {}
+        n_gapped = 0
+        for cand in job.candidates:
+            if cand.score < params.gapped_trigger:
+                continue
+            if cap > 0 and n_gapped >= cap:
+                continue
+            n_gapped += 1
+            dg = cand.diag
+            if dg not in diags:
+                diags[dg] = len(e_diag)
+                e_qoff.append(job.q_off)
+                e_qlen.append(len(job.query))
+                e_soff.append(job.s_off)
+                e_slen.append(len(job.subject))
+                e_diag.append(dg)
+        diags_of.append(diags)
+
+    if e_diag:
+        t0 = time.perf_counter() if prof is not None else 0.0
+        scores, _qends, sends = bulk_banded_score(
+            qcat, scat,
+            np.array(e_qoff, dtype=np.int64),
+            np.array(e_qlen, dtype=np.int64),
+            np.array(e_soff, dtype=np.int64),
+            np.array(e_slen, dtype=np.int64),
+            np.array(e_diag, dtype=np.int64),
+            scheme, band=params.band)
+        if prof is not None:
+            prof.add("gapped_bulk", time.perf_counter() - t0)
+            prof.count("gapped_trials", len(e_diag))
+    else:
+        scores = sends = np.zeros(0, dtype=np.int64)
+
+    for job, diags in zip(jobs, diags_of):
+        _finalize_one(job, diags, scores, sends, scheme, params, ka, prof)
+
+
+def _finalize_one(job: _GappedJob, diags: Dict[int, int],
+                  scores: np.ndarray, sends: np.ndarray,
+                  scheme: ScoringScheme, params: SearchParams,
+                  ka: KarlinAltschul, prof) -> None:
+    """Pass 2 of the batched gapped pipeline for one group: replay the
+    scalar candidate loop from the bulk scores, tracing back only when
+    an alignment's exact extent can still matter."""
+    cap = params.max_gapped_per_subject
+
+    # Census of the *emittable* candidates' subject end positions.  A
+    # span is appended to the dedup list before the E-value check, so
+    # a rejected candidate's span can influence output only by
+    # deduplicating a later candidate that would otherwise be emitted —
+    # which requires an E-value-passing candidate with the *same* span,
+    # hence the same subject end.  (Rejected candidates deduplicating
+    # each other is invisible: whichever appends first, the span value
+    # ends up in the list and none of them is emitted.)  E-values here
+    # depend only on scores, all known exactly after pass 1.
+    end_count: Dict[int, int] = {}
+    n_gapped = 0
+    for cand in job.candidates:
+        if cand.score >= params.gapped_trigger:
+            if cap > 0 and n_gapped >= cap:
+                continue
+            n_gapped += 1
+            ei = diags[cand.diag]
+            score = int(scores[ei])
+            if score <= 0:
+                continue
+            se = int(sends[ei])
+        else:
+            score = cand.score
+            se = cand.s_end
+        if ka.evalue(score, job.m_eff, job.n_eff) <= params.evalue_cutoff:
+            end_count[se] = end_count.get(se, 0) + 1
+
+    out = job.sink
+    seen_spans: List[Tuple[int, int]] = []
+    memo: Dict[int, GappedAlignment] = {}
+    n_gapped = 0
+    for cand in job.candidates:
+        if cand.score >= params.gapped_trigger:
+            if cap > 0 and n_gapped >= cap:
+                if prof is not None:
+                    prof.count("gapped_culled")
+                continue
+            n_gapped += 1
+            ei = diags[cand.diag]
+            score = int(scores[ei])
+            if score <= 0:
+                if prof is not None:
+                    prof.count("gapped_culled")
+                continue
+            evalue = ka.evalue(score, job.m_eff, job.n_eff)
+            if (evalue > params.evalue_cutoff
+                    and end_count.get(int(sends[ei]), 0) == 0):
+                # E-value reject whose span cannot deduplicate any
+                # emittable candidate: the scalar path would discard
+                # it after appending a span that can never change what
+                # is rendered.  No traceback needed.
+                if prof is not None:
+                    prof.count("gapped_culled")
+                continue
+            aln = memo.get(cand.diag)
+            if aln is None:
+                t0 = time.perf_counter() if prof is not None else 0.0
+                aln = banded_local_align(job.query, job.subject,
+                                         cand.diag, scheme,
+                                         band=params.band,
+                                         identity_query=job.identity_query)
+                if prof is not None:
+                    prof.add("gapped", time.perf_counter() - t0)
+                    prof.count("gapped_traceback")
+                memo[cand.diag] = aln
+            elif prof is not None:
+                prof.count("gapped_culled")
+            if aln.score <= 0:
+                continue
+            q0, q1, s0, s1 = aln.q_start, aln.q_end, aln.s_start, aln.s_end
+            score = aln.score
+            identities, align_len = aln.identities, aln.align_len
+            ops = aln.ops
+        else:
+            q0, q1 = cand.q_start, cand.q_end
+            s0, s1 = cand.s_start, cand.s_end
+            score = cand.score
+            id_query = (job.query if job.identity_query is None
+                        else job.identity_query)
+            matches = id_query[q0:q1] == job.subject[s0:s1]
+            identities = int(np.count_nonzero(matches))
+            align_len = cand.length
+            ops = "M" * align_len
+        span = (s0, s1)
+        if span in seen_spans:
+            continue
+        seen_spans.append(span)
+        evalue = ka.evalue(score, job.m_eff, job.n_eff)
+        if evalue > params.evalue_cutoff:
+            continue
+        out.append(HSP(
+            q_start=q0, q_end=q1, s_start=s0, s_end=s1,
+            score=score, bit_score=ka.bit_score(score), evalue=evalue,
+            identities=identities, align_len=align_len,
+            strand=job.strand, ops=ops,
+        ))
 
 
 def search(query: np.ndarray, db: SequenceDB, scheme: ScoringScheme,
@@ -512,18 +790,41 @@ def _search_impl(query: np.ndarray, db: SequenceDB, scheme: ScoringScheme,
         if prof is not None:
             prof.add("pack", time.perf_counter() - t0)
         per_sid: Dict[int, List[HSP]] = {}
-        for oriented_query, oriented_index, strand in orientations:
+        jobs: List[_GappedJob] = []
+        collected: List[Tuple[int, List[HSP]]] = []
+        q_offs: List[int] = []
+        off = 0
+        for oriented_query, _, _ in orientations:
+            q_offs.append(off)
+            off += len(oriented_query)
+        for oi, (oriented_query, oriented_index, strand) in \
+                enumerate(orientations):
             t0 = time.perf_counter() if prof is not None else 0.0
             groups = scan_fragment(oriented_index, structs)
             if prof is not None:
                 prof.add("scan", time.perf_counter() - t0)
             for sid, spos, qpos in groups:
-                hsps = _hsps_from_hits(
+                cands = _collect_candidates(
                     oriented_query, structs.subject(sid), spos, qpos,
-                    scheme, params, is_protein, ka, m_eff, n_eff, strand,
-                    identity_query=identity_query)
-                if hsps:
-                    per_sid.setdefault(sid, []).extend(hsps)
+                    scheme, params, is_protein)
+                if not cands:
+                    continue
+                sink: List[HSP] = []
+                jobs.append(_GappedJob(
+                    query=oriented_query, subject=structs.subject(sid),
+                    q_off=q_offs[oi], s_off=int(structs.starts[sid]),
+                    candidates=cands, m_eff=m_eff, n_eff=n_eff,
+                    strand=strand, identity_query=identity_query,
+                    sink=sink))
+                collected.append((sid, sink))
+        if jobs:
+            qcat = (orientations[0][0] if len(orientations) == 1
+                    else np.concatenate([o[0] for o in orientations]))
+            _finalize_candidates(jobs, qcat, structs.concat, scheme,
+                                 params, is_protein, ka)
+        for sid, sink in collected:
+            if sink:
+                per_sid.setdefault(sid, []).extend(sink)
         for sid in sorted(per_sid):
             hsps = per_sid[sid]
             hsps.sort(key=lambda h: (h.evalue, -h.score))
@@ -688,23 +989,46 @@ def _search_batch_impl(queries, db, scheme, params, query_ids, ka,
     if prof is not None:
         prof.add("scan", time.perf_counter() - t0)
 
+    # Flat concatenation of every entry's oriented query, mirroring the
+    # fragment concatenation: one pair of flat arrays serves every
+    # (entry, subject) extension and the bulk gapped pass.
+    qlens = np.array([len(e[1]) for e in entries], dtype=np.int64)
+    qstarts = np.zeros(len(entries), dtype=np.int64)
+    np.cumsum(qlens[:-1], out=qstarts[1:])
+    qcat = np.concatenate([e[1] for e in entries])
+
     per_q: Dict[int, Dict[int, List[HSP]]] = {}
+    jobs: List[_GappedJob] = []
+    order: List[Tuple[int, int, List[HSP]]] = []
     if is_protein and params.two_hit_window > 0:
         # Two-hit seeding is an inherently sequential per-diagonal scan;
-        # run the per-group reference pipeline on each hit group.
+        # run the per-group reference seeding/extension on each hit
+        # group (gapped refinement still batches across groups).
         for eid, sid, spos, qpos in groups:
             qi, oriented_query, strand = entries[eid]
+            cands = _collect_candidates(oriented_query,
+                                        structs.subject(sid), spos, qpos,
+                                        scheme, params, is_protein)
+            if not cands:
+                continue
             m_eff, n_eff = spaces[qi]
-            hsps = _hsps_from_hits(oriented_query, structs.subject(sid),
-                                   spos, qpos, scheme, params, is_protein,
-                                   ka, m_eff, n_eff, strand,
-                                   identity_query=identity_queries[qi])
-            if hsps:
-                per_q.setdefault(qi, {}).setdefault(sid, []).extend(hsps)
+            sink: List[HSP] = []
+            jobs.append(_GappedJob(
+                query=oriented_query, subject=structs.subject(sid),
+                q_off=int(qstarts[eid]), s_off=int(structs.starts[sid]),
+                candidates=cands, m_eff=m_eff, n_eff=n_eff,
+                strand=strand, identity_query=identity_queries[qi],
+                sink=sink))
+            order.append((qi, sid, sink))
     elif groups:
-        _bulk_groups_to_hsps(groups, entries, structs, scheme, params,
-                             is_protein, ka, spaces, identity_queries,
-                             per_q)
+        _bulk_groups_to_jobs(groups, entries, structs, scheme, params,
+                             spaces, identity_queries, qcat, qstarts,
+                             qlens, jobs, order)
+    _finalize_candidates(jobs, qcat, structs.concat, scheme, params,
+                         is_protein, ka)
+    for qi, sid, sink in order:
+        if sink:
+            per_q.setdefault(qi, {}).setdefault(sid, []).extend(sink)
     for qi, per_sid in per_q.items():
         res = results[qi]
         for sid in sorted(per_sid):
@@ -721,32 +1045,25 @@ def _search_batch_impl(queries, db, scheme, params, query_ids, ka,
     return results
 
 
-def _bulk_groups_to_hsps(groups, entries, structs, scheme, params,
-                         is_protein, ka, spaces, identity_queries,
-                         per_q) -> None:
+def _bulk_groups_to_jobs(groups, entries, structs, scheme, params,
+                         spaces, identity_queries, qcat, qstarts, qlens,
+                         jobs, order) -> None:
     """Steps 2-3 for every batched hit group at once (one-hit seeding).
 
     Instead of paying per-(query, subject) numpy dispatch for seeding
     and ungapped extension — which dominates once the shared scan pass
     is amortised over the batch — the whole hit stream is seeded with
     one grouped lexsort and extended with one flat 2-D gather against
-    the query/subject concatenations.  The per-diagonal coverage dedup
-    is then replayed per group from the bulk extents, and gapped
-    refinement (inherently per-candidate) runs through the same
-    :func:`_candidates_to_hsps` tail as the sequential driver — so
+    the query/subject concatenations (*qcat* with per-entry *qstarts*
+    offsets and ``structs.concat``).  The per-diagonal coverage dedup
+    is then replayed per group from the bulk extents, and each group's
+    surviving candidates become one :class:`_GappedJob` appended to
+    *jobs* — with a matching ``(query, subject id, sink)`` row in
+    *order* — for the caller's :func:`_finalize_candidates` pass, so
     each group contributes exactly the HSPs :func:`_hsps_from_hits`
-    would have produced for it.  Accumulates into *per_q* keyed
-    ``[query][subject id]``.
+    would have produced for it.
     """
     prof = current_profile()
-    # Flat concatenation of every entry's oriented query, mirroring the
-    # fragment concatenation: one pair of flat arrays serves every
-    # (entry, subject) extension.
-    qlens = np.array([len(e[1]) for e in entries], dtype=np.int64)
-    qstarts = np.zeros(len(entries), dtype=np.int64)
-    np.cumsum(qlens[:-1], out=qstarts[1:])
-    qcat = np.concatenate([e[1] for e in entries])
-
     g_eid = np.array([g[0] for g in groups], dtype=np.int64)
     g_sid = np.array([g[1] for g in groups], dtype=np.int64)
     gid_of_hit = np.repeat(
@@ -805,11 +1122,12 @@ def _bulk_groups_to_hsps(groups, entries, structs, scheme, params,
             continue
         qi, oriented_query, strand = entries[eid]
         m_eff, n_eff = spaces[qi]
-        hsps = _candidates_to_hsps(oriented_query, structs.subject(sid),
-                                   cands, scheme, params, is_protein, ka,
-                                   m_eff, n_eff, strand,
-                                   identity_query=identity_queries[qi])
-        if hsps:
-            per_q.setdefault(qi, {}).setdefault(sid, []).extend(hsps)
+        sink: List[HSP] = []
+        jobs.append(_GappedJob(
+            query=oriented_query, subject=structs.subject(sid),
+            q_off=int(qstarts[eid]), s_off=int(structs.starts[sid]),
+            candidates=cands, m_eff=m_eff, n_eff=n_eff, strand=strand,
+            identity_query=identity_queries[qi], sink=sink))
+        order.append((qi, sid, sink))
     if prof is not None and skipped:
         prof.count("seeds_skipped", skipped)

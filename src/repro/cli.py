@@ -234,6 +234,10 @@ def cmd_blastall(args) -> int:
         from repro.blast.profile import PROFILE_ENV
 
         os.environ[PROFILE_ENV] = "1"
+    if getattr(args, "no_gapped_bulk", False):
+        from repro.blast.search import GAPPED_BULK_ENV
+
+        os.environ[GAPPED_BULK_ENV] = "0"
     protein_db = args.program in ("blastp", "blastx")
     store = None
     db_pack = getattr(args, "db_pack", None)
@@ -506,10 +510,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "instead of the multi-query batched kernel "
                         "(results are identical; batching is the default "
                         "for blastn/blastp)")
+    p.add_argument("--no-gapped-bulk", action="store_true",
+                   help="run gapped refinement with the scalar "
+                        "reference path instead of the batched "
+                        "two-pass kernel (results are identical; "
+                        "equivalent to REPRO_GAPPED_BULK=0)")
     p.add_argument("--profile", action="store_true",
                    help="emit per-stage timing JSON (pack/index/scan/"
-                        "seed/extend/gapped) to stderr; equivalent to "
-                        "REPRO_PROFILE=1")
+                        "seed/extend/gapped_bulk/gapped) to stderr; "
+                        "equivalent to REPRO_PROFILE=1")
     _add_pool_args(p)
     p.set_defaults(fn=cmd_blastall)
 
@@ -537,6 +546,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-query-batch", action="store_true",
                    help="search multi-query FASTA one query at a time "
                         "instead of the multi-query batched kernel")
+    p.add_argument("--no-gapped-bulk", action="store_true",
+                   help="scalar gapped refinement (identical results; "
+                        "equivalent to REPRO_GAPPED_BULK=0)")
     p.add_argument("--profile", action="store_true",
                    help="emit per-stage timing JSON to stderr; "
                         "equivalent to REPRO_PROFILE=1")

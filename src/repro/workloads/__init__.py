@@ -11,6 +11,7 @@ the paper uses a 568-character query from ``ecoli.nt``).
 from repro.workloads.synthdb import (
     NT_DATABASE_SPEC,
     DatabaseSpec,
+    synthetic_aa_db,
     synthetic_nt_db,
     synthetic_nt_fasta,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "run_checkpoint_workload",
     "extract_query",
     "sample_query_length",
+    "synthetic_aa_db",
     "synthetic_nt_db",
     "synthetic_nt_fasta",
     "synthetic_query",

@@ -170,3 +170,99 @@ def test_gapped_score_consistency(a, b):
     assert aln.score <= min(len(a), len(b)) * SCHEME.max_score
     assert aln.q_end - aln.q_start <= aln.align_len
     assert aln.s_end - aln.s_start <= aln.align_len
+
+
+# ----------------------------------------------------------------------
+# Row clipping: the pointer matrices only cover rows whose band
+# overlaps the subject.  These tests pin the clipped DP against an
+# unclipped pure-python reference at extreme diagonals.
+# ----------------------------------------------------------------------
+def _reference_banded_score(q, s, diag, scheme, band):
+    """Unclipped O(m*w) python DP: best score and end coordinates."""
+    m, n, w = len(q), len(s), 2 * band + 1
+    go, ge = scheme.gap_open, scheme.gap_extend
+    NEG = -(1 << 40)
+    H = [0] * (w + 2)
+    F = [NEG] * (w + 2)
+    best, bi, bj = 0, 0, 0
+    for i in range(1, m + 1):
+        jbase = i + diag - band
+        Hn = [0] * (w + 2)
+        Fn = [NEG] * (w + 2)
+        E = NEG
+        for b in range(w):
+            j = jbase + b
+            if j < 1 or j > n:
+                continue
+            sub = int(scheme.matrix[q[i - 1], s[j - 1]])
+            h = max(0, H[b + 1] + sub)
+            f = max(H[b + 2] - go, F[b + 2] - ge)
+            E = max(Hn[b] - go, E - ge) if b > 0 else NEG
+            h = max(h, f, E)
+            Hn[b + 1], Fn[b + 1] = h, f
+            if h > best:
+                best, bi, bj = h, i, j
+        H, F = Hn, Fn
+    return best, bi, bj
+
+
+def _ops_score(q, s, aln, scheme):
+    """Replay ops and recompute the score — validates coordinates."""
+    score, i, j = 0, aln.q_start, aln.s_start
+    run = None
+    for op in aln.ops:
+        if op == "M":
+            score += int(scheme.matrix[q[i], s[j]])
+            i, j = i + 1, j + 1
+            run = None
+        else:
+            score -= scheme.gap_open if run != op else scheme.gap_extend
+            run = op
+            if op == "D":
+                i += 1
+            else:
+                j += 1
+    assert (i, j) == (aln.q_end, aln.s_end)
+    return score
+
+
+@pytest.mark.parametrize("band", [3, 8])
+def test_gapped_clipping_matches_unclipped_reference(band):
+    rng = np.random.default_rng(9)
+    for _ in range(120):
+        m = int(rng.integers(4, 40))
+        n = int(rng.integers(4, 40))
+        q = rng.integers(0, 4, m).astype(np.int64)
+        s = rng.integers(0, 4, n).astype(np.int64)
+        if rng.random() < 0.5:
+            k = min(m, n)
+            s[:k] = q[:k]
+        diag = int(rng.integers(-m - 2 * band, n + 2 * band))
+        aln = banded_local_align(q, s, diag, SCHEME, band=band)
+        ref, ri, rj = _reference_banded_score(q, s, diag, SCHEME, band)
+        assert aln.score == ref, (m, n, diag, band)
+        if aln.score > 0:
+            assert (aln.q_end, aln.s_end) == (ri, rj)
+            assert _ops_score(q, s, aln, SCHEME) == aln.score
+
+
+def test_gapped_diag_outside_subject_is_empty():
+    """Band entirely past either end of the subject: no DP rows."""
+    q = encode_dna("ACGTACGTACGT")
+    s = encode_dna("ACGTACGTACGT")
+    for diag in (len(s) + 5, -len(q) - 5, 10 ** 6, -(10 ** 6)):
+        aln = banded_local_align(q, s, diag, SCHEME, band=4)
+        assert aln.score == 0
+        assert aln.align_len == 0
+
+
+def test_gapped_band_grazing_subject_edges():
+    """Diagonals where only one or two rows survive clipping."""
+    q = encode_dna("ACGTACGTACGTACGT")
+    s = encode_dna("ACGTACGTACGTACGT")
+    band = 2
+    for diag in (len(s) + band - 1, len(s) + band,
+                 -len(q) - band + 1, -len(q) - band):
+        aln = banded_local_align(q, s, diag, SCHEME, band=band)
+        ref, _, _ = _reference_banded_score(q, s, diag, SCHEME, band)
+        assert aln.score == ref

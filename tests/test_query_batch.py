@@ -273,7 +273,7 @@ def test_profile_emits_stage_json_to_stderr(monkeypatch, capsys):
     assert batched["n_queries"] == len(queries)
     for doc in (single, batched):
         assert set(doc["stages"]) <= {"index", "pack", "scan", "seed",
-                                      "extend", "gapped"}
+                                      "extend", "gapped", "gapped_bulk"}
         assert doc["total_s"] >= 0.0
     assert batched["counters"].get("seeds", 0) >= 0
 

@@ -34,6 +34,13 @@ Every run also times the multi-query batched kernel
 (the ``multi_query`` section: speedup, aggregate MB/s, per-query
 latency); on a gate-sized corpus the 8-query batch must reach
 ``MULTI_QUERY_FLOOR`` (1.5x) or the run fails.
+Every run also times the two-pass batched gapped stage against the
+scalar reference path on a fixed protein corpus (the ``gapped``
+section: ``gapped_stage_bulk_s`` / ``gapped_stage_scalar_s`` /
+``gapped_speedup``, gated >= ``GAPPED_FLOOR`` = 1.5x), and records the
+per-stage ``REPRO_PROFILE=1`` view of one warm search on the nt corpus
+(the ``profile`` section) so stage shares trend alongside end-to-end
+MB/s.
 Every run also times the on-disk pack store (``repro.exec.diskpack``):
 building packs from FASTA, a full rebuild-from-FASTA restart, and the
 mmap cold start that replaces it.  Cold start must come in under 25%
@@ -217,6 +224,17 @@ def measure_diskpack(db, query, scheme, params, rounds: int,
 #: fraction of the rebuild-from-FASTA path it replaces.
 DISKPACK_COLD_CEILING = 0.25
 
+#: Acceptance floor: the two-pass batched gapped stage must beat the
+#: scalar reference path by at least this factor on the protein corpus.
+GAPPED_FLOOR = 1.5
+
+#: Protein corpus size for the gapped-stage measurement.  Random
+#: protein under blastp's neighbourhood seeding yields a dense stream
+#: of trigger-passing, E-value-rejected candidates — the gapped-heavy
+#: regime the two-pass pipeline exists for — and at this size the
+#: scalar reference side still finishes in CI-friendly time.
+GAPPED_AA_RESIDUES = 40_000
+
 #: Acceptance floor: the batched multi-query kernel must beat N
 #: sequential searches by at least this factor at 8 queries...
 MULTI_QUERY_FLOOR = 1.5
@@ -275,6 +293,84 @@ def measure_multi_query(db, scheme, params, rounds: int) -> dict:
     return {"floor": MULTI_QUERY_FLOOR,
             "gate_residues": MULTI_QUERY_GATE_RESIDUES,
             "points": points}
+
+
+def measure_gapped(rounds: int,
+                   aa_residues: int = GAPPED_AA_RESIDUES) -> dict:
+    """Two-pass batched gapped stage vs the scalar reference path.
+
+    The workload is a protein corpus searched with a noisy query (a
+    corpus extract with every 9th residue mutated): blastp's
+    neighbourhood seeding triggers gapped refinement all over the
+    database, and nearly every candidate is an E-value reject — the
+    exact population the bulk score-only pass culls before traceback.
+    Stage time is read from the profile buckets (``gapped`` +
+    ``gapped_bulk``), not end-to-end wall time, so the gate measures
+    the stage it gates.  Results must match the scalar path byte for
+    byte.
+    """
+    from dataclasses import replace
+
+    from repro.blast.profile import profiled
+    from repro.blast.score import ProteinScore
+    from repro.blast.search import SearchParams, search
+    from repro.workloads import synthetic_aa_db
+
+    db = synthetic_aa_db(aa_residues, seed=7)
+    query = db.sequence(1)[:350].copy()
+    query[::9] = (query[::9] + 1) % 20
+    scheme = ProteinScore()
+    p_bulk = SearchParams(word_size=3)
+    p_scalar = replace(p_bulk, gapped_bulk=False)
+
+    def stage_time(params):
+        samples, counters = [], {}
+        for _ in range(rounds):
+            with profiled("bench_gapped", enabled=True, emit=False) as prof:
+                search(query, db, scheme, params, query_id="bench")
+            samples.append(prof.stages.get("gapped", 0.0)
+                           + prof.stages.get("gapped_bulk", 0.0))
+            counters = {k: v for k, v in prof.counters.items()
+                        if k.startswith("gapped")}
+        return _median(samples), counters
+
+    r_bulk = search(query, db, scheme, p_bulk, query_id="bench")
+    r_scalar = search(query, db, scheme, p_scalar, query_id="bench")
+    equivalent = _dump_results(r_bulk) == _dump_results(r_scalar)
+    bulk_s, bulk_counters = stage_time(p_bulk)
+    scalar_s, scalar_counters = stage_time(p_scalar)
+    return {
+        "floor": GAPPED_FLOOR,
+        "corpus": {"residues": db.total_residues,
+                   "n_sequences": len(db), "seqtype": "aa",
+                   "query_len": int(len(query)), "seed": 7},
+        "gapped_stage_bulk_s": bulk_s,
+        "gapped_stage_scalar_s": scalar_s,
+        "gapped_speedup": scalar_s / bulk_s if bulk_s else float("inf"),
+        "counters_bulk": bulk_counters,
+        "counters_scalar": scalar_counters,
+        "equivalent": equivalent,
+    }
+
+
+def gapped_gate(result: dict) -> list:
+    """Hard gate on the batched gapped stage (empty = pass): results
+    must match the scalar reference path exactly and the stage speedup
+    must reach the floor."""
+    g = result.get("gapped")
+    if not g:
+        return []
+    failures = []
+    if not g.get("equivalent", True):
+        failures.append("gapped: two-pass bulk results disagree with "
+                        "the scalar reference path")
+    sp = g.get("gapped_speedup", 0.0)
+    if sp < g.get("floor", GAPPED_FLOOR):
+        failures.append(
+            f"gapped: bulk stage speedup is {sp:.2f}x < "
+            f"{g.get('floor', GAPPED_FLOOR):.1f}x floor — the two-pass "
+            f"pipeline is not paying for itself")
+    return failures
 
 
 def multi_query_gate(result: dict) -> list:
@@ -414,9 +510,21 @@ def run_benchmarks(residues: int, rounds: int,
     loop_s = _time(lambda: search(query, db, scheme, params, engine="loop"),
                    rounds)
 
+    # Per-stage profile of one warm search on the benchmark corpus —
+    # the REPRO_PROFILE=1 view, recorded so future PRs can read stage
+    # shares (where the milliseconds actually go) instead of only
+    # end-to-end MB/s.
+    from repro.blast.profile import profiled
+
+    with profiled("bench_profile", enabled=True, emit=False) as prof:
+        search(query, db, scheme, params, engine="scan", scan_cache=cache)
+    profile = {"stages": {k: round(v, 6) for k, v in prof.stages.items()},
+               "counters": dict(prof.counters)}
+
     diskpack = measure_diskpack(db, query, scheme, params, rounds,
                                 _dump_results(r_scan))
     multi_query = measure_multi_query(db, scheme, params, rounds)
+    gapped = measure_gapped(rounds)
 
     parallel = None
     parallel_sweep = None
@@ -431,7 +539,7 @@ def run_benchmarks(residues: int, rounds: int,
         parallel = measured[-1] if measured else parallel_sweep[-1]
 
     return {
-        "schema": 4,
+        "schema": 5,
         "corpus": {"residues": db.total_residues,
                    "n_sequences": len(db),
                    "query_len": int(len(query)),
@@ -450,8 +558,10 @@ def run_benchmarks(residues: int, rounds: int,
             "search_warm_s": warm_s,
             "search_loop_s": loop_s,
         },
+        "profile": profile,
         "diskpack": diskpack,
         "multi_query": multi_query,
+        "gapped": gapped,
         "parallel": parallel,
         "parallel_sweep": parallel_sweep,
         "equivalent": equivalent,
@@ -481,6 +591,9 @@ def _history_entry(result: dict) -> dict:
                 .get("points", []) if e.get("n_queries") == 8), None)
     if mq8:
         entry["multi_query_speedup_8"] = mq8["speedup"]
+    g = result.get("gapped")
+    if g:
+        entry["gapped_speedup"] = g["gapped_speedup"]
     return entry
 
 
@@ -571,8 +684,22 @@ def check_against(current: dict, baseline_path: str, tolerance: float) -> int:
             print("FAIL: multi-query batched speedup regressed past "
                   "tolerance")
             ok = False
+    # Gapped-stage speedup trend: same shape as the multi-query trend —
+    # only compared when both sides measured it (same fixed protein
+    # corpus on both sides, so no cross-corpus caveat applies).
+    base_g = baseline.get("gapped") or {}
+    cur_g = current.get("gapped") or {}
+    if "gapped_speedup" in base_g and "gapped_speedup" in cur_g:
+        g_floor = (1.0 - tolerance) * base_g["gapped_speedup"]
+        print(f"gapped-stage bulk speedup: current "
+              f"{cur_g['gapped_speedup']:.2f}x, baseline "
+              f"{base_g['gapped_speedup']:.2f}x, floor {g_floor:.2f}x")
+        if cur_g["gapped_speedup"] < g_floor:
+            print("FAIL: gapped-stage bulk speedup regressed past "
+                  "tolerance")
+            ok = False
     for msg in (parallel_gate(current) + diskpack_gate(current)
-                + multi_query_gate(current)):
+                + multi_query_gate(current) + gapped_gate(current)):
         print(f"FAIL: {msg}")
         ok = False
     if ok:
@@ -612,7 +739,7 @@ def main(argv=None) -> int:
         print("FAIL: scan and loop engines disagree on SearchResults")
         return 1
     failures = (parallel_gate(result) + diskpack_gate(result)
-                + multi_query_gate(result))
+                + multi_query_gate(result) + gapped_gate(result))
     for msg in failures:
         print(f"FAIL: {msg}")
     return 1 if failures else 0
