@@ -176,6 +176,13 @@ def _parallel_results(program: str, db, queries, params, jobs: int,
         pool_kw["serial_fallback"] = False
     if args is not None and getattr(args, "no_query_batch", False):
         pool_kw["query_batch"] = 0
+    nodes = getattr(args, "nodes", None) if args is not None else None
+    if nodes:
+        pool_kw["nodes"] = [a for grp in nodes for a in grp.split(",")
+                            if a.strip()]
+        replication = getattr(args, "replication", None)
+        if replication is not None:
+            pool_kw["replication"] = replication
     with ExecPool(jobs=jobs, n_fragments=n_fragments, **pool_kw) as pool:
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always", RuntimeWarning)
@@ -185,6 +192,13 @@ def _parallel_results(program: str, db, queries, params, jobs: int,
                 both_strands=(program == "blastn"))
         for w in caught:
             print(f"# {w.message}", file=sys.stderr)
+        if nodes:
+            for s in pool.node_ship_stats():
+                print(f"# node {s['address']}: {s['connects']} connect(s), "
+                      f"{s['packs_shipped']} pack(s)/"
+                      f"{s['bytes_shipped']} B shipped, "
+                      f"{s['packs_adopted']} adopted/"
+                      f"{s['bytes_saved']} B saved", file=sys.stderr)
         degraded = bool(pool.last_stats and pool.last_stats.fallback)
         return results, degraded
 
@@ -282,10 +296,19 @@ def cmd_blastall(args) -> int:
                                             "tblastx") else 11,
             evalue_cutoff=args.evalue if args.evalue is not None else 10.0,
             filter_low_complexity=args.filter)
-    jobs = getattr(args, "jobs", 1) or 1
+    jobs = getattr(args, "jobs", None)
+    nodes = getattr(args, "nodes", None)
+    if jobs is None:
+        # --nodes with no explicit -j runs remote-only, the pool's own
+        # default for a configured node list.
+        jobs = 0 if nodes else 1
+    if jobs < 1 and not nodes:
+        print("# --jobs 0 needs --nodes (a pool must have at least one "
+              "worker somewhere)", file=sys.stderr)
+        return 2
     parallel = None
     degraded = False
-    if jobs > 1:
+    if jobs > 1 or nodes:
         if args.program in ("blastn", "blastp"):
             from repro.exec import PackIntegrityError, PoolJobError
 
@@ -436,6 +459,15 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def cmd_node(args) -> int:
+    from repro.exec.nodes import run_node
+
+    run_node(args.host, args.port, node_id=args.node_id,
+             max_sessions=args.max_sessions,
+             announce=lambda msg: print(msg, flush=True))
+    return 0
+
+
 def _add_pool_args(p: argparse.ArgumentParser) -> None:
     """Fault-tolerance knobs shared by the parallel (``--jobs``)
     subcommands; defaults come from the pool (env-overridable)."""
@@ -464,6 +496,18 @@ def _add_pool_args(p: argparse.ArgumentParser) -> None:
     g.add_argument("--no-fallback", action="store_true",
                    help="fail (exit 3) instead of degrading to the serial "
                         "engine when the pool collapses")
+    g.add_argument("--nodes", action="append", default=None,
+                   metavar="HOST:PORT[,HOST:PORT...]",
+                   help="remote worker nodes running `repro node` "
+                        "(repeatable and/or comma-separated; env "
+                        "REPRO_EXEC_NODES); fragment packs are shipped "
+                        "once, cached by content identity, and mirrored "
+                        "--replication ways so a node loss is served "
+                        "from a surviving mirror")
+    g.add_argument("--replication", type=int, default=None,
+                   help="copies of each fragment pack across nodes "
+                        "(default 2, clamped to the node count; env "
+                        "REPRO_EXEC_REPLICATION)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -499,10 +543,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["report", "tabular", "xml"],
                    help="output format (tabular = NCBI outfmt 6, "
                         "xml = BlastOutput XML)")
-    p.add_argument("-j", "--jobs", type=int, default=1,
-                   help="worker processes for blastn/blastp (multi-core "
-                        "database segmentation; results are identical to "
-                        "a serial run)")
+    p.add_argument("-j", "--jobs", type=int, default=None,
+                   help="local worker processes for blastn/blastp "
+                        "(multi-core database segmentation; results are "
+                        "identical to a serial run; 0 = remote-only, "
+                        "needs --nodes; default 1, or 0 with --nodes)")
     p.add_argument("--fragments", type=int, default=None,
                    help="database fragments for --jobs (default 2x jobs)")
     p.add_argument("--no-query-batch", action="store_true",
@@ -538,9 +583,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-hits", type=int, default=25)
     p.add_argument("-m", "--outfmt", default="report",
                    choices=["report", "tabular", "xml"])
-    p.add_argument("-j", "--jobs", type=int, default=1,
-                   help="worker processes (multi-core database "
-                        "segmentation)")
+    p.add_argument("-j", "--jobs", type=int, default=None,
+                   help="local worker processes (multi-core database "
+                        "segmentation; 0 = remote-only, needs --nodes)")
     p.add_argument("--fragments", type=int, default=None,
                    help="database fragments for --jobs (default 2x jobs)")
     p.add_argument("--no-query-batch", action="store_true",
@@ -610,6 +655,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_synthdb)
 
+    p = sub.add_parser("node",
+                       help="serve this machine as a worker node for "
+                            "blastall --nodes (also installed as "
+                            "`repro-node`)")
+    p.add_argument("--host", default="0.0.0.0",
+                   help="interface to listen on (default all)")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default 0 = ephemeral; the chosen "
+                        "port is announced on stdout)")
+    p.add_argument("--node-id", default=None,
+                   help="stable identity reported to masters "
+                        "(default host:pid)")
+    p.add_argument("--max-sessions", type=int, default=None,
+                   help="serve this many master connections, then exit "
+                        "(default: run until SIGTERM/SIGINT)")
+    p.set_defaults(fn=cmd_node)
+
     p = sub.add_parser("reproduce",
                        help="regenerate one of the paper's tables/figures")
     p.add_argument("--figure", required=True,
@@ -642,6 +704,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     return args.fn(args)
+
+
+def node_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro-node`` console script: a bare
+    ``repro node`` so cluster job scripts can launch agents without
+    spelling the subcommand."""
+    if argv is None:
+        argv = sys.argv[1:]
+    return main(["node", *argv])
 
 
 if __name__ == "__main__":

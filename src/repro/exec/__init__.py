@@ -23,7 +23,15 @@ master/worker design on actual cores:
   (``formatdb`` for this engine): checksummed mmap-able pack files
   whose data region matches the shm layout byte-for-byte, a streaming
   bounded-memory builder with atomic commit, and the pool's
-  mmap-then-memcpy cold-start path.
+  mmap-then-memcpy cold-start path;
+* :mod:`repro.exec.net` — the framed socket transport (CRC32-checked
+  length-prefixed frames, per-connection sequence numbers, PING/PONG
+  keepalives, bounded reconnect backoff) that lets pool workers live
+  on remote hosts;
+* :mod:`repro.exec.nodes` — the worker-node agent (``repro-node``) and
+  its master-side client: fragment packs shipped once and cached by
+  identity, CEFT-style mirroring so a node death is a mirror re-read,
+  plus the local :class:`NodeFleet` test/chaos harness.
 """
 
 from repro.exec.diskpack import (DiskPack, PackFormatError, PackStore,
@@ -33,6 +41,12 @@ from repro.exec.diskpack import (DiskPack, PackFormatError, PackStore,
 from repro.exec.faults import (ANOMALY_KINDS, FAULT_KINDS, FAULT_PLAN_ENV,
                                FailureLedger, Fault, FaultInjector,
                                FaultPlan, LedgerEntry, random_plan)
+from repro.exec.net import (FrameConnection, FrameCRCError, FrameDecoder,
+                            FrameError, FrameSequenceError, FrameTruncated,
+                            NodeConnectError, TransportError, backoff_delay,
+                            connect_backoff, parse_address)
+from repro.exec.nodes import (NodeAgent, NodeClient, NodeFleet, execute_task,
+                              run_node)
 from repro.exec.pool import (ExecPool, JobSpec, PoolConfig, PoolJobError,
                              PoolStats, search_parallel)
 from repro.exec.results import (decode_result_pairs, encode_result_pairs,
@@ -63,4 +77,8 @@ __all__ = [
     "ANOMALY_KINDS", "FAULT_KINDS", "FAULT_PLAN_ENV",
     "Fault", "FaultInjector", "FaultPlan", "FailureLedger", "LedgerEntry",
     "random_plan",
+    "FrameConnection", "FrameCRCError", "FrameDecoder", "FrameError",
+    "FrameSequenceError", "FrameTruncated", "NodeConnectError",
+    "TransportError", "backoff_delay", "connect_backoff", "parse_address",
+    "NodeAgent", "NodeClient", "NodeFleet", "execute_task", "run_node",
 ]

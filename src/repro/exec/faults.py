@@ -38,6 +38,27 @@ Fault semantics (all applied worker-side):
     scribble into the shared segment before attaching it — the torn
     or corrupted read that CRC verification must catch *before* any
     hit is produced.
+
+Network fault kinds (applied by a socket worker *node* at
+result-send time — see :mod:`repro.exec.nodes`; a pipe worker never
+consults them because a pipe cannot fail these ways):
+
+``disconnect``
+    close the socket abruptly instead of sending the result — the
+    dropped TCP connection; the master sees EOF, requeues to a
+    mirror, and the node's agent survives to accept a reconnect.
+``partition``
+    go completely silent for ``delay`` seconds (no result, no
+    heartbeat replies), then resume — the network partition that is
+    indistinguishable from a hang until it heals; the master's
+    deadlines decide first.
+``delay``
+    sleep ``delay`` then send normally — the slow link; the hedge
+    races it and the late duplicate is discarded as stale.
+``reorder``
+    hold this result and release it *after* the next one — delivery
+    reordering, which per-task keys make harmless and per-connection
+    frame sequence numbers keep distinguishable from loss.
 """
 
 from __future__ import annotations
@@ -49,7 +70,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Recognised fault kinds, in documentation order.
-FAULT_KINDS = ("kill", "hang", "slow", "drop_result", "corrupt_pack")
+FAULT_KINDS = ("kill", "hang", "slow", "drop_result", "corrupt_pack",
+               "disconnect", "partition", "delay", "reorder")
+
+#: The subset applied at result-send time by socket worker nodes;
+#: pipe workers ignore these (a pipe cannot drop, partition, delay,
+#: or reorder by itself).
+NET_FAULT_KINDS = frozenset({"disconnect", "partition", "delay", "reorder"})
 
 #: Environment variable carrying a JSON fault plan (or ``@/path/to``
 #: a JSON file); read by :class:`~repro.exec.pool.ExecPool` when no
@@ -240,6 +267,28 @@ class FaultInjector:
         else:
             frags = tuple(fragment_id)
         return self._take(lambda f: f.kind != "corrupt_pack"
+                          and f.kind not in NET_FAULT_KINDS
+                          and (f.task_index is None
+                               or f.task_index == self._task_no)
+                          and (f.query is None or f.query in queries)
+                          and (f.fragment is None
+                               or f.fragment in frags))
+
+    def on_result(self, query, fragment_id=None) -> Optional[Fault]:
+        """The network fault (if any) armed against the result the
+        worker node is about to send.  Selector semantics match
+        :meth:`on_task` but against the task counter *as already
+        advanced* by the paired ``on_task`` call — the two hooks see
+        the same task index for the same task."""
+        if query is None or isinstance(query, int):
+            queries = (query,)
+        else:
+            queries = tuple(query)
+        if fragment_id is None or isinstance(fragment_id, int):
+            frags = (fragment_id,)
+        else:
+            frags = tuple(fragment_id)
+        return self._take(lambda f: f.kind in NET_FAULT_KINDS
                           and (f.task_index is None
                                or f.task_index == self._task_no)
                           and (f.query is None or f.query in queries)

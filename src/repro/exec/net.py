@@ -1,0 +1,387 @@
+"""Framed socket transport for the multi-node execution runtime.
+
+The paper's cluster runs the master and its workers on *separate*
+nodes; everything the pipe transport in :mod:`repro.exec.pool` does —
+attach, task, result, stop — must therefore also survive a real
+network, where the failure modes are nastier than a dead child
+process: connections drop mid-frame, bytes arrive corrupted, replies
+get delayed past deadlines, and a partitioned peer looks exactly like
+a slow one.  Following the ParaStation lesson from "Fast Parallel I/O
+on Cluster Computers" (PAPERS.md) the transport is engineered
+failure-first:
+
+* every message travels in a **length-prefixed frame** carrying a
+  magic, a type byte, a per-connection **sequence number**, the
+  payload length, and a CRC32 of the payload — a truncated stream,
+  flipped bit, or mis-ordered frame raises a *typed* error
+  (:class:`FrameTruncated`, :class:`FrameCRCError`,
+  :class:`FrameSequenceError`) instead of hanging or deserializing
+  garbage;
+* **heartbeat keepalives** (PING/PONG frames, handled inside the
+  connection so callers never see them) let the master distinguish a
+  live-but-idle node from a silently dead one via
+  :attr:`FrameConnection.last_heard`;
+* connection establishment uses **bounded retry with exponential
+  backoff + jitter** (:func:`connect_backoff`), with the clock, RNG,
+  and connect function injectable so the retry schedule is testable
+  against a fake clock.
+
+:class:`FrameConnection` deliberately mimics the
+``multiprocessing.Connection`` surface (``send`` / ``recv`` / ``poll``
+/ ``fileno`` / ``close``, EOF surfaces as :class:`EOFError`), so the
+pool's single ``connection.wait`` pump serves pipe workers and socket
+nodes side by side without a second event loop.
+"""
+
+from __future__ import annotations
+
+import errno
+import io
+import pickle
+import random
+import select
+import socket
+import struct
+import time
+import zlib
+from collections import deque
+from typing import Callable, Iterator, List, Optional, Tuple
+
+#: Frame magic: 4 bytes at the start of every frame.  A connection that
+#: delivers anything else is not speaking this protocol (or the stream
+#: lost sync), which is a framing error, never a guess.
+FRAME_MAGIC = b"RXF1"
+
+#: Frame types.  DATA carries a pickled message (result payloads inside
+#: it are RRES-encoded blobs — the same columnar codec the shm arena
+#: uses, so the wire format and the arena format are one codec).
+DATA, PING, PONG = b"D", b"P", b"O"
+
+_HEADER = struct.Struct("<4sc Q I I")   # magic, type, seq, length, crc
+HEADER_SIZE = _HEADER.size
+
+#: Sanity cap on a single frame's payload (1 GiB): a corrupted length
+#: field must fail as a framing error, not as a memory allocation.
+MAX_FRAME_PAYLOAD = 1 << 30
+
+#: How many bytes one socket read requests.
+_CHUNK = 1 << 16
+
+
+class TransportError(RuntimeError):
+    """Base class for socket-transport failures."""
+
+
+class FrameError(TransportError):
+    """The byte stream violated the framing protocol."""
+
+
+class FrameTruncated(FrameError):
+    """The connection closed in the middle of a frame."""
+
+
+class FrameCRCError(FrameError):
+    """A frame's payload failed its CRC32 check."""
+
+
+class FrameSequenceError(FrameError):
+    """A frame arrived out of sequence (lost or replayed frame)."""
+
+
+class NodeConnectError(TransportError):
+    """Could not establish a connection within the retry budget."""
+
+
+def encode_frame(ftype: bytes, seq: int, payload: bytes = b"") -> bytes:
+    """One wire frame: header (magic, type, seq, length, crc) + payload."""
+    if len(payload) > MAX_FRAME_PAYLOAD:
+        raise ValueError(f"frame payload of {len(payload)} bytes exceeds "
+                         f"the {MAX_FRAME_PAYLOAD}-byte cap")
+    return _HEADER.pack(FRAME_MAGIC, ftype, seq, len(payload),
+                        zlib.crc32(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser over an arbitrary byte stream.
+
+    ``feed(data)`` buffers bytes; ``frames()`` yields complete
+    ``(type, seq, payload)`` triples, verifying magic, CRC32, and the
+    per-connection sequence number as it goes.  ``check_eof()`` is
+    called by the connection when the peer closes: a partial frame
+    still buffered at that point is a :class:`FrameTruncated`, not a
+    clean EOF.
+    """
+
+    def __init__(self, check_sequence: bool = True):
+        self._buf = bytearray()
+        self._expect_seq = 0
+        self._check_sequence = check_sequence
+        self.frames_in = 0
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> None:
+        self._buf.extend(data)
+
+    def frames(self) -> Iterator[Tuple[bytes, int, bytes]]:
+        while len(self._buf) >= HEADER_SIZE:
+            magic, ftype, seq, length, crc = _HEADER.unpack_from(self._buf)
+            if magic != FRAME_MAGIC:
+                raise FrameError(
+                    f"bad frame magic {bytes(magic)!r} (stream lost sync)")
+            if ftype not in (DATA, PING, PONG):
+                raise FrameError(f"unknown frame type {bytes(ftype)!r}")
+            if length > MAX_FRAME_PAYLOAD:
+                raise FrameError(
+                    f"frame length {length} exceeds the "
+                    f"{MAX_FRAME_PAYLOAD}-byte cap (corrupt header?)")
+            if len(self._buf) < HEADER_SIZE + length:
+                return                      # incomplete; wait for more bytes
+            payload = bytes(self._buf[HEADER_SIZE:HEADER_SIZE + length])
+            del self._buf[:HEADER_SIZE + length]
+            got = zlib.crc32(payload)
+            if got != crc:
+                raise FrameCRCError(
+                    f"frame {seq} payload CRC32 mismatch "
+                    f"(expected {crc:#010x}, got {got:#010x})")
+            if self._check_sequence:
+                if seq != self._expect_seq:
+                    raise FrameSequenceError(
+                        f"expected frame {self._expect_seq}, got {seq} "
+                        f"(lost or replayed frame)")
+                self._expect_seq += 1
+            self.frames_in += 1
+            yield ftype, seq, payload
+
+    def check_eof(self) -> None:
+        """Raise :class:`FrameTruncated` if EOF split a frame."""
+        if self._buf:
+            raise FrameTruncated(
+                f"connection closed mid-frame "
+                f"({len(self._buf)} bytes of an incomplete frame buffered)")
+
+
+class FrameConnection:
+    """A framed, heartbeat-aware message connection over one socket.
+
+    Pipe-compatible surface: ``send(obj)`` / ``recv()`` move pickled
+    Python messages, ``poll(timeout)`` reports whether ``recv`` would
+    return immediately, ``fileno()`` plugs into
+    ``multiprocessing.connection.wait``, and a closed peer surfaces as
+    :class:`EOFError` (clean close at a frame boundary) or
+    :class:`FrameTruncated` (close mid-frame).  PING/PONG keepalives
+    are answered inside ``poll``/``recv`` — callers only ever see DATA
+    messages — and every received frame (of any type) refreshes
+    :attr:`last_heard`, the master's missed-heartbeat signal.
+    """
+
+    def __init__(self, sock: socket.socket, name: str = "peer"):
+        self.name = name
+        self._sock = sock
+        sock.setblocking(True)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - AF_UNIX / socketpair
+            pass
+        self._decoder = FrameDecoder()
+        self._queue: deque = deque()
+        self._send_seq = 0
+        self._eof = False
+        self._closed = False
+        self.last_heard = time.monotonic()
+        self.last_ping = 0.0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # -- outbound ------------------------------------------------------
+    def _send_frame(self, ftype: bytes, payload: bytes = b"") -> None:
+        if self._closed:
+            raise OSError(errno.EBADF, "connection is closed")
+        frame = encode_frame(ftype, self._send_seq, payload)
+        self._send_seq += 1
+        self._sock.sendall(frame)
+        self.bytes_sent += len(frame)
+
+    def send(self, obj) -> None:
+        """Pickle *obj* into one DATA frame.  Raises ``OSError`` when
+        the peer is gone — the same failure surface as a dead pipe."""
+        self._send_frame(DATA, pickle.dumps(obj, pickle.HIGHEST_PROTOCOL))
+
+    def ping(self) -> None:
+        """Send one keepalive frame (the reply refreshes *last_heard*)."""
+        self.last_ping = time.monotonic()
+        self._send_frame(PING)
+
+    # -- inbound -------------------------------------------------------
+    def _on_frame(self, ftype: bytes, payload: bytes) -> None:
+        self.last_heard = time.monotonic()
+        if ftype == DATA:
+            self._queue.append(pickle.loads(payload))
+        elif ftype == PING:
+            try:
+                self._send_frame(PONG)
+            except OSError:  # pragma: no cover - peer died mid-exchange
+                pass
+        # PONG: nothing beyond the last_heard refresh.
+
+    def _read_chunk(self) -> bool:
+        """One blocking socket read; returns False on EOF."""
+        try:
+            data = self._sock.recv(_CHUNK)
+        except (ConnectionResetError, BrokenPipeError):
+            data = b""
+        if not data:
+            self._eof = True
+            return False
+        self.bytes_received += len(data)
+        self._decoder.feed(data)
+        for ftype, _seq, payload in self._decoder.frames():
+            self._on_frame(ftype, payload)
+        return True
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        """True when ``recv`` would return (or raise) immediately."""
+        if self._queue or self._eof:
+            return True
+        if self._closed:
+            raise OSError(errno.EBADF, "connection is closed")
+        deadline = time.monotonic() + max(0.0, timeout or 0.0)
+        while True:
+            left = max(0.0, deadline - time.monotonic())
+            readable, _, _ = select.select([self._sock], [], [], left)
+            if not readable:
+                return False
+            if not self._read_chunk():
+                return True             # EOF pending: recv() raises it
+            if self._queue:
+                return True
+            if time.monotonic() >= deadline:
+                return bool(self._queue)
+
+    def recv(self):
+        """The next DATA message; blocks until one arrives.  A closed
+        peer raises :class:`EOFError` (frame boundary) or
+        :class:`FrameTruncated` (mid-frame)."""
+        while True:
+            if self._queue:
+                return self._queue.popleft()
+            if self._eof:
+                self._decoder.check_eof()
+                raise EOFError(f"{self.name}: connection closed")
+            if self._closed:
+                raise OSError(errno.EBADF, "connection is closed")
+            self._read_chunk()
+
+    # -- plumbing ------------------------------------------------------
+    @property
+    def queued(self) -> int:
+        """Decoded DATA messages waiting in the connection (``recv``
+        returns immediately).  The pool's pump must consult this before
+        blocking in ``connection.wait``: wait() watches the socket fd,
+        and one read can decode *several* frames — messages already
+        buffered here generate no fd activity and would otherwise sit
+        unserved until the peer's next send."""
+        return len(self._queue)
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else ("eof" if self._eof else "open")
+        return f"<FrameConnection {self.name} {state} q={len(self._queue)}>"
+
+
+# ----------------------------------------------------------------------
+def parse_address(value) -> Tuple[str, int]:
+    """``"host:port"`` (or an already-split pair) → ``(host, port)``."""
+    if isinstance(value, (tuple, list)) and len(value) == 2:
+        return str(value[0]), int(value[1])
+    text = str(value).strip()
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"bad node address {value!r}; expected host:port")
+    return host or "127.0.0.1", int(port)
+
+
+def backoff_delay(attempt: int, *, base: float = 0.05, factor: float = 2.0,
+                  max_delay: float = 2.0, jitter: float = 0.25,
+                  rng: Optional[random.Random] = None) -> float:
+    """The delay before retry *attempt* (0-based): capped exponential
+    growth plus proportional jitter so a cluster of reconnecting
+    masters cannot stampede one recovering node in lockstep."""
+    delay = min(max_delay, base * (factor ** max(0, attempt)))
+    if jitter > 0:
+        delay *= 1.0 + jitter * (rng or random).random()
+    return delay
+
+
+def _tcp_connect(address: Tuple[str, int], timeout: float) -> socket.socket:
+    return socket.create_connection(address, timeout=timeout)
+
+
+def connect_backoff(address, *, attempts: int = 5,
+                    base_delay: float = 0.05, factor: float = 2.0,
+                    max_delay: float = 2.0, jitter: float = 0.25,
+                    timeout: float = 2.0,
+                    sleep: Callable[[float], None] = time.sleep,
+                    rng: Optional[random.Random] = None,
+                    connect: Optional[Callable] = None) -> socket.socket:
+    """Connect to *address* with bounded exponential-backoff retries.
+
+    Raises :class:`NodeConnectError` once *attempts* tries have failed;
+    the clock (*sleep*), jitter source (*rng*), and the connect
+    function itself are injectable so the schedule is assertable with a
+    fake clock (no real sockets, no real sleeping).
+    """
+    address = parse_address(address)
+    attempts = max(1, int(attempts))
+    dial = connect or _tcp_connect
+    last: Optional[BaseException] = None
+    for attempt in range(attempts):
+        try:
+            return dial(address, timeout)
+        except OSError as exc:
+            last = exc
+        if attempt + 1 < attempts:
+            sleep(backoff_delay(attempt, base=base_delay, factor=factor,
+                                max_delay=max_delay, jitter=jitter, rng=rng))
+    raise NodeConnectError(
+        f"could not connect to {address[0]}:{address[1]} after "
+        f"{attempts} attempt(s): {last}")
+
+
+# ----------------------------------------------------------------------
+def pack_wire_meta(spec) -> dict:
+    """The picklable metadata a node needs to republish a shipped pack
+    through :func:`repro.exec.shm.publish_pack_bytes` — everything in
+    the :class:`~repro.exec.shm.PackSpec` except the master-local
+    segment name, which the node replaces with its own."""
+    return {
+        "name": spec.name,              # master-side name: the task alias
+        "cache_token": spec.cache_token,
+        "seqtype": spec.seqtype,
+        "fragment_id": spec.fragment_id,
+        "k": spec.k,
+        "base": spec.base,
+        "n_sequences": spec.n_sequences,
+        "total_residues": spec.total_residues,
+        "source_ids": spec.source_ids,
+        "arrays": spec.arrays,
+        "size": spec.size,
+        "checksums": spec.checksums,
+    }

@@ -67,22 +67,24 @@ import numpy as np
 from repro.blast.alphabet import DNA, PROTEIN
 from repro.blast.scankernel import ScanCache, db_token
 from repro.blast.search import (SearchParams, SearchResults,
-                                merge_fragment_results, resolve_ka, search,
-                                search_batch)
+                                merge_fragment_results, resolve_ka, search)
 from repro.blast.seqdb import AA
 from repro.blast.stats import KarlinAltschul, effective_search_space
 from repro.exec.faults import FailureLedger, FaultInjector, FaultPlan
+from repro.exec.net import FrameError, NodeConnectError, backoff_delay
+from repro.exec.nodes import NodeClient, _NodeProcess, execute_task
 from repro.exec.results import (decode_result_pairs, encode_result_pairs,
                                 estimate_payload_size)
 from repro.exec.schedule import (DEFAULT_MAX_QUERY_BATCH, DEFAULT_SCAN_RATE,
                                  DEFAULT_TASK_OVERHEAD_S, GreedyScheduler,
                                  RetriesExceeded, plan_fragments,
-                                 plan_query_batches, plan_task_ranges)
+                                 plan_mirror_groups, plan_query_batches,
+                                 plan_task_ranges)
 from repro.exec.shm import (ArenaSpec, AttachedPack, PackDB,
                             PackIntegrityError, PackSpec, ResultArena,
                             ShmRegistry, corrupt_segment, default_registry,
                             ensure_tracker, pack_fragment,
-                            publish_pack_bytes)
+                            publish_pack_bytes, read_pack_bytes)
 
 #: Adaptive soft-deadline floor and multiplier: with no observed task
 #: times yet a task is hedge-eligible after this many seconds; once an
@@ -167,9 +169,17 @@ class PoolStats:
     respawn_attempts: int = 0
     hang_kills: int = 0
     integrity_failures: int = 0
-    #: Result payloads shipped through the shm arena vs pickled inline.
+    #: Result payloads shipped through the shm arena vs pickled inline
+    #: vs RRES blobs framed over a node socket.
     arena_results: int = 0
     inline_results: int = 0
+    remote_results: int = 0
+    #: Remote nodes re-dialed (successfully) during this run; these
+    #: also count into ``respawns`` — a reconnect *is* the socket
+    #: transport's respawn.
+    reconnects: int = 0
+    #: Idle nodes declared dead for missing heartbeats.
+    heartbeat_losses: int = 0
     fallback: bool = False
 
 
@@ -187,6 +197,9 @@ class _Worker:
     #: run is still recognised — and reaped — across run boundaries.
     busy: Optional[tuple] = None
     busy_since: float = 0.0
+    #: The :class:`~repro.exec.nodes.NodeClient` behind a remote
+    #: worker; ``None`` for a local pipe worker.
+    remote: Optional[NodeClient] = None
 
 
 @dataclass
@@ -196,6 +209,12 @@ class _PreparedDB:
     key: tuple                       # (token, version, k, base, n_fragments)
     specs: List[PackSpec]
     ids_by_name: Dict[str, List[int]]
+    #: CEFT-style mirror placement (empty without nodes): fragment
+    #: index groups, the node ranks holding each group, and per-pack
+    #: name → holder ranks.
+    groups: List[Tuple[int, ...]] = field(default_factory=list)
+    group_nodes: List[Tuple[int, ...]] = field(default_factory=list)
+    placement: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
 
 
 # ----------------------------------------------------------------------
@@ -300,40 +319,14 @@ def _worker_main(rank: int, conn, cfg: PoolConfig,
                 try:
                     if cfg.task_sleep > 0:
                         time.sleep(cfg.task_sleep)
-                    specs = [jobs[q] for q in qis]
-                    t0 = time.perf_counter()
-                    pairs = []
-                    for name in names:
-                        pack, db = packs[name]
-                        if len(specs) == 1:
-                            job = specs[0]
-                            res = search(job.query, db, job.scheme,
-                                         job.params, query_id=job.query_id,
-                                         ka=job.ka,
-                                         both_strands=job.both_strands,
-                                         engine="scan", scan_cache=cache,
-                                         effective_space=job.effective_space)
-                            pairs.append((name, qis[0], res))
-                        else:
-                            # Multi-query batch: one pass over this pack
-                            # for every query in the group.  scheme /
-                            # params / ka / both_strands are batch-wide
-                            # (search_many builds them once); the
-                            # effective space is per query.
-                            job = specs[0]
-                            batch_res = search_batch(
-                                [s.query for s in specs], db, job.scheme,
-                                job.params,
-                                query_ids=[s.query_id for s in specs],
-                                ka=job.ka, both_strands=job.both_strands,
-                                engine="scan", scan_cache=cache,
-                                effective_spaces=[s.effective_space
-                                                  for s in specs])
-                            for q, res in zip(qis, batch_res):
-                                pairs.append((name, q, res))
-                        fragments_done.append(pack.spec.fragment_id)
+                    # The execution core is shared with the socket node
+                    # agent (repro.exec.nodes): one implementation, two
+                    # transports, byte-identical either way.
+                    pairs, elapsed, done_ids = execute_task(
+                        packs, jobs, qis, names, cache)
+                    fragments_done.extend(done_ids)
                     conn.send(("result", rank, qis, names, _ship(pairs),
-                               time.perf_counter() - t0, epoch))
+                               elapsed, epoch))
                 except Exception:
                     conn.send(("error", rank, qis, names,
                                traceback.format_exc(), epoch))
@@ -434,6 +427,27 @@ class ExecPool:
         :func:`~repro.blast.search.search_batch`.  ``0`` (or ``1``)
         disables batching — one query per task, the pre-batch
         protocol.
+    ``nodes`` / ``replication``
+        remote worker nodes (``host:port`` strings or pairs; see
+        :mod:`repro.exec.nodes`; ``REPRO_EXEC_NODES`` comma list /
+        ``REPRO_EXEC_REPLICATION``).  Fragment packs are shipped once
+        per holding node, every fragment is mirrored onto
+        ``replication`` nodes (CEFT-style, default 2, clamped to the
+        node count), and the scheduler prefers the nodes already
+        holding a fragment.  A node death re-issues its tasks to a
+        mirror — a re-read, not a re-ship; losing the *last* mirror
+        of any pending fragment fails the job into the usual serial
+        fallback (exit code 5 semantics), never a partial result.
+        With nodes configured, ``jobs`` may be 0 (remote-only pool);
+        local workers, when present, hold every fragment and are
+        eligible for everything.
+    ``node_timeout``
+        seconds of heartbeat silence from an *idle* node before it is
+        declared dead (``REPRO_EXEC_NODE_TIMEOUT``, default
+        ``max(1.0, 5 * heartbeat)``); a *busy* node is covered by the
+        hard task deadline.  Dead nodes are re-dialed with bounded
+        exponential backoff + jitter under the same respawn budget as
+        local workers.
 
     Every recovery action is appended to :attr:`ledger`, a
     :class:`~repro.exec.faults.FailureLedger` spanning the pool's
@@ -459,10 +473,28 @@ class ExecPool:
                  task_overhead: Optional[float] = None,
                  result_arena_bytes: Optional[int] = None,
                  arena_threshold: Optional[int] = None,
-                 start_timeout: float = 30.0):
+                 start_timeout: float = 30.0,
+                 nodes: Optional[Sequence] = None,
+                 replication: Optional[int] = None,
+                 node_timeout: Optional[float] = None,
+                 node_connect_attempts: int = 3):
+        if nodes is None:
+            raw = os.environ.get("REPRO_EXEC_NODES") or ""
+            nodes = [a for a in raw.split(",") if a.strip()] or None
+        from repro.exec.net import parse_address
+        self.node_addresses = [parse_address(a) for a in (nodes or [])]
+        if replication is None:
+            raw = os.environ.get("REPRO_EXEC_REPLICATION") or ""
+            replication = int(raw) if raw.strip() else 2
+        self.replication = max(1, int(replication))
+        self.node_connect_attempts = max(1, int(node_connect_attempts))
+        if jobs is None and self.node_addresses:
+            jobs = 0            # remote-only by default when nodes given
         self.jobs = (os.cpu_count() or 1) if jobs is None else int(jobs)
-        if self.jobs < 1:
-            raise ValueError("jobs must be >= 1")
+        if self.jobs < 1 and not self.node_addresses:
+            raise ValueError("jobs must be >= 1 (or give nodes=...)")
+        if self.jobs < 0:
+            raise ValueError("jobs must be >= 0")
         self.default_fragments = n_fragments
         self.max_retries = max_retries
         if task_sleep is None:
@@ -504,13 +536,27 @@ class ExecPool:
         self.task_timeout = (task_timeout if task_timeout is not None
                              else _env_opt_float("REPRO_EXEC_TASK_TIMEOUT"))
         self.respawn = respawn
-        self.max_respawns = (2 * self.jobs + 2 if max_respawns is None
+        n_slots = self.jobs + len(self.node_addresses)
+        self.max_respawns = (2 * n_slots + 2 if max_respawns is None
                              else int(max_respawns))
         self.serial_fallback = serial_fallback
         self.min_workers = max(1, int(min_workers))
         self._start_timeout = start_timeout
+        self.node_timeout = (
+            node_timeout if node_timeout is not None
+            else _env_opt_float("REPRO_EXEC_NODE_TIMEOUT"))
         self._registry: ShmRegistry = default_registry()
         self._workers: List[_Worker] = []
+        #: rank -> NodeClient for every configured node (connected or
+        #: not) — close() aborts these regardless of worker-slot state,
+        #: so a client whose connection never made it into _workers
+        #: (a death mid-_ensure_capacity) cannot leak a half-open
+        #: socket.
+        self._node_clients: Dict[int, NodeClient] = {}
+        #: Transports created but never installed into a worker slot
+        #: (e.g. a pipe pair whose process failed to start); close()
+        #: sweeps them.
+        self._strays: List[object] = []
         self._prepared: Dict[tuple, _PreparedDB] = {}
         self._arenas: Dict[int, ResultArena] = {}
         self._pack_residues: Dict[str, int] = {}
@@ -550,7 +596,20 @@ class ExecPool:
             target=_worker_main, args=(rank, child_conn, cfg or self._cfg,
                                        arena.spec if arena else None),
             name=f"repro-exec-{rank}", daemon=True)
-        proc.start()
+        try:
+            proc.start()
+        except BaseException:
+            # A failed fork/spawn must not leak the pipe pair: nothing
+            # downstream will ever see this transport, so close both
+            # ends here and let close() sweep the registered strays of
+            # any end a racing failure left half-open.
+            for end in (parent_conn, child_conn):
+                self._strays.append(end)
+                try:
+                    end.close()
+                except OSError:  # pragma: no cover
+                    pass
+            raise
         child_conn.close()
         return _Worker(rank, proc, parent_conn)
 
@@ -578,6 +637,34 @@ class ExecPool:
         for w in self._workers:
             if not self._await_ready(w):
                 raise PoolJobError(f"worker {w.rank} failed to start")
+        # Remote workers: one slot per configured node, ranks above the
+        # local ones.  An unreachable node starts as a dead slot — the
+        # reconnect machinery keeps re-dialing it under backoff, and
+        # the mirror placement covers its fragments meanwhile.
+        for i, address in enumerate(self.node_addresses):
+            rank = self.jobs + i
+            client = NodeClient(
+                address, rank,
+                connect_attempts=self.node_connect_attempts)
+            self._node_clients[rank] = client
+            w = _Worker(rank, _NodeProcess(client), None, alive=False,
+                        remote=client)
+            try:
+                client.connect()
+            except NodeConnectError as exc:
+                self.ledger.record("node_unreachable", rank=rank,
+                                   detail=str(exc))
+                warnings.warn(f"worker node {client.label} unreachable at "
+                              f"start ({exc}); continuing without it",
+                              RuntimeWarning, stacklevel=2)
+            else:
+                w.conn = client.conn
+                w.alive = True
+            self._workers.append(w)
+        if not self._live():
+            raise PoolJobError(
+                f"no workers came up ({self.jobs} local, "
+                f"{len(self.node_addresses)} nodes)")
         self._started = True
         return self
 
@@ -591,8 +678,15 @@ class ExecPool:
         return [w for w in self._workers if w.alive]
 
     def worker_pids(self) -> Dict[int, int]:
-        """rank -> pid of the live workers (fault-injection hook)."""
-        return {w.rank: w.process.pid for w in self._live()}
+        """rank -> pid of the live *local* workers (fault-injection
+        hook); remote nodes are not ours to signal."""
+        return {w.rank: w.process.pid for w in self._live()
+                if w.remote is None}
+
+    def node_ship_stats(self) -> List[dict]:
+        """Per-node pack shipping counters (ship-once accounting)."""
+        return [self._node_clients[r].ship_stats()
+                for r in sorted(self._node_clients)]
 
     # ------------------------------------------------------------------
     def _respawn_slot(self, idx: int,
@@ -654,14 +748,84 @@ class ExecPool:
         except OSError:  # pragma: no cover
             pass
 
+    def _reconnect_slot(self, idx: int,
+                        stats: Optional[PoolStats] = None,
+                        force: bool = False) -> Optional[_Worker]:
+        """Re-dial the dead remote worker in slot *idx* and re-ship (or
+        re-adopt) every pack its mirror placement assigns it.
+
+        Paced by per-client exponential backoff + jitter: a node that
+        stays down costs one quick refused dial per backoff window, not
+        per pump tick.  Each *actual* attempt consumes respawn budget,
+        exactly like a local respawn.  A reconnected node that still
+        holds its packs (network blip, agent survived) re-registers
+        them by identity — the adopt path — so recovery ships ~0 bytes.
+        """
+        w = self._workers[idx]
+        client = w.remote
+        now = time.monotonic()
+        if not force and now < client.retry_at:
+            return None
+        if stats is not None:
+            stats.respawn_attempts += 1
+        try:
+            # The hello wait runs inside the single-threaded pump: a
+            # port that accepts but never answers (agent dead, its
+            # supervisor still holds the listening socket) must cost
+            # one node-timeout, not the generous session-start default.
+            client.connect(
+                attempts=1,
+                hello_timeout=self.node_timeout or max(
+                    1.0, 5 * self._heartbeat))
+        except NodeConnectError as exc:
+            client.retry_n += 1
+            client.retry_at = now + backoff_delay(client.retry_n,
+                                                  base=0.2, max_delay=5.0)
+            self.ledger.record("reconnect_failed", rank=w.rank,
+                               detail=str(exc))
+            return None
+        try:
+            self._ship_packs_to(client)
+        except (OSError, EOFError, FrameError) as exc:
+            client.abort()
+            client.retry_n += 1
+            client.retry_at = now + backoff_delay(client.retry_n,
+                                                  base=0.2, max_delay=5.0)
+            self.ledger.record("reconnect_failed", rank=w.rank,
+                               detail=f"died during pack re-ship: {exc}")
+            return None
+        w.conn = client.conn
+        w.alive = True
+        w.busy = None
+        w.jobs_sent.clear()
+        self.total_respawns += 1
+        if stats is not None:
+            stats.respawns += 1
+            stats.reconnects += 1
+        self.ledger.record("reconnect", rank=w.rank, detail=client.label)
+        return w
+
+    def _recover_slot(self, idx: int,
+                      stats: Optional[PoolStats] = None) -> Optional[_Worker]:
+        w = self._workers[idx]
+        if w.remote is not None:
+            return self._reconnect_slot(idx, stats)
+        return self._respawn_slot(idx, stats)
+
     def _ensure_capacity(self) -> int:
-        """Respawn every dead slot (between-runs capacity recovery)."""
+        """Recover every dead slot (between-runs capacity recovery):
+        local slots respawn, remote slots re-dial (ignoring backoff
+        pacing — a new run is worth one fresh dial per node)."""
         if not self.respawn or self._closed:
             return 0
         restored = 0
         for idx, w in enumerate(self._workers):
-            if not w.alive and self._respawn_slot(idx) is not None:
-                restored += 1
+            if w.alive:
+                continue
+            if w.remote is not None:
+                restored += self._reconnect_slot(idx, force=True) is not None
+            else:
+                restored += self._respawn_slot(idx) is not None
         return restored
 
     def _maybe_respawn(self, stats: PoolStats) -> None:
@@ -669,12 +833,14 @@ class ExecPool:
         *attempts* (not successes): one worker death must consume at
         most one unit even when its send failure and the liveness
         sweep both observe it, and a slot whose replacements keep
-        dying cannot burn the pump loop on endless spawns."""
+        dying cannot burn the pump loop on endless spawns.  Remote
+        slots additionally pace themselves with per-client backoff, so
+        a hard-down node consumes budget slowly instead of instantly."""
         if not self.respawn:
             return
         for idx, w in enumerate(self._workers):
             if not w.alive and stats.respawn_attempts < self.max_respawns:
-                self._respawn_slot(idx, stats)
+                self._recover_slot(idx, stats)
 
     # ------------------------------------------------------------------
     def _prepare(self, db, k: int, base: int,
@@ -683,7 +849,8 @@ class ExecPool:
             return self._prepare_from_store(db, k, base)
         token = db_token(db)
         version = getattr(db, "_version", 0)
-        nf = n_fragments or max(1, min(len(db) or 1, 2 * self.jobs))
+        n_slots = self.jobs + len(self.node_addresses)
+        nf = n_fragments or max(1, min(len(db) or 1, 2 * n_slots))
         key = (token, version, k, base, nf)
         prep = self._prepared.get(key)
         if prep is not None:
@@ -757,21 +924,59 @@ class ExecPool:
         for kk in stale:
             self._release_prepared(self._prepared.pop(kk))
 
+    def _node_ranks(self) -> List[int]:
+        return sorted(self._node_clients)
+
     def _install_prepared(self, key: tuple,
                           specs: List[PackSpec]) -> _PreparedDB:
         prep = _PreparedDB(key=key, specs=specs,
                            ids_by_name={s.name: list(s.source_ids)
                                         for s in specs})
+        if specs and self._node_clients:
+            # CEFT-style mirror placement over the configured node
+            # ranks (dead ones included: they may reconnect, and their
+            # groups' other mirrors cover them meanwhile).
+            groups, group_nodes = plan_mirror_groups(
+                [s.total_residues for s in specs],
+                self._node_ranks(), self.replication)
+            prep.groups = groups
+            prep.group_nodes = group_nodes
+            prep.placement = {specs[i].name: group_nodes[g]
+                              for g, idx in enumerate(groups)
+                              for i in idx}
         for s in specs:
             self._pack_residues[s.name] = s.total_residues
         for w in self._live():
+            if w.remote is not None:
+                continue            # nodes get pack bytes, not shm names
             try:
                 for spec in specs:
                     w.conn.send(("attach", spec))
             except OSError:
                 w.alive = False
         self._prepared[key] = prep
+        for w in self._live():
+            if w.remote is None:
+                continue
+            try:
+                self._ship_packs_to(w.remote)
+            except (OSError, EOFError, FrameError) as exc:
+                w.remote.abort()
+                w.alive = False
+                self.ledger.record("node_ship_failed", rank=w.rank,
+                                   detail=str(exc))
         return prep
+
+    def _ship_packs_to(self, client: NodeClient) -> int:
+        """Ship (or adopt) every pack *client*'s placement assigns it,
+        across all prepared fragment sets; returns bytes sent."""
+        sent = 0
+        for prep in self._prepared.values():
+            for spec in prep.specs:
+                holders = prep.placement.get(spec.name, ())
+                if client.rank in holders:
+                    sent += client.ship(spec)
+        return sent
 
     def _release_prepared(self, prep: _PreparedDB,
                           notify: bool = True) -> None:
@@ -840,6 +1045,10 @@ class ExecPool:
         stats.worker_deaths.append(w.rank)
         self.ledger.record("worker_death", rank=w.rank,
                            task=w.busy[1:] if w.busy else None)
+        if w.remote is not None:
+            # Drop the socket now: a half-dead connection must not
+            # keep waking the pump, and the reconnect path dials fresh.
+            w.remote.abort()
         try:
             w.process.join(timeout=min(0.5, self.join_timeout))
         except Exception:  # pragma: no cover
@@ -882,6 +1091,12 @@ class ExecPool:
         if mode == "inline":
             stats.inline_results += 1
             return payload[1]
+        if mode == "blob":
+            # Socket-node result: the RRES blob travelled inside a
+            # CRC-checked frame, so the codec's own truncation guards
+            # are the only verification left to do here.
+            stats.remote_results += 1
+            return decode_result_pairs(payload[1])
         _, offset, nbytes, crc = payload
         arena = self._arenas.get(w.rank)
         if arena is None:
@@ -892,8 +1107,11 @@ class ExecPool:
         return decode_result_pairs(arena.read(offset, nbytes, crc))
 
     def _hedge_candidate(self, sched: GreedyScheduler, epoch: int,
-                         now: float, soft: float) -> Optional[tuple]:
-        """The most-overdue unhedged current-run task, if any."""
+                         now: float, soft: float,
+                         rank: Optional[int] = None) -> Optional[tuple]:
+        """The most-overdue unhedged current-run task — restricted,
+        when *rank* is given, to tasks that worker is eligible for
+        (a node cannot hedge a fragment range it does not hold)."""
         best, best_age = None, soft
         for w in self._live():
             if w.busy is None or w.busy[0] != epoch:
@@ -901,17 +1119,21 @@ class ExecPool:
             key = (w.busy[1], w.busy[2])
             if sched.is_completed(key) or sched.holder_count(key) != 1:
                 continue
+            if rank is not None and not sched.eligible(rank, key):
+                continue
             age = now - w.busy_since
             if age > best_age:
                 best, best_age = key, age
         return best
 
     def _run_tasks(self, jobs: Dict[int, JobSpec],
-                   tasks: Sequence[Tuple[tuple, float]]
+                   tasks: Sequence[Tuple[tuple, float]],
+                   affinity: Optional[Dict[tuple, Tuple[int, ...]]] = None
                    ) -> Tuple[Dict[int, Dict[str, SearchResults]], PoolStats]:
         self._epoch += 1
         epoch = self._epoch
-        sched = GreedyScheduler(tasks, max_retries=self.max_retries)
+        sched = GreedyScheduler(tasks, max_retries=self.max_retries,
+                                affinity=affinity)
         stats = PoolStats()
         results: Dict[int, Dict[str, SearchResults]] = {qi: {} for qi in jobs}
 
@@ -966,6 +1188,33 @@ class ExecPool:
                         pass
                     err = self._handle_death(w, sched, stats, epoch)
                     failure = failure or err
+            # Missed-heartbeat detection for *idle* remote workers: a
+            # busy one is covered by the hard deadline above, but an
+            # idle node that stops answering PINGs would otherwise
+            # look healthy forever.  PINGs are rate-limited to the
+            # heartbeat interval; PONGs refresh last_heard inside the
+            # connection's poll/recv.
+            node_timeout = self.node_timeout or max(
+                1.0, 5 * self._heartbeat)
+            for w in self._live():
+                if w.remote is None or w.busy is not None:
+                    continue
+                conn = w.conn
+                if now - conn.last_ping >= self._heartbeat:
+                    try:
+                        conn.ping()
+                    except OSError:
+                        err = self._handle_death(w, sched, stats, epoch)
+                        failure = failure or err
+                        continue
+                if now - conn.last_heard > node_timeout:
+                    stats.heartbeat_losses += 1
+                    self.ledger.record(
+                        "heartbeat_lost", rank=w.rank,
+                        detail=f"silent {now - conn.last_heard:.2f}s "
+                               f"> {node_timeout:.2f}s")
+                    err = self._handle_death(w, sched, stats, epoch)
+                    failure = failure or err
             if failure is None:
                 self._maybe_respawn(stats)
             else:
@@ -975,18 +1224,39 @@ class ExecPool:
             live = self._live()
             if len(live) < self.min_workers:
                 failure = failure or PoolJobError(
-                    f"pool collapsed to {len(live)}/{self.jobs} workers "
+                    f"pool collapsed to {len(live)}/"
+                    f"{len(self._workers)} workers "
                     f"(min_workers={self.min_workers}; "
                     f"deaths: {stats.worker_deaths})")
                 if not live:
                     break
-            # Greedy dispatch: every idle worker gets the next task.
+            # Last-mirror loss: pending work whose every eligible
+            # holder is dead can never drain.  Fail the job now — the
+            # serial fallback serves it whole — instead of waiting on
+            # a reconnect that may never come.
+            if failure is None:
+                stranded = sched.unplaceable([w.rank for w in live])
+                if stranded:
+                    self.ledger.record(
+                        "mirror_lost", task=stranded[0],
+                        detail=f"{len(stranded)} task(s) lost their last "
+                               f"holder (deaths: {stats.worker_deaths})")
+                    failure = PoolJobError(
+                        f"{len(stranded)} pending task(s) lost the last "
+                        f"node holding their fragments "
+                        f"(deaths: {stats.worker_deaths})")
+                    sched.drop_pending()
+            # Greedy dispatch: every idle worker gets the next task it
+            # is eligible for (locality: its own fragments first).
             for w in live:
                 if failure is not None or not sched.has_pending:
                     break
                 if not w.alive or w.busy is not None:
                     continue
-                qis, names = sched.assign(w.rank)
+                task = sched.assign(w.rank)
+                if task is None:
+                    continue        # nothing this worker can serve
+                qis, names = task
                 err = self._send_task(w, jobs, qis, names,
                                       epoch, sched, stats)
                 failure = failure or err
@@ -999,9 +1269,10 @@ class ExecPool:
                 for w in live:
                     if not w.alive or w.busy is not None:
                         continue
-                    cand = self._hedge_candidate(sched, epoch, now, soft)
+                    cand = self._hedge_candidate(sched, epoch, now, soft,
+                                                 rank=w.rank)
                     if cand is None:
-                        break
+                        continue
                     sched.hedge(w.rank, cand)
                     stats.hedges += 1
                     self.ledger.record("hedge", rank=w.rank, task=cand)
@@ -1013,11 +1284,32 @@ class ExecPool:
             conns = {w.conn: w for w in self._live()}
             if not conns:
                 continue
-            ready = wait(list(conns), timeout=self._heartbeat)
+            # Buffered socket messages first: wait() watches fds, but
+            # one socket read can decode several frames — a message
+            # already queued inside a FrameConnection generates no fd
+            # activity and would otherwise wait for the peer's next
+            # send (or the hard deadline) to be noticed.
+            ready = [c for c in conns if getattr(c, "queued", 0)]
+            if not ready:
+                ready = wait(list(conns), timeout=self._heartbeat)
             for conn in ready:
                 w = conns[conn]
                 try:
+                    # A socket wakeup may carry only a control frame
+                    # (PONG); poll(0) absorbs those and answers whether
+                    # a data message is actually queued.  A framing
+                    # violation (bad CRC, bad magic, sequence gap) is a
+                    # typed transport error, handled as a node death —
+                    # never a hang, never a silently-accepted payload.
+                    if not conn.poll(0):
+                        continue
                     msg = conn.recv()
+                except FrameError as exc:
+                    self.ledger.record("transport_error", rank=w.rank,
+                                       detail=str(exc))
+                    err = self._handle_death(w, sched, stats, epoch)
+                    failure = failure or err
+                    continue
                 except (EOFError, OSError):
                     err = self._handle_death(w, sched, stats, epoch)
                     failure = failure or err
@@ -1170,7 +1462,6 @@ class ExecPool:
         verification always raises
         :class:`~repro.exec.shm.PackIntegrityError`.
         """
-        self.start()
         params = params or SearchParams()
         is_protein = db.seqtype == AA
         base = len(PROTEIN) if is_protein else len(DNA)
@@ -1181,6 +1472,15 @@ class ExecPool:
             raise ValueError("query_ids must match queries")
         if not queries:
             return []
+        try:
+            self.start()
+        except PoolJobError as exc:
+            # Startup collapse (every node unreachable, every local
+            # spawn failed) degrades exactly like a mid-run collapse.
+            if not self.serial_fallback or self._closed:
+                raise
+            return self._serial_rescue(queries, query_ids, db, scheme,
+                                       params, both_strands, exc)
 
         ka = resolve_ka(scheme, params, is_protein)
         prep = self._prepare(db, params.word_size, base,
@@ -1203,18 +1503,52 @@ class ExecPool:
         else:
             qgroups = [(qi,) for qi in jobs]
         weights = [float(spec.total_residues) for spec in prep.specs]
-        ranges = plan_task_ranges(
-            weights, n_queries=len(qgroups), jobs=self.jobs,
-            granularity=self.task_granularity,
-            overhead_s=self.task_overhead,
-            scan_rate=self._rate_ema or DEFAULT_SCAN_RATE,
-            queries_per_task=max((len(g) for g in qgroups), default=1))
-        tasks = [((qg, tuple(prep.specs[i].name for i in rng)),
-                  len(qg) * sum(weights[i] for i in rng))
-                 for qg in qgroups for rng in ranges]
+        local_ranks = tuple(range(self.jobs))
+        range_affinity: List[Optional[Tuple[int, ...]]] = []
+        if prep.groups and any(prep.group_nodes):
+            # Mirror-aware planning: ranges are cut *inside* each
+            # placement group so no task ever spans fragments held by
+            # different node sets.  Each range's affinity lists the
+            # group's holders (primary rotated across the mirrors for
+            # balance) plus every local rank — local workers attach all
+            # packs and stay eligible for everything.
+            n_slots = max(1, self.jobs + len(self.node_addresses))
+            ranges = []
+            for g, idx in enumerate(prep.groups):
+                gjobs = max(1, round(n_slots * len(idx)
+                                     / max(1, len(prep.specs))))
+                for j, rng in enumerate(plan_task_ranges(
+                        [weights[i] for i in idx],
+                        n_queries=len(qgroups), jobs=gjobs,
+                        granularity=self.task_granularity,
+                        overhead_s=self.task_overhead,
+                        scan_rate=self._rate_ema or DEFAULT_SCAN_RATE,
+                        queries_per_task=max((len(g) for g in qgroups),
+                                             default=1))):
+                    ranges.append(tuple(idx[i] for i in rng))
+                    gn = prep.group_nodes[g]
+                    rot = gn[j % len(gn):] + gn[:j % len(gn)] if gn else ()
+                    range_affinity.append(rot + local_ranks)
+        else:
+            ranges = plan_task_ranges(
+                weights, n_queries=len(qgroups), jobs=self.jobs,
+                granularity=self.task_granularity,
+                overhead_s=self.task_overhead,
+                scan_rate=self._rate_ema or DEFAULT_SCAN_RATE,
+                queries_per_task=max((len(g) for g in qgroups), default=1))
+            range_affinity = [None] * len(ranges)
+        tasks = []
+        affinity: Dict[tuple, Tuple[int, ...]] = {}
+        for qg in qgroups:
+            for rng, aff in zip(ranges, range_affinity):
+                key = (qg, tuple(prep.specs[i].name for i in rng))
+                tasks.append((key, len(qg) * sum(weights[i] for i in rng)))
+                if aff is not None:
+                    affinity[key] = aff
         if tasks:
             try:
-                results, _stats = self._run_tasks(jobs, tasks)
+                results, _stats = self._run_tasks(jobs, tasks,
+                                                  affinity or None)
             except PackIntegrityError:
                 raise               # never served silently — see shm.py
             except PoolJobError as exc:
@@ -1263,11 +1597,11 @@ class ExecPool:
         for w in self._live():
             try:
                 w.conn.send(("stop",))
-            except OSError:
+            except (OSError, FrameError):
                 w.alive = False
         for w in self._workers:
             deadline = time.monotonic() + self.join_timeout
-            if w.alive:
+            if w.alive and w.conn is not None:
                 try:
                     while True:
                         left = deadline - time.monotonic()
@@ -1275,7 +1609,7 @@ class ExecPool:
                             break
                         if w.conn.recv()[0] == "stopped":
                             break
-                except (EOFError, OSError):
+                except (EOFError, OSError, FrameError):
                     pass
             w.process.join(timeout=max(0.0, deadline - time.monotonic()))
             if w.process.is_alive():
@@ -1284,11 +1618,24 @@ class ExecPool:
             if w.process.is_alive():  # pragma: no cover - SIGTERM immune
                 w.process.kill()
                 w.process.join()
-            try:
-                w.conn.close()
-            except OSError:  # pragma: no cover
-                pass
+            if w.conn is not None:
+                try:
+                    w.conn.close()
+                except OSError:  # pragma: no cover
+                    pass
             w.alive = False
+        # Node clients are aborted regardless of worker-slot state:
+        # a connection opened during a failed _ensure_capacity (or a
+        # reconnect that never made it back into a slot) must not
+        # survive close() as a half-open socket.
+        for client in self._node_clients.values():
+            client.abort()
+        for end in self._strays:
+            try:
+                end.close()
+            except Exception:  # pragma: no cover - best effort
+                pass
+        self._strays.clear()
         for key in list(self._prepared):
             self._release_prepared(self._prepared.pop(key), notify=False)
         for arena in self._arenas.values():

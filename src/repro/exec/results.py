@@ -112,11 +112,23 @@ def decode_result_pairs(blob: bytes
     if blob[:len(_MAGIC)] != _MAGIC:
         raise ValueError("not an encoded result blob (bad magic)")
     pos = len(_MAGIC)
+    if len(blob) < pos + 8:
+        raise ValueError("truncated result blob (header length cut short)")
     hlen = int.from_bytes(blob[pos:pos + 8], "little")
     pos += 8
+    if len(blob) < pos + hlen:
+        raise ValueError("truncated result blob (header cut short)")
     header = json.loads(blob[pos:pos + hlen])
     pos += hlen
     n_hits, n_hsps = header["n_hits"], header["n_hsps"]
+    expect = (pos + (n_hits * _HIT_COLS + n_hsps * _HSP_ICOLS) * 8
+              + n_hsps * _HSP_FCOLS * 8
+              + header["desc_bytes"] + header["ops_bytes"])
+    if len(blob) < expect:
+        # Explicit guard: byte-blob slices further down would silently
+        # shorten, decoding truncated descriptions as valid results.
+        raise ValueError(f"truncated result blob ({len(blob)} bytes, "
+                         f"header describes {expect})")
     hit_arr = np.frombuffer(blob, dtype=np.int64, count=n_hits * _HIT_COLS,
                             offset=pos).reshape(-1, _HIT_COLS)
     pos += hit_arr.nbytes

@@ -174,10 +174,22 @@ def plan_task_ranges(weights: Sequence[float], n_queries: int, jobs: int,
         # Not enough work to amortize that many round-trips; shrink to
         # the amortized count but never below what keeps workers fed.
         c = min(n, max(c_amortize, c_capacity))
+    return weighted_contiguous_cuts(weights, c)
+
+
+def weighted_contiguous_cuts(weights: Sequence[float],
+                             c: int) -> List[Tuple[int, ...]]:
+    """Cut ``range(len(weights))`` into *c* contiguous, non-empty index
+    ranges with boundaries at equal shares of cumulative weight, so a
+    fat fragment does not land a fat range.  Shared by the task-range
+    planner and the mirror-group planner — both need the same
+    balance-under-contiguity primitive."""
+    n = len(weights)
+    indices = list(range(n))
+    c = max(1, min(int(c), n))
     if c <= 1:
         return [tuple(indices)]
-    # Weight-aware contiguous cuts: place boundaries at equal shares of
-    # cumulative weight, so a fat fragment does not land a fat range.
+    total_w = float(sum(weights))
     cum = []
     acc = 0.0
     for w in weights:
@@ -197,22 +209,64 @@ def plan_task_ranges(weights: Sequence[float], n_queries: int, jobs: int,
     return [tuple(indices[cuts[j]:cuts[j + 1]]) for j in range(c)]
 
 
+def plan_mirror_groups(weights: Sequence[float],
+                       node_ranks: Sequence[int], replication: int
+                       ) -> Tuple[List[Tuple[int, ...]],
+                                  List[Tuple[int, ...]]]:
+    """CEFT-style fragment placement: contiguous, weight-balanced
+    fragment groups, each mirrored onto *replication* nodes.
+
+    Returns ``(groups, group_nodes)``: ``groups[g]`` is the tuple of
+    fragment indices in group *g*, ``group_nodes[g]`` the node ranks
+    holding a full copy of every fragment in it.  Mirrors are the
+    rotationally-next nodes (group *g* lives on nodes ``g, g+1, …``
+    mod the node count — the paper's RAID-10-over-CEFT-PVFS stripe
+    layout), so replicas spread evenly and losing any single node
+    leaves every group with at least one surviving holder whenever
+    ``replication >= 2``.  With no nodes at all the placement is empty
+    (the pool serves everything locally).
+    """
+    nodes = list(node_ranks)
+    n = len(weights)
+    if not nodes or n == 0:
+        return ([tuple(range(n))] if n else []), ([()] if n else [])
+    r = max(1, min(int(replication), len(nodes)))
+    groups = weighted_contiguous_cuts(weights, min(len(nodes), n))
+    group_nodes = [tuple(nodes[(g + j) % len(nodes)] for j in range(r))
+                   for g in range(len(groups))]
+    return groups, group_nodes
+
+
 class GreedyScheduler:
     """Hand tasks to idle workers, heaviest first, requeue on failure.
 
     *tasks* is an iterable of ``(key, weight)`` pairs; keys must be
     hashable and unique.  The scheduler never talks to processes — the
     pool translates ``assign``/``complete``/``fail`` into messages.
+
+    *affinity* (optional) maps a task key to the ordered tuple of
+    worker ranks that can serve it — in the multi-node runtime, the
+    nodes holding the task's fragment packs (primary first) plus any
+    local workers.  ``assign`` then implements the paper's "original"
+    locality scheme as a cache policy: an idle worker first takes the
+    heaviest pending task it is *primary* for, then any it is eligible
+    for, and never one whose packs it does not hold.  Keys absent from
+    the map are unconstrained.  With no affinity map at all the
+    scheduler behaves exactly as before.
     """
 
     def __init__(self, tasks: Iterable[Tuple[Hashable, float]],
-                 max_retries: int = 2):
+                 max_retries: int = 2,
+                 affinity: Optional[Dict[Hashable,
+                                         Sequence[int]]] = None):
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         ordered = sorted(enumerate(tasks), key=lambda t: (-t[1][1], t[0]))
         self._pending = deque(key for _, (key, _w) in ordered)
         if len({*self._pending}) != len(self._pending):
             raise ValueError("duplicate task keys")
+        self._affinity: Dict[Hashable, Tuple[int, ...]] = {
+            k: tuple(v) for k, v in (affinity or {}).items()}
         self.max_retries = max_retries
         self.outstanding: Dict[int, Hashable] = {}   # rank -> key
         self._holders: Dict[Hashable, Set[int]] = {}  # key -> ranks holding it
@@ -243,13 +297,53 @@ class GreedyScheduler:
         """How many workers currently hold this key (>1 = hedged)."""
         return len(self._holders.get(key, ()))
 
+    def eligible(self, rank: int, key: Hashable) -> bool:
+        """Whether *rank* may serve *key* (no affinity = anyone may)."""
+        aff = self._affinity.get(key)
+        return aff is None or rank in aff
+
+    def unplaceable(self, live_ranks) -> List[Hashable]:
+        """Pending keys no live rank is eligible for — in CEFT terms,
+        fragments whose *last mirror* is gone.  The pool checks this
+        each tick and fails the job (into serial fallback) rather than
+        spin forever on work nobody can serve."""
+        if not self._affinity:
+            return []
+        live = set(live_ranks)
+        return [k for k in self._pending
+                if self._affinity.get(k) is not None
+                and not live.intersection(self._affinity[k])]
+
     def assign(self, rank: int) -> Optional[Hashable]:
-        """Give the next task to an idle worker (None when drained)."""
+        """Give the next task to an idle worker.
+
+        Heaviest-first among tasks *rank* is eligible for, preferring
+        ones it is the *primary* holder of (locality: scan your own
+        fragments before relieving a mirror).  ``None`` when the queue
+        is drained — or, under affinity, when nothing pending can run
+        on this worker.
+        """
         if rank in self.outstanding:
             raise ValueError(f"worker {rank} already holds a task")
         if not self._pending:
             return None
-        key = self._pending.popleft()
+        if not self._affinity:
+            key = self._pending.popleft()
+        else:
+            key = None
+            fallback = None
+            for k in self._pending:
+                aff = self._affinity.get(k)
+                if aff is not None and aff[0] == rank:
+                    key = k              # heaviest task we are primary for
+                    break
+                if fallback is None and (aff is None or rank in aff):
+                    fallback = k
+            if key is None:
+                key = fallback
+            if key is None:
+                return None
+            self._pending.remove(key)
         self.outstanding[rank] = key
         self._holders.setdefault(key, set()).add(rank)
         return key

@@ -342,6 +342,25 @@ def publish_pack_bytes(data, layout, checksums, *, seqtype: str,
     )
 
 
+def read_pack_bytes(spec: PackSpec) -> bytes:
+    """Copy a published pack's whole data region out of shared memory.
+
+    This is the master-side half of pack *shipping*: the bytes follow
+    the canonical :func:`pack_layout` (the same region an on-disk
+    ``.rpk`` pack carries), so a remote node can republish them through
+    :func:`publish_pack_bytes` — which re-verifies every per-field
+    CRC32 from its own fresh segment, catching corruption introduced
+    anywhere along the copy → frame → copy chain.
+    """
+    if _shm is None:  # pragma: no cover
+        raise RuntimeError("multiprocessing.shared_memory unavailable")
+    seg = _shm.SharedMemory(name=spec.name)
+    try:
+        return bytes(seg.buf[:spec.size])
+    finally:
+        seg.close()
+
+
 def corrupt_segment(spec: PackSpec, field: Optional[str] = None,
                     nbytes: int = 8) -> str:
     """Flip bytes inside one field of a published pack (fault hook).

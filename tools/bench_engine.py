@@ -41,6 +41,14 @@ section: ``gapped_stage_bulk_s`` / ``gapped_stage_scalar_s`` /
 per-stage ``REPRO_PROFILE=1`` view of one warm search on the nt corpus
 (the ``profile`` section) so stage shares trend alongside end-to-end
 MB/s.
+Every run also measures the multi-node socket runtime (the
+``multinode`` section): two localhost :class:`repro.exec.NodeFleet`
+agents swept at 1 and 2 nodes remote-only, with pack bytes on the wire
+recorded per point — the sweep itself demonstrates ship-once caching
+(the 2-node point adopts what the 1-node point shipped) and a final
+fresh-master connection must re-ship **zero** bytes against the warm
+fleet or the run fails.  Runners without enough cores for the agents
+plus the master record an annotated skip.
 Every run also times the on-disk pack store (``repro.exec.diskpack``):
 building packs from FASTA, a full rebuild-from-FASTA restart, and the
 mmap cold start that replaces it.  Cold start must come in under 25%
@@ -415,6 +423,92 @@ def diskpack_gate(result: dict) -> list:
     return failures
 
 
+def measure_multinode(db, query, scheme, params, rounds: int,
+                      serial_warm_s: float, serial_dump) -> dict:
+    """The socket transport against the same corpus: two localhost node
+    agents (:class:`repro.exec.NodeFleet`), swept at 1 and 2 nodes,
+    remote-only.
+
+    Loopback TCP is the *floor* of what the paper's real cluster
+    interconnect costs, so the point of the section is not a speedup
+    gate (a remote-only loopback run also pays frame pickling the local
+    shm arena avoids) but the trend of the two costs the multi-node
+    design actually controls: per-run search time as nodes are added,
+    and pack bytes on the wire.  The sweep itself demonstrates
+    ship-once: the 1-node point cold-ships every pack to node 0, the
+    2-node point finds node 0 already holding them (``bytes_saved``)
+    and ships only to node 1, and the final fresh-master connection
+    adopts everything — ``reship_bytes`` must be 0.  Runners without
+    enough cores for two agents plus the master record an annotated
+    skip, never a meaningless number."""
+    cpu = os.cpu_count() or 1
+    if cpu < 3:
+        return {"skipped": f"requires >= 3 cores for 2 node agents "
+                           f"+ the master (cpu_count={cpu})"}
+    from repro.exec import ExecPool
+    from repro.exec.nodes import NodeFleet
+
+    points = []
+    with NodeFleet(2) as fleet:
+        for n_nodes in (1, 2):
+            with ExecPool(jobs=0, nodes=fleet.addresses[:n_nodes],
+                          replication=min(2, n_nodes)) as pool:
+                first = pool.search(query, db, scheme, params)
+                equivalent = _dump_results(first) == serial_dump
+                par_s = _time(lambda: pool.search(query, db, scheme,
+                                                  params), rounds)
+                ship = pool.node_ship_stats()
+                points.append({
+                    "n_nodes": n_nodes,
+                    "search_s": par_s,
+                    "mbps": db.total_residues / par_s / 1e6,
+                    "speedup_over_serial": serial_warm_s / par_s,
+                    "bytes_shipped": sum(s["bytes_shipped"] for s in ship),
+                    "bytes_saved": sum(s["bytes_saved"] for s in ship),
+                    "equivalent": equivalent,
+                })
+        # A fresh master against the warm fleet: every pack is adopted
+        # by identity — the reconnect path ships ~0 bytes.
+        with ExecPool(jobs=0, nodes=fleet.addresses,
+                      replication=2) as pool:
+            t0 = time.perf_counter()
+            fresh = pool.search(query, db, scheme, params)
+            warm_connect_s = time.perf_counter() - t0
+            ship = pool.node_ship_stats()
+            warm = {
+                "search_s": warm_connect_s,
+                "reship_bytes": sum(s["bytes_shipped"] for s in ship),
+                "adopted_bytes_saved": sum(s["bytes_saved"] for s in ship),
+                "equivalent": _dump_results(fresh) == serial_dump,
+            }
+    return {"n_fragments_shipped": None, "points": points,
+            "warm_reconnect": warm}
+
+
+def multinode_gate(result: dict) -> list:
+    """Hard gate on the multi-node section (empty = pass): every
+    measured point must match the serial engine exactly, and a fresh
+    master against a warm fleet must adopt instead of re-shipping."""
+    mn = result.get("multinode")
+    if not mn or mn.get("skipped"):
+        return []
+    failures = []
+    for e in mn.get("points", []):
+        if not e.get("equivalent", True):
+            failures.append(f"multinode n_nodes={e['n_nodes']}: remote "
+                            f"results disagree with the serial engine")
+    warm = mn.get("warm_reconnect") or {}
+    if not warm.get("equivalent", True):
+        failures.append("multinode: warm-reconnect results disagree with "
+                        "the serial engine")
+    if warm.get("reship_bytes", 0) != 0:
+        failures.append(
+            f"multinode: fresh master re-shipped "
+            f"{warm['reship_bytes']} pack bytes to a warm fleet — the "
+            f"identity cache (ship-once) is not working")
+    return failures
+
+
 def sweep_jobs(max_jobs: int) -> list:
     """Worker counts to sweep: powers of two up to *max_jobs*, plus
     *max_jobs* itself (so ``--jobs 6`` measures 2, 4, 6)."""
@@ -525,6 +619,8 @@ def run_benchmarks(residues: int, rounds: int,
                                 _dump_results(r_scan))
     multi_query = measure_multi_query(db, scheme, params, rounds)
     gapped = measure_gapped(rounds)
+    multinode = measure_multinode(db, query, scheme, params, rounds,
+                                  warm_s, _dump_results(r_scan))
 
     parallel = None
     parallel_sweep = None
@@ -562,6 +658,7 @@ def run_benchmarks(residues: int, rounds: int,
         "diskpack": diskpack,
         "multi_query": multi_query,
         "gapped": gapped,
+        "multinode": multinode,
         "parallel": parallel,
         "parallel_sweep": parallel_sweep,
         "equivalent": equivalent,
@@ -594,6 +691,17 @@ def _history_entry(result: dict) -> dict:
     g = result.get("gapped")
     if g:
         entry["gapped_speedup"] = g["gapped_speedup"]
+    mn = result.get("multinode")
+    if mn:
+        if mn.get("skipped"):
+            entry["multinode_skipped"] = mn["skipped"]
+        else:
+            pt2 = next((e for e in mn.get("points", [])
+                        if e.get("n_nodes") == 2), None)
+            if pt2:
+                entry["multinode_speedup_2"] = pt2["speedup_over_serial"]
+            entry["multinode_reship_bytes"] = \
+                (mn.get("warm_reconnect") or {}).get("reship_bytes")
     return entry
 
 
@@ -698,8 +806,21 @@ def check_against(current: dict, baseline_path: str, tolerance: float) -> int:
             print("FAIL: gapped-stage bulk speedup regressed past "
                   "tolerance")
             ok = False
+    cur_mn = current.get("multinode") or {}
+    if cur_mn.get("skipped"):
+        print(f"multinode: skipped ({cur_mn['skipped']})")
+    elif cur_mn.get("points"):
+        for e in cur_mn["points"]:
+            print(f"multinode n_nodes={e['n_nodes']}: "
+                  f"{e['speedup_over_serial']:.2f}x vs serial, "
+                  f"{e['bytes_shipped']} B shipped / "
+                  f"{e['bytes_saved']} B saved")
+        warm = cur_mn.get("warm_reconnect") or {}
+        print(f"multinode warm reconnect: {warm.get('reship_bytes')} B "
+              f"re-shipped, {warm.get('adopted_bytes_saved')} B adopted")
     for msg in (parallel_gate(current) + diskpack_gate(current)
-                + multi_query_gate(current) + gapped_gate(current)):
+                + multi_query_gate(current) + gapped_gate(current)
+                + multinode_gate(current)):
         print(f"FAIL: {msg}")
         ok = False
     if ok:
@@ -739,7 +860,8 @@ def main(argv=None) -> int:
         print("FAIL: scan and loop engines disagree on SearchResults")
         return 1
     failures = (parallel_gate(result) + diskpack_gate(result)
-                + multi_query_gate(result) + gapped_gate(result))
+                + multi_query_gate(result) + gapped_gate(result)
+                + multinode_gate(result))
     for msg in failures:
         print(f"FAIL: {msg}")
     return 1 if failures else 0

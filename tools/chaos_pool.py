@@ -21,6 +21,15 @@ as a smoke gate::
     PYTHONPATH=src python tools/chaos_pool.py               # 8 seeds
     PYTHONPATH=src python tools/chaos_pool.py --seeds 25
     PYTHONPATH=src python tools/chaos_pool.py --seed 7 --verbose
+
+``--transport socket`` runs the same contract over the multi-node
+runtime instead: two localhost :class:`repro.exec.NodeFleet` agents
+serve the pool over framed TCP, the seeded plans draw from the network
+fault kinds too (disconnect / partition / delay / reorder), and every
+fragment is mirrored onto both nodes so an agent killed mid-job is
+served by its mirror.  Between batches the fleet respawns any dead
+agent healthy, so the post-recovery batch also proves reconnect (and
+the ship-once pack cache) rather than a lucky survivor.
 """
 
 import argparse
@@ -34,6 +43,7 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
 JOBS = 2
+N_NODES = 2
 N_FRAGMENTS = 4
 N_QUERIES = 3
 
@@ -73,6 +83,68 @@ def build_workload():
     queries = [db.sequence(i)[:150].copy() for i in (2, 9, 17)][:N_QUERIES]
     serial = [dump(search(q, db, scheme, params)) for q in queries]
     return db, scheme, params, queries, serial
+
+
+def run_seed_socket(seed, workload, verbose=False):
+    """One sweep iteration over the socket transport (two localhost
+    node agents, mirrored fragments); returns violation strings."""
+    import warnings
+
+    from repro.exec import ExecPool, random_plan
+    from repro.exec.faults import NET_FAULT_KINDS
+    from repro.exec.nodes import NodeFleet
+
+    db, scheme, params, queries, serial = workload
+    # The recoverable vocabulary plus every network kind; corrupt_pack
+    # stays out, as in the pipe sweep — a corrupted pack is a *fatal*
+    # integrity stop (exit 4) by design, not a survivable fault.  Each
+    # agent gets its own plan (rank-blind selectors would fire on both
+    # mirrors at once and defeat the survival test).
+    kinds = ("kill", "hang", "slow", "drop_result", *sorted(NET_FAULT_KINDS))
+    plans = [random_plan(seed * 2 + i, n_workers=1, kinds=kinds,
+                         slow_delay=0.5)
+             for i in range(N_NODES)]
+    violations = []
+    with NodeFleet(N_NODES, plans=plans, task_sleep=0.05) as fleet:
+        with ExecPool(jobs=0, nodes=fleet.addresses, replication=2,
+                      heartbeat=0.1, hedge_after=0.3, task_timeout=2.0,
+                      node_timeout=1.0, task_granularity=1) as pool:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                results = pool.search_many(queries, db, scheme, params,
+                                           n_fragments=N_FRAGMENTS)
+            got = [dump(r) for r in results]
+            if got != serial:
+                violations.append("results diverged from the serial engine")
+                pool.ledger.record("result_mismatch", detail=f"seed {seed}")
+            # Respawn the whole fleet healthy (no plans): unlike a
+            # local pipe worker the pool cannot re-fork a remote agent,
+            # only re-dial it, so recovery from an agent death is the
+            # supervisor's move.  Respawning the survivors too discards
+            # any still-armed late fault (a once-fault with a high
+            # task_index would otherwise fire *inside* the recovery
+            # batch and fail the capacity check by construction).
+            for i in range(N_NODES):
+                fleet.respawn(i, fault_plan=None)
+            second = pool.search_many(queries, db, scheme, params,
+                                      n_fragments=N_FRAGMENTS)
+            if [dump(r) for r in second] != serial:
+                violations.append("post-recovery results diverged")
+            live = sum(1 for w in pool._workers if w.alive)
+            if live != N_NODES:
+                violations.append(
+                    f"capacity not restored: {live}/{N_NODES} nodes live")
+            anomalies = pool.ledger.anomalies()
+            if anomalies:
+                violations.append(f"{anomalies} ledger anomaly entries")
+            summary = pool.ledger.summary()
+            ship = pool.node_ship_stats()
+    if verbose:
+        for i, plan in enumerate(plans):
+            print(f"  node {i} plan: {plan.to_json()}")
+        print(f"  ledger: {summary}")
+        print(f"  ship: {ship}")
+    return violations
 
 
 def run_seed(seed, workload, verbose=False):
@@ -124,7 +196,13 @@ def main(argv=None):
                         help="replay a single seed")
     parser.add_argument("--verbose", action="store_true",
                         help="print each seed's plan and ledger summary")
+    parser.add_argument("--transport", choices=["pipe", "socket"],
+                        default="pipe",
+                        help="pipe = local fork workers (default); "
+                             "socket = two localhost node agents over "
+                             "framed TCP with mirrored fragments")
     args = parser.parse_args(argv)
+    sweep = run_seed if args.transport == "pipe" else run_seed_socket
 
     before = shm_segments()
     workload = build_workload()
@@ -132,7 +210,7 @@ def main(argv=None):
     failed = 0
     for seed in seeds:
         t0 = time.time()
-        violations = run_seed(seed, workload, verbose=args.verbose)
+        violations = sweep(seed, workload, verbose=args.verbose)
         status = "ok" if not violations else "FAIL"
         print(f"{status} seed={seed} ({time.time() - t0:.2f}s)")
         for v in violations:
